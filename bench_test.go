@@ -1,0 +1,230 @@
+package infoflow_test
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (each runs the corresponding experiment driver at its test
+// scale; run `cmd/flowbench` without -small for publication scale), plus
+// micro-benchmarks of the primitives whose costs the paper reports
+// (§IV-C: per-chain-update and per-output-sample on a 6K-user/14K-edge
+// graph — see also internal/mh's BenchmarkChainUpdate).
+
+import (
+	"testing"
+
+	"infoflow"
+	"infoflow/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	runner, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01MHBucket(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFig02TwitterAttributed(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig03Uncertainty(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig04Impact(b *testing.B)            { benchExperiment(b, "fig4") }
+func BenchmarkFig05RWR(b *testing.B)               { benchExperiment(b, "fig5") }
+func BenchmarkFig06Timing(b *testing.B)            { benchExperiment(b, "fig6") }
+func BenchmarkFig07RMSE(b *testing.B)              { benchExperiment(b, "fig7") }
+func BenchmarkFig08URLs(b *testing.B)              { benchExperiment(b, "fig8") }
+func BenchmarkFig09Hashtags(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10EdgeUncertainty(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11Multimodal(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkTable3Accuracy(b *testing.B)         { benchExperiment(b, "table3") }
+
+// paperScaleModel builds the §IV-C reference graph: ~6K users, 14K
+// edges.
+func paperScaleModel(b *testing.B) (*infoflow.ICM, *infoflow.RNG) {
+	b.Helper()
+	r := infoflow.NewRNG(1)
+	g := infoflow.RandomGraph(r, 6000, 14000)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = r.Float64() * 0.4
+	}
+	return infoflow.MustNewICM(g, p), r
+}
+
+// BenchmarkChainUpdate6K measures one Markov-chain update at the scale
+// where the paper reports 0.13 ms per update.
+func BenchmarkChainUpdate6K(b *testing.B) {
+	m, r := paperScaleModel(b)
+	s, err := infoflow.NewSampler(m, nil, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkOutputSample6K measures one thinned output sample (chain
+// updates plus a flow test) at the scale where the paper reports 27 ms.
+func BenchmarkOutputSample6K(b *testing.B) {
+	m, r := paperScaleModel(b)
+	s, err := infoflow.NewSampler(m, nil, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const thin = 200 // the paper's 27ms / 0.13ms ratio
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < thin; k++ {
+			s.Step()
+		}
+		_ = m.HasFlow(0, 5999, s.State())
+	}
+}
+
+// BenchmarkDirectSample6K is the naive alternative the paper motivates
+// against: one independent pseudo-state sample plus a flow test costs
+// O(m) draws rather than O(thin log m) updates.
+func BenchmarkDirectSample6K(b *testing.B) {
+	m, r := paperScaleModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := m.SamplePseudoState(r)
+		_ = m.HasFlow(0, 5999, x)
+	}
+}
+
+// BenchmarkFlowProbEndToEnd measures a complete end-to-end flow query on
+// a mid-sized trained model.
+func BenchmarkFlowProbEndToEnd(b *testing.B) {
+	r := infoflow.NewRNG(2)
+	bm := infoflow.GenerateBetaICM(r, 50, 200, 1, 20, 1, 20)
+	m := bm.ExpectedICM()
+	opts := infoflow.MHOptions{BurnIn: 500, Thin: 50, Samples: 500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infoflow.FlowProb(m, 0, 49, nil, opts, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttributedTraining measures betaICM training throughput on
+// simulated cascades.
+func BenchmarkAttributedTraining(b *testing.B) {
+	r := infoflow.NewRNG(3)
+	g := infoflow.RandomGraph(r, 500, 2500)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = r.Float64() * 0.3
+	}
+	truth := infoflow.MustNewICM(g, p)
+	ev := &infoflow.AttributedEvidence{}
+	for i := 0; i < 1000; i++ {
+		ev.Add(infoflow.FromCascade(truth.SampleCascade(r, []infoflow.NodeID{infoflow.NodeID(r.Intn(500))})))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm := infoflow.NewBetaICM(g)
+		if err := bm.TrainAttributed(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointBayesPosterior measures the unattributed learner on a
+// typical per-sink problem.
+func BenchmarkJointBayesPosterior(b *testing.B) {
+	r := infoflow.NewRNG(4)
+	g := infoflow.NewGraph(9)
+	truth := make([]float64, 8)
+	for j := range truth {
+		g.MustAddEdge(infoflow.NodeID(j), 8)
+		truth[j] = r.Float64() * 0.5
+	}
+	var traces []infoflow.Trace
+	for o := 0; o < 2000; o++ {
+		tr := infoflow.Trace{}
+		leak := false
+		for j := range truth {
+			if r.Bernoulli(0.5) {
+				tr[infoflow.NodeID(j)] = 0
+				if r.Bernoulli(truth[j]) {
+					leak = true
+				}
+			}
+		}
+		if leak {
+			tr[8] = 1
+		}
+		if len(tr) > 0 {
+			traces = append(traces, tr)
+		}
+	}
+	sums, err := infoflow.BuildSummaries(g, traces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sums[8]
+	opts := infoflow.DefaultBayesOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infoflow.JointBayes(s, opts, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoyalCredit measures the baseline learner on the same
+// summary shape.
+func BenchmarkGoyalCredit(b *testing.B) {
+	r := infoflow.NewRNG(5)
+	g := infoflow.NewGraph(9)
+	for j := 0; j < 8; j++ {
+		g.MustAddEdge(infoflow.NodeID(j), 8)
+	}
+	var traces []infoflow.Trace
+	for o := 0; o < 2000; o++ {
+		tr := infoflow.Trace{}
+		for j := 0; j < 8; j++ {
+			if r.Bernoulli(0.5) {
+				tr[infoflow.NodeID(j)] = 0
+			}
+		}
+		if r.Bernoulli(0.3) {
+			tr[8] = 1
+		}
+		if len(tr) > 0 {
+			traces = append(traces, tr)
+		}
+	}
+	sums, err := infoflow.BuildSummaries(g, traces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sums[8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = infoflow.Goyal(s)
+	}
+}
+
+// BenchmarkTwitterGeneration measures corpus generation plus the full
+// attributed preprocessing pipeline.
+func BenchmarkTwitterGeneration(b *testing.B) {
+	cfg := infoflow.DefaultTwitterConfig()
+	cfg.NumUsers = 500
+	cfg.NumTweets = 1000
+	cfg.NumHashtags = 50
+	cfg.NumURLs = 50
+	for i := 0; i < b.N; i++ {
+		r := infoflow.NewRNG(uint64(i))
+		d, err := infoflow.GenerateTwitter(cfg, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = infoflow.ExtractAttributed(d.Flow, d.Tweets)
+	}
+}

@@ -1,0 +1,67 @@
+// Command flowbench reproduces the tables and figures of "Learning
+// Stochastic Models of Information Flow" (ICDE 2012). Each experiment is
+// addressed by its paper label:
+//
+//	flowbench -list
+//	flowbench fig1 fig5
+//	flowbench -small all
+//
+// -small runs the fast configurations used by the test suite; the
+// default configurations approximate publication scale and can take
+// minutes per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"infoflow/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	small := flag.Bool("small", false, "run reduced configurations (seconds, not minutes)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flowbench [-small] [-list] <experiment>... | all\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", r.Name, r.Description)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = nil
+		for _, r := range experiments.Registry() {
+			names = append(names, r.Name)
+		}
+	}
+	exit := 0
+	for _, name := range names {
+		runner, ok := experiments.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "flowbench: unknown experiment %q (try -list)\n", name)
+			exit = 1
+			continue
+		}
+		start := time.Now()
+		res, err := runner.Run(*small)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowbench: %s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("=== %s (%s) [%v]\n%s\n", runner.Name, runner.Description,
+			time.Since(start).Round(time.Millisecond), res)
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,192 @@
+// Command flowquery loads a corpus written by flowgen, trains a betaICM
+// on its recovered retweet chains, and answers flow queries against the
+// trained model:
+//
+//	flowquery -data corpus.json -source 3 -sink 42          # end-to-end flow
+//	flowquery -data corpus.json -source 3 -community -top 10
+//	flowquery -data corpus.json -source 3 -sink 42 -cond "3>7=1,3>9=0"
+//	flowquery -data corpus.json -source 3 -impact
+//	flowquery -data corpus.json -source 3 -sink 42 -nested 50
+//
+// Conditions are comma-separated "u>v=1" (flow known present) or
+// "u>v=0" (known absent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"infoflow/internal/core"
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+	"infoflow/internal/twitter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "flowquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	data := flag.String("data", "", "corpus JSON written by flowgen (required)")
+	seed := flag.Uint64("seed", 1, "sampler seed")
+	source := flag.Int("source", -1, "source user (required)")
+	sink := flag.Int("sink", -1, "sink user (for end-to-end queries)")
+	condsArg := flag.String("cond", "", "flow conditions, e.g. \"3>7=1,3>9=0\"")
+	community := flag.Bool("community", false, "report source-to-community flow")
+	top := flag.Int("top", 10, "community nodes to print")
+	impact := flag.Bool("impact", false, "report the impact distribution")
+	nested := flag.Int("nested", 0, "if > 0, sample this many models for an uncertainty estimate")
+	samples := flag.Int("samples", 2000, "MH output samples")
+	censored := flag.Bool("censored", true, "use censored attributed training (recommended for chain-recovered evidence)")
+	flag.Parse()
+
+	if *data == "" || *source < 0 {
+		flag.Usage()
+		return fmt.Errorf("-data and -source are required")
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := twitter.Read(f)
+	if err != nil {
+		return err
+	}
+	real, _, _ := d.Flow.Subgraph(d.RealUsers())
+	res := twitter.ExtractAttributed(real, d.Tweets)
+	bm := core.NewBetaICM(real)
+	train := bm.TrainAttributed
+	if *censored {
+		train = bm.TrainAttributedCensored
+	}
+	if err := train(&res.Evidence); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d objects (%d originals recovered, %d edges skipped)\n",
+		res.Objects, res.RecoveredOriginals, res.SkippedEdges)
+
+	conds, err := parseConds(*condsArg)
+	if err != nil {
+		return err
+	}
+	r := rng.New(*seed)
+	m := bm.ExpectedICM()
+	opts := mh.DefaultOptions(m.NumEdges())
+	opts.Samples = *samples
+	src := graph.NodeID(*source)
+	if int(src) >= real.NumNodes() {
+		return fmt.Errorf("source %d out of range", src)
+	}
+
+	switch {
+	case *impact:
+		impacts, err := mh.ImpactDistribution(m, []graph.NodeID{src}, conds, opts, r)
+		if err != nil {
+			return err
+		}
+		hist := dist.IntHistogram(impacts)
+		fmt.Printf("impact distribution for user %d (over %d samples):\n", src, len(impacts))
+		for k, c := range hist {
+			if c > 0 {
+				fmt.Printf("  %3d reached: %6d (%.4f)\n", k, c, float64(c)/float64(len(impacts)))
+			}
+		}
+	case *community:
+		flows, err := mh.CommunityFlowProbs(m, src, conds, opts, r)
+		if err != nil {
+			return err
+		}
+		type nodeFlow struct {
+			v graph.NodeID
+			p float64
+		}
+		var nf []nodeFlow
+		for v, p := range flows {
+			if graph.NodeID(v) != src && p > 0 {
+				nf = append(nf, nodeFlow{graph.NodeID(v), p})
+			}
+		}
+		sort.Slice(nf, func(i, j int) bool { return nf[i].p > nf[j].p })
+		if len(nf) > *top {
+			nf = nf[:*top]
+		}
+		fmt.Printf("top community flows from user %d:\n", src)
+		for _, x := range nf {
+			fmt.Printf("  -> %6d  %.4f\n", x.v, x.p)
+		}
+	case *nested > 0:
+		if *sink < 0 {
+			return fmt.Errorf("-sink required for nested query")
+		}
+		ps, err := mh.NestedFlowProb(bm, src, graph.NodeID(*sink), conds, *nested, opts, r)
+		if err != nil {
+			return err
+		}
+		s := dist.Summarize(ps)
+		fit := dist.FitBetaToSamples(ps)
+		fmt.Printf("flow %d ~> %d: mean %.4f sd %.4f over %d sampled models (fit %v)\n",
+			src, *sink, s.Mean, s.StdDev(), s.N, fit)
+	default:
+		if *sink < 0 {
+			return fmt.Errorf("-sink required (or use -community / -impact)")
+		}
+		p, err := mh.FlowProb(m, src, graph.NodeID(*sink), conds, opts, r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Pr[%d ~> %d", src, *sink)
+		if len(conds) > 0 {
+			fmt.Printf(" | %d conditions", len(conds))
+		}
+		fmt.Printf("] = %.4f\n", p)
+	}
+	return nil
+}
+
+// parseConds parses "u>v=1,u>v=0" into flow conditions.
+func parseConds(s string) ([]core.FlowCondition, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []core.FlowCondition
+	for _, part := range strings.Split(s, ",") {
+		var c core.FlowCondition
+		uv, req, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("condition %q: want u>v=0|1", part)
+		}
+		u, v, ok := strings.Cut(uv, ">")
+		if !ok {
+			return nil, fmt.Errorf("condition %q: want u>v=0|1", part)
+		}
+		un, err := strconv.Atoi(strings.TrimSpace(u))
+		if err != nil {
+			return nil, fmt.Errorf("condition %q: %w", part, err)
+		}
+		vn, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("condition %q: %w", part, err)
+		}
+		switch strings.TrimSpace(req) {
+		case "1":
+			c.Require = true
+		case "0":
+			c.Require = false
+		default:
+			return nil, fmt.Errorf("condition %q: requirement must be 0 or 1", part)
+		}
+		c.Source, c.Sink = graph.NodeID(un), graph.NodeID(vn)
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"infoflow/internal/core"
+)
+
+func TestParseCondsValid(t *testing.T) {
+	got, err := parseConds("3>7=1, 2>9=0 ,0>1=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.FlowCondition{
+		{Source: 3, Sink: 7, Require: true},
+		{Source: 2, Sink: 9, Require: false},
+		{Source: 0, Sink: 1, Require: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cond %d = %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseCondsEmpty(t *testing.T) {
+	got, err := parseConds("")
+	if err != nil || got != nil {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+}
+
+func TestParseCondsInvalid(t *testing.T) {
+	for _, bad := range []string{
+		"3>7",     // missing requirement
+		"3=1",     // missing sink
+		"a>7=1",   // bad source
+		"3>b=1",   // bad sink
+		"3>7=2",   // bad requirement
+		"3>7=1,,", // empty element
+		"3 > 7 = x",
+	} {
+		if _, err := parseConds(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module infoflow
+
+go 1.22

@@ -1,0 +1,135 @@
+// Package bucket implements the paper's "bucket experiment" (§IV-C,
+// adapted from Troncoso and Danezis): a calibration test for probability
+// estimators. Each trial pairs an estimated probability p with a boolean
+// outcome z; pairs are bucketed by estimate into B equal-width bins, and
+// within each bin the empirical outcome rate — as a beta distribution
+// with its 95% confidence interval — is compared against the bin's mean
+// estimate. A well-calibrated estimator's mean falls inside the interval
+// about 95% of the time.
+//
+// The package also provides the accuracy measures of the paper's
+// Table III: the Brier probability score and the normalised likelihood
+// (geometric mean of the probability assigned to the realised outcome),
+// each over all pairs and over "middle values" only (estimates not
+// exactly 0 or 1).
+package bucket
+
+import (
+	"fmt"
+	"math"
+
+	"infoflow/internal/dist"
+)
+
+// Pair is one trial: an estimated flow probability and the empirically
+// observed outcome.
+type Pair struct {
+	Estimate float64
+	Outcome  bool
+}
+
+// Experiment accumulates pairs.
+type Experiment struct {
+	Pairs []Pair
+}
+
+// Add records a trial. Estimates outside [0,1] are rejected.
+func (e *Experiment) Add(estimate float64, outcome bool) error {
+	if estimate < 0 || estimate > 1 || math.IsNaN(estimate) {
+		return fmt.Errorf("bucket: estimate %v outside [0,1]", estimate)
+	}
+	e.Pairs = append(e.Pairs, Pair{estimate, outcome})
+	return nil
+}
+
+// MustAdd is Add that panics on error, for generator-driven experiments
+// whose estimates are probabilities by construction.
+func (e *Experiment) MustAdd(estimate float64, outcome bool) {
+	if err := e.Add(estimate, outcome); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of recorded pairs.
+func (e *Experiment) Len() int { return len(e.Pairs) }
+
+// Bin is one bucket of the calibration analysis.
+type Bin struct {
+	// Lo and Hi bound the estimates bucketed here: [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of pairs, Positives how many had Outcome true.
+	Count     int
+	Positives int
+	// MeanEstimate is the average estimate of the bin's pairs.
+	MeanEstimate float64
+	// Empirical is the beta distribution over the bin's true outcome
+	// rate: Beta(1 + positives, count - positives + 1).
+	Empirical dist.Beta
+	// CILo and CIHi bound the central 95% interval of Empirical.
+	CILo, CIHi float64
+	// InCI reports whether MeanEstimate falls inside [CILo, CIHi] — the
+	// "cross vs dot" distinction in the paper's figures.
+	InCI bool
+}
+
+// Result is a completed bucket analysis.
+type Result struct {
+	Bins []Bin
+	// Coverage is the fraction of non-empty bins whose mean estimate lies
+	// within the bin's 95% interval; calibrated estimators score ~0.95.
+	Coverage float64
+	// NonEmpty is the number of bins containing at least one pair.
+	NonEmpty int
+}
+
+// Analyze buckets the experiment's pairs into nBins equal-width bins
+// over [0,1] (the paper uses 30) and computes per-bin empirical betas and
+// confidence intervals. Estimates exactly equal to 1 land in the top bin.
+func (e *Experiment) Analyze(nBins int) (*Result, error) {
+	if nBins <= 0 {
+		return nil, fmt.Errorf("bucket: non-positive bin count %d", nBins)
+	}
+	if len(e.Pairs) == 0 {
+		return nil, fmt.Errorf("bucket: no pairs recorded")
+	}
+	res := &Result{Bins: make([]Bin, nBins)}
+	width := 1.0 / float64(nBins)
+	for j := range res.Bins {
+		res.Bins[j].Lo = float64(j) * width
+		res.Bins[j].Hi = float64(j+1) * width
+	}
+	sums := make([]float64, nBins)
+	for _, p := range e.Pairs {
+		j := int(p.Estimate / width)
+		if j >= nBins {
+			j = nBins - 1
+		}
+		b := &res.Bins[j]
+		b.Count++
+		if p.Outcome {
+			b.Positives++
+		}
+		sums[j] += p.Estimate
+	}
+	inCI := 0
+	for j := range res.Bins {
+		b := &res.Bins[j]
+		if b.Count == 0 {
+			continue
+		}
+		res.NonEmpty++
+		b.MeanEstimate = sums[j] / float64(b.Count)
+		// The paper's construction: alpha = 1 + sum(z), beta = |bin| -
+		// alpha + 2 = failures + 1.
+		b.Empirical = dist.NewBeta(float64(1+b.Positives), float64(b.Count-b.Positives+1))
+		b.CILo, b.CIHi = b.Empirical.ConfidenceInterval(0.95)
+		b.InCI = b.MeanEstimate >= b.CILo && b.MeanEstimate <= b.CIHi
+		if b.InCI {
+			inCI++
+		}
+	}
+	if res.NonEmpty > 0 {
+		res.Coverage = float64(inCI) / float64(res.NonEmpty)
+	}
+	return res, nil
+}

@@ -1,0 +1,245 @@
+package bucket
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestAddValidation(t *testing.T) {
+	var e Experiment
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := e.Add(bad, true); err == nil {
+			t.Errorf("estimate %v accepted", bad)
+		}
+	}
+	if err := e.Add(0, false); err != nil {
+		t.Errorf("0 rejected: %v", err)
+	}
+	if err := e.Add(1, true); err != nil {
+		t.Errorf("1 rejected: %v", err)
+	}
+	if e.Len() != 2 {
+		t.Errorf("len = %d", e.Len())
+	}
+}
+
+func TestAnalyzeBinning(t *testing.T) {
+	var e Experiment
+	e.MustAdd(0.05, true)
+	e.MustAdd(0.05, false)
+	e.MustAdd(0.95, true)
+	e.MustAdd(1.0, true) // exact 1 lands in top bin
+	res, err := e.Analyze(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins[0].Count != 2 || res.Bins[0].Positives != 1 {
+		t.Fatalf("bin0 = %+v", res.Bins[0])
+	}
+	if res.Bins[9].Count != 2 || res.Bins[9].Positives != 2 {
+		t.Fatalf("bin9 = %+v", res.Bins[9])
+	}
+	if res.NonEmpty != 2 {
+		t.Fatalf("nonempty = %d", res.NonEmpty)
+	}
+	// Paper's beta construction: bin0 has 1 positive of 2 ->
+	// Beta(2, 2).
+	if res.Bins[0].Empirical.Alpha != 2 || res.Bins[0].Empirical.Beta != 2 {
+		t.Fatalf("empirical = %v", res.Bins[0].Empirical)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var e Experiment
+	if _, err := e.Analyze(10); err == nil {
+		t.Error("empty experiment analyzed")
+	}
+	e.MustAdd(0.5, true)
+	if _, err := e.Analyze(0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+// TestCalibratedEstimatorCovered: pairs generated with truthful
+// probabilities should have high coverage; a biased estimator should
+// not.
+func TestCalibratedEstimatorCovered(t *testing.T) {
+	r := rng.New(40)
+	var good, biased Experiment
+	for i := 0; i < 30000; i++ {
+		p := r.Float64()
+		outcome := r.Bernoulli(p)
+		good.MustAdd(p, outcome)
+		// Biased: report sqrt(p) instead of p.
+		biased.MustAdd(math.Sqrt(p), outcome)
+	}
+	gres, err := good.Analyze(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := biased.Analyze(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Coverage < 0.85 {
+		t.Errorf("calibrated coverage = %v", gres.Coverage)
+	}
+	if bres.Coverage > gres.Coverage-0.3 {
+		t.Errorf("biased coverage %v not clearly below calibrated %v", bres.Coverage, gres.Coverage)
+	}
+}
+
+func TestMetricsKnownValues(t *testing.T) {
+	var e Experiment
+	e.MustAdd(0.8, true)
+	e.MustAdd(0.8, false)
+	m, err := e.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brier: ((0.8-1)^2 + (0.8-0)^2)/2 = (0.04+0.64)/2 = 0.34.
+	if math.Abs(m.Brier-0.34) > 1e-12 {
+		t.Errorf("brier = %v", m.Brier)
+	}
+	// NL: sqrt(0.8 * 0.2) = 0.4.
+	if math.Abs(m.NormalisedLikelihood-0.4) > 1e-9 {
+		t.Errorf("nl = %v", m.NormalisedLikelihood)
+	}
+	if m.Count != 2 {
+		t.Errorf("count = %d", m.Count)
+	}
+}
+
+func TestMetricsClampExtremes(t *testing.T) {
+	var e Experiment
+	e.MustAdd(1, false) // certain prediction, wrong
+	e.MustAdd(0.5, true)
+	m, err := e.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NormalisedLikelihood <= 0 {
+		t.Errorf("nl zeroed out: %v", m.NormalisedLikelihood)
+	}
+	// Brier is computed on the raw estimate: (1-0)^2 contributes fully.
+	if math.Abs(m.Brier-(1+0.25)/2) > 1e-12 {
+		t.Errorf("brier = %v", m.Brier)
+	}
+}
+
+func TestComputeMiddleDropsExtremes(t *testing.T) {
+	var e Experiment
+	e.MustAdd(0, false)
+	e.MustAdd(1, true)
+	e.MustAdd(0.6, true)
+	all, err := e.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := e.ComputeMiddle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Count != 3 || mid.Count != 1 {
+		t.Fatalf("counts: all %d mid %d", all.Count, mid.Count)
+	}
+	if math.Abs(mid.NormalisedLikelihood-0.6) > 1e-12 {
+		t.Errorf("middle nl = %v", mid.NormalisedLikelihood)
+	}
+	// All extremes correct: all-values NL must exceed middle NL here.
+	if all.NormalisedLikelihood <= mid.NormalisedLikelihood {
+		t.Errorf("all %v <= middle %v", all.NormalisedLikelihood, mid.NormalisedLikelihood)
+	}
+}
+
+func TestComputeMiddleEmpty(t *testing.T) {
+	var e Experiment
+	e.MustAdd(0, false)
+	if _, err := e.ComputeMiddle(); err == nil {
+		t.Error("middle metrics over empty set accepted")
+	}
+}
+
+func TestBetterEstimatorBetterMetrics(t *testing.T) {
+	// The truthful estimator must beat a constant estimator on both
+	// measures.
+	r := rng.New(41)
+	var truthful, constant Experiment
+	for i := 0; i < 20000; i++ {
+		p := r.Float64()
+		z := r.Bernoulli(p)
+		truthful.MustAdd(p, z)
+		constant.MustAdd(0.5, z)
+	}
+	mt, err := truthful.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := constant.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Brier >= mc.Brier {
+		t.Errorf("brier: truthful %v vs constant %v", mt.Brier, mc.Brier)
+	}
+	if mt.NormalisedLikelihood <= mc.NormalisedLikelihood {
+		t.Errorf("nl: truthful %v vs constant %v", mt.NormalisedLikelihood, mc.NormalisedLikelihood)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{0, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt(0.5)) > 1e-12 {
+		t.Errorf("rmse = %v", got)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestBrierBounds(t *testing.T) {
+	err := quick.Check(func(seed uint16, n uint8) bool {
+		r := rng.New(uint64(seed))
+		var e Experiment
+		for i := 0; i < int(n%50)+1; i++ {
+			e.MustAdd(r.Float64(), r.Bernoulli(0.5))
+		}
+		m, err := e.Compute()
+		if err != nil {
+			return false
+		}
+		return m.Brier >= 0 && m.Brier <= 1 &&
+			m.NormalisedLikelihood > 0 && m.NormalisedLikelihood <= 1
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	var e Experiment
+	e.MustAdd(0.1, false)
+	e.MustAdd(0.9, true)
+	res, err := e.Analyze(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if !strings.Contains(s, "coverage") || !strings.Contains(s, "[0.900,1.000)") {
+		t.Errorf("report missing content:\n%s", s)
+	}
+	v := res.VolumePlot()
+	if !strings.Contains(v, "#") {
+		t.Errorf("volume plot missing bars:\n%s", v)
+	}
+}

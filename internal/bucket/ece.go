@@ -1,0 +1,35 @@
+package bucket
+
+import "fmt"
+
+// ECE returns the Expected Calibration Error over nBins equal-width
+// bins: the bin-size-weighted mean absolute gap between each bin's mean
+// estimate and its empirical outcome rate. It is the scalar companion to
+// the bucket plots — 0 for a perfectly calibrated estimator — and is
+// reported alongside the paper's coverage statistic because coverage
+// saturates (every bin misses) once pair counts grow large enough to
+// shrink the confidence intervals below any systematic bias.
+func (e *Experiment) ECE(nBins int) (float64, error) {
+	res, err := e.Analyze(nBins)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	weighted := 0.0
+	for _, b := range res.Bins {
+		if b.Count == 0 {
+			continue
+		}
+		empirical := float64(b.Positives) / float64(b.Count)
+		gap := b.MeanEstimate - empirical
+		if gap < 0 {
+			gap = -gap
+		}
+		weighted += gap * float64(b.Count)
+		total += b.Count
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("bucket: no pairs for ECE")
+	}
+	return weighted / float64(total), nil
+}

@@ -1,0 +1,62 @@
+package bucket
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/rng"
+)
+
+func TestECEPerfectlyCalibrated(t *testing.T) {
+	r := rng.New(50)
+	var e Experiment
+	for i := 0; i < 100000; i++ {
+		p := r.Float64()
+		e.MustAdd(p, r.Bernoulli(p))
+	}
+	ece, err := e.ECE(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 0.02 {
+		t.Errorf("calibrated ECE = %v", ece)
+	}
+}
+
+func TestECEBiasedEstimator(t *testing.T) {
+	r := rng.New(51)
+	var e Experiment
+	for i := 0; i < 50000; i++ {
+		p := r.Float64()
+		// Estimator reports p but outcomes follow p/2: gap ~ mean(p)/2.
+		e.MustAdd(p, r.Bernoulli(p/2))
+	}
+	ece, err := e.ECE(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.25) > 0.03 {
+		t.Errorf("biased ECE = %v, want ~0.25", ece)
+	}
+}
+
+func TestECEKnownValue(t *testing.T) {
+	var e Experiment
+	// One bin: estimates 0.9, half the outcomes true -> gap 0.4.
+	e.MustAdd(0.9, true)
+	e.MustAdd(0.9, false)
+	ece, err := e.ECE(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.4) > 1e-12 {
+		t.Errorf("ECE = %v want 0.4", ece)
+	}
+}
+
+func TestECEEmpty(t *testing.T) {
+	var e Experiment
+	if _, err := e.ECE(10); err == nil {
+		t.Error("empty experiment produced an ECE")
+	}
+}

@@ -1,0 +1,94 @@
+package bucket
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClampEps is the probability clamp the paper's accuracy appendix applies
+// before computing the normalised likelihood: predictions of exactly 0 or
+// 1 would otherwise zero out the entire geometric mean when a single
+// outcome disagrees.
+const ClampEps = 1e-6
+
+// Metrics holds the Table III accuracy measures for one experiment.
+type Metrics struct {
+	// NormalisedLikelihood is the geometric mean over pairs of the
+	// probability the estimate assigned to the realised outcome (clamped
+	// to [ClampEps, 1-ClampEps]); closer to 1 is better.
+	NormalisedLikelihood float64
+	// Brier is the mean squared difference between estimate and outcome;
+	// closer to 0 is better.
+	Brier float64
+	// Count is the number of pairs the measures were computed over.
+	Count int
+}
+
+// Compute returns the metrics over all of the experiment's pairs.
+func (e *Experiment) Compute() (Metrics, error) {
+	return computeMetrics(e.Pairs)
+}
+
+// ComputeMiddle returns the metrics over the "middle values" only —
+// pairs whose estimate is not exactly 0 or 1 — the second column group of
+// Table III, introduced because near-certain predictions otherwise wash
+// out the differences between methods.
+func (e *Experiment) ComputeMiddle() (Metrics, error) {
+	middle := make([]Pair, 0, len(e.Pairs))
+	for _, p := range e.Pairs {
+		if p.Estimate != 0 && p.Estimate != 1 {
+			middle = append(middle, p)
+		}
+	}
+	return computeMetrics(middle)
+}
+
+func computeMetrics(pairs []Pair) (Metrics, error) {
+	if len(pairs) == 0 {
+		return Metrics{}, fmt.Errorf("bucket: no pairs for metrics")
+	}
+	logSum := 0.0
+	brier := 0.0
+	for _, p := range pairs {
+		est := p.Estimate
+		if est < ClampEps {
+			est = ClampEps
+		}
+		if est > 1-ClampEps {
+			est = 1 - ClampEps
+		}
+		var z float64
+		if p.Outcome {
+			z = 1
+			logSum += math.Log(est)
+		} else {
+			logSum += math.Log1p(-est)
+		}
+		d := p.Estimate - z
+		brier += d * d
+	}
+	n := float64(len(pairs))
+	return Metrics{
+		NormalisedLikelihood: math.Exp(logSum / n),
+		Brier:                brier / n,
+		Count:                len(pairs),
+	}, nil
+}
+
+// RMSE returns the root mean squared error between two equal-length
+// vectors, the Figure 7 comparison measure between trained and
+// ground-truth activation probabilities.
+func RMSE(estimate, truth []float64) (float64, error) {
+	if len(estimate) != len(truth) {
+		return 0, fmt.Errorf("bucket: RMSE length mismatch %d vs %d", len(estimate), len(truth))
+	}
+	if len(estimate) == 0 {
+		return 0, fmt.Errorf("bucket: RMSE of empty vectors")
+	}
+	ss := 0.0
+	for i := range estimate {
+		d := estimate[i] - truth[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(estimate))), nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestTrainAttributedHandExample(t *testing.T) {
+	// Graph: 0->1, 0->2, 1->2. One object: source {0}, active {0,1},
+	// active edge 0->1 only. Expect:
+	//   edge 0->1: alpha 2 (active)
+	//   edge 0->2: beta 2 (parent active, edge not)
+	//   edge 1->2: beta 2 (parent 1 active, edge not)
+	g := graph.New(3)
+	e01 := g.MustAddEdge(0, 1)
+	e02 := g.MustAddEdge(0, 2)
+	e12 := g.MustAddEdge(1, 2)
+	bm := NewBetaICM(g)
+	ev := &AttributedEvidence{}
+	ev.Add(AttributedObject{
+		Sources:     []graph.NodeID{0},
+		ActiveNodes: []graph.NodeID{0, 1},
+		ActiveEdges: []graph.EdgeID{e01},
+	})
+	if err := bm.TrainAttributed(ev); err != nil {
+		t.Fatal(err)
+	}
+	if bm.B[e01] != (dist.Beta{Alpha: 2, Beta: 1}) {
+		t.Errorf("e01 = %v", bm.B[e01])
+	}
+	if bm.B[e02] != (dist.Beta{Alpha: 1, Beta: 2}) {
+		t.Errorf("e02 = %v", bm.B[e02])
+	}
+	if bm.B[e12] != (dist.Beta{Alpha: 1, Beta: 2}) {
+		t.Errorf("e12 = %v", bm.B[e12])
+	}
+}
+
+func TestTrainAttributedUntriedEdgesUntouched(t *testing.T) {
+	// An edge whose parent never activates must stay at the prior.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	e21 := g.MustAddEdge(2, 1)
+	bm := NewBetaICM(g)
+	ev := &AttributedEvidence{}
+	ev.Add(AttributedObject{
+		Sources:     []graph.NodeID{0},
+		ActiveNodes: []graph.NodeID{0},
+	})
+	if err := bm.TrainAttributed(ev); err != nil {
+		t.Fatal(err)
+	}
+	if bm.B[e21] != dist.Uniform() {
+		t.Errorf("untried edge changed: %v", bm.B[e21])
+	}
+}
+
+func TestTrainAttributedRecoversGroundTruth(t *testing.T) {
+	// Train a betaICM on many simulated cascades from a known ICM; the
+	// posterior means should converge to the true activation
+	// probabilities on frequently tried edges.
+	r := rng.New(11)
+	g := graph.Random(r, 12, 40)
+	p := make([]float64, 40)
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	truth := MustNewICM(g, p)
+	bm := NewBetaICM(g)
+	ev := &AttributedEvidence{}
+	tried := make([]int, 40)
+	const objects = 4000
+	for i := 0; i < objects; i++ {
+		src := []graph.NodeID{graph.NodeID(r.Intn(12))}
+		c := truth.SampleCascade(r, src)
+		for e, tr := range c.TriedEdges {
+			if tr {
+				tried[e]++
+			}
+		}
+		ev.Add(FromCascade(c))
+	}
+	if err := bm.TrainAttributed(ev); err != nil {
+		t.Fatal(err)
+	}
+	for e := range p {
+		if tried[e] < 500 {
+			continue // not enough evidence for a tight check
+		}
+		got := bm.B[e].Mean()
+		if math.Abs(got-p[e]) > 0.06 {
+			t.Errorf("edge %d: trained mean %v, truth %v (tried %d)", e, got, p[e], tried[e])
+		}
+	}
+}
+
+func TestTrainAttributedCountsConsistent(t *testing.T) {
+	// alpha-1 + beta-1 on an edge equals the number of objects whose
+	// parent was active (tried count).
+	r := rng.New(12)
+	g := graph.Random(r, 8, 20)
+	p := make([]float64, 20)
+	for i := range p {
+		p[i] = 0.5
+	}
+	truth := MustNewICM(g, p)
+	bm := NewBetaICM(g)
+	ev := &AttributedEvidence{}
+	tried := make([]int, 20)
+	for i := 0; i < 300; i++ {
+		c := truth.SampleCascade(r, []graph.NodeID{graph.NodeID(r.Intn(8))})
+		for e, tr := range c.TriedEdges {
+			if tr {
+				tried[e]++
+			}
+		}
+		ev.Add(FromCascade(c))
+	}
+	if err := bm.TrainAttributed(ev); err != nil {
+		t.Fatal(err)
+	}
+	for e := range p {
+		total := int(bm.B[e].Alpha-1) + int(bm.B[e].Beta-1)
+		if total != tried[e] {
+			t.Errorf("edge %d: alpha+beta evidence %d, tried %d", e, total, tried[e])
+		}
+	}
+}
+
+func TestTrainAttributedRejectsInvalid(t *testing.T) {
+	g := graph.Path(3)
+	bm := NewBetaICM(g)
+	ev := &AttributedEvidence{}
+	// Active edge with inactive parent.
+	ev.Add(AttributedObject{
+		Sources:     []graph.NodeID{1},
+		ActiveNodes: []graph.NodeID{1, 2},
+		ActiveEdges: []graph.EdgeID{0}, // edge 0->1 but 0 not active
+	})
+	if err := bm.TrainAttributed(ev); err == nil {
+		t.Fatal("invalid evidence accepted")
+	}
+}
+
+func TestExpectedICM(t *testing.T) {
+	g := graph.Path(2)
+	bm := NewBetaICM(g)
+	bm.B[0] = dist.NewBeta(3, 1)
+	m := bm.ExpectedICM()
+	if m.P[0] != 0.75 {
+		t.Errorf("expected p = %v", m.P[0])
+	}
+}
+
+func TestSampleICMDistribution(t *testing.T) {
+	r := rng.New(13)
+	g := graph.Path(2)
+	bm := NewBetaICM(g)
+	bm.B[0] = dist.NewBeta(8, 2)
+	const trials = 50000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		m := bm.SampleICM(r)
+		if m.P[0] < 0 || m.P[0] > 1 {
+			t.Fatalf("sampled p = %v", m.P[0])
+		}
+		sum += m.P[0]
+	}
+	if got := sum / trials; math.Abs(got-0.8) > 0.01 {
+		t.Errorf("sampled mean = %v", got)
+	}
+}
+
+func TestGenerateBetaICM(t *testing.T) {
+	r := rng.New(14)
+	bm := GenerateBetaICM(r, 50, 200, 1, 20, 1, 20)
+	if bm.NumNodes() != 50 || bm.NumEdges() != 200 {
+		t.Fatalf("size = %v", bm)
+	}
+	for _, b := range bm.B {
+		if b.Alpha < 1 || b.Alpha >= 20 || b.Beta < 1 || b.Beta >= 20 {
+			t.Fatalf("parameters out of range: %v", b)
+		}
+	}
+}
+
+func TestGenerateSkewedICM(t *testing.T) {
+	r := rng.New(15)
+	m := GenerateSkewedICM(r, 40, 400)
+	if m.NumEdges() != 400 {
+		t.Fatalf("edges = %d", m.NumEdges())
+	}
+	high, low := 0, 0
+	for _, p := range m.P {
+		if p > 0.5 {
+			high++
+		} else {
+			low++
+		}
+	}
+	// ~90% should be in the high mode (mean 0.8).
+	if float64(high)/400 < 0.75 {
+		t.Errorf("high fraction = %v", float64(high)/400)
+	}
+	if low == 0 {
+		t.Error("no low-probability edges generated")
+	}
+}
+
+func TestTrainIncremental(t *testing.T) {
+	// Training in two batches equals training once on the concatenation.
+	r := rng.New(16)
+	g := graph.Random(r, 6, 12)
+	p := make([]float64, 12)
+	for i := range p {
+		p[i] = 0.4
+	}
+	truth := MustNewICM(g, p)
+	var objs []AttributedObject
+	for i := 0; i < 100; i++ {
+		objs = append(objs, FromCascade(truth.SampleCascade(r, []graph.NodeID{0})))
+	}
+	bmOnce := NewBetaICM(g)
+	if err := bmOnce.TrainAttributed(&AttributedEvidence{Objects: objs}); err != nil {
+		t.Fatal(err)
+	}
+	bmTwice := NewBetaICM(g)
+	if err := bmTwice.TrainAttributed(&AttributedEvidence{Objects: objs[:50]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bmTwice.TrainAttributed(&AttributedEvidence{Objects: objs[50:]}); err != nil {
+		t.Fatal(err)
+	}
+	for e := range p {
+		if bmOnce.B[e] != bmTwice.B[e] {
+			t.Fatalf("edge %d: %v vs %v", e, bmOnce.B[e], bmTwice.B[e])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestTrainAttributedCensoredSkipsDeliveredChildren(t *testing.T) {
+	// Graph 0->2, 1->2. Object: all three nodes active, chain edge 0->2
+	// only. Censored training must not punish edge 1->2.
+	g := graph.New(3)
+	e02 := g.MustAddEdge(0, 2)
+	e12 := g.MustAddEdge(1, 2)
+	obj := AttributedObject{
+		Sources:     []graph.NodeID{0, 1},
+		ActiveNodes: []graph.NodeID{0, 1, 2},
+		ActiveEdges: []graph.EdgeID{e02},
+	}
+	plain := NewBetaICM(g)
+	if err := plain.TrainAttributed(&AttributedEvidence{Objects: []AttributedObject{obj}}); err != nil {
+		t.Fatal(err)
+	}
+	censored := NewBetaICM(g)
+	if err := censored.TrainAttributedCensored(&AttributedEvidence{Objects: []AttributedObject{obj}}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.B[e12] != (dist.Beta{Alpha: 1, Beta: 2}) {
+		t.Errorf("plain e12 = %v", plain.B[e12])
+	}
+	if censored.B[e12] != dist.Uniform() {
+		t.Errorf("censored e12 = %v, want untouched", censored.B[e12])
+	}
+	// The attributed edge itself counts alpha either way.
+	if censored.B[e02] != (dist.Beta{Alpha: 2, Beta: 1}) {
+		t.Errorf("censored e02 = %v", censored.B[e02])
+	}
+	// A genuinely failed edge (child inactive) still counts beta.
+	obj2 := AttributedObject{
+		Sources:     []graph.NodeID{0},
+		ActiveNodes: []graph.NodeID{0},
+	}
+	if err := censored.TrainAttributedCensored(&AttributedEvidence{Objects: []AttributedObject{obj2}}); err != nil {
+		t.Fatal(err)
+	}
+	if censored.B[e02] != (dist.Beta{Alpha: 2, Beta: 2}) {
+		t.Errorf("after failure e02 = %v", censored.B[e02])
+	}
+}
+
+// TestCensoredTrainingReducesChainBias: evidence carrying only the
+// attribution chain (not the full fired-edge set) deflates plain
+// training; censored training recovers the truth much more closely.
+func TestCensoredTrainingReducesChainBias(t *testing.T) {
+	// Subcritical regime (sparse activations), where chain evidence is
+	// close to fully-attributed evidence: censoring then corrects most
+	// of the plain rule's deflation. In saturated regimes neither
+	// interpretation recovers the race dynamics — that is what the
+	// unattributed learners are for.
+	r := rng.New(77)
+	g := graph.Random(r, 14, 50)
+	p := make([]float64, 50)
+	for i := range p {
+		p[i] = 0.05 + 0.25*r.Float64()
+	}
+	truth := MustNewICM(g, p)
+	// Chain-only evidence: active edges = BFS attribution tree edges.
+	ev := &AttributedEvidence{}
+	tried := make([]int, 50)
+	for i := 0; i < 6000; i++ {
+		c := truth.SampleCascade(r, []graph.NodeID{graph.NodeID(r.Intn(10))})
+		obj := AttributedObject{Sources: append([]graph.NodeID(nil), c.Sources...)}
+		for v, a := range c.ActiveNodes {
+			if a {
+				obj.ActiveNodes = append(obj.ActiveNodes, graph.NodeID(v))
+			}
+		}
+		for v, parent := range c.Parent {
+			if parent < 0 {
+				continue
+			}
+			id, ok := g.EdgeID(parent, graph.NodeID(v))
+			if !ok {
+				t.Fatal("attribution edge missing")
+			}
+			obj.ActiveEdges = append(obj.ActiveEdges, id)
+		}
+		for e, tr := range c.TriedEdges {
+			if tr {
+				tried[e]++
+			}
+		}
+		ev.Add(obj)
+	}
+	plain := NewBetaICM(g)
+	if err := plain.TrainAttributed(ev); err != nil {
+		t.Fatal(err)
+	}
+	censored := NewBetaICM(g)
+	if err := censored.TrainAttributedCensored(ev); err != nil {
+		t.Fatal(err)
+	}
+	var plainErr, censErr float64
+	n := 0
+	for e := range p {
+		if tried[e] < 300 {
+			continue
+		}
+		plainErr += math.Abs(plain.B[e].Mean() - p[e])
+		censErr += math.Abs(censored.B[e].Mean() - p[e])
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no well-tried edges")
+	}
+	plainErr /= float64(n)
+	censErr /= float64(n)
+	if censErr >= plainErr {
+		t.Errorf("censored error %v not below plain %v", censErr, plainErr)
+	}
+	if censErr > 0.05 {
+		t.Errorf("censored error %v too large", censErr)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"infoflow/internal/graph"
+)
+
+// AttributedObject is the observed, fully attributed flow of one
+// information object: its sources V_i+, active nodes V_i, and active
+// edges E_i (§II-A: F = {(V_i+, V_i, E_i) | i in O}).
+type AttributedObject struct {
+	Sources     []graph.NodeID
+	ActiveNodes []graph.NodeID
+	ActiveEdges []graph.EdgeID
+}
+
+// AttributedEvidence is a set of attributed objects, the D = (O, F) of
+// §II-A, against a particular graph.
+type AttributedEvidence struct {
+	Objects []AttributedObject
+}
+
+// Add appends an object.
+func (d *AttributedEvidence) Add(o AttributedObject) { d.Objects = append(d.Objects, o) }
+
+// Len returns the number of objects.
+func (d *AttributedEvidence) Len() int { return len(d.Objects) }
+
+// FromCascade converts a simulated cascade into an attributed evidence
+// object. Sources, active nodes and active edges transfer directly; the
+// cascade's per-node attribution is implied by the active edge set.
+func FromCascade(c *Cascade) AttributedObject {
+	o := AttributedObject{Sources: append([]graph.NodeID(nil), c.Sources...)}
+	for v, a := range c.ActiveNodes {
+		if a {
+			o.ActiveNodes = append(o.ActiveNodes, graph.NodeID(v))
+		}
+	}
+	for e, a := range c.ActiveEdges {
+		if a {
+			o.ActiveEdges = append(o.ActiveEdges, graph.EdgeID(e))
+		}
+	}
+	return o
+}
+
+// Validate checks that the object is internally consistent with the
+// graph: every active edge's parent is an active node, every active edge
+// endpoint is in range, and sources are active nodes.
+func (o *AttributedObject) Validate(g *graph.DiGraph) error {
+	active := make(map[graph.NodeID]bool, len(o.ActiveNodes))
+	for _, v := range o.ActiveNodes {
+		if v < 0 || int(v) >= g.NumNodes() {
+			return fmt.Errorf("core: active node %d out of range", v)
+		}
+		if active[v] {
+			return fmt.Errorf("core: duplicate active node %d", v)
+		}
+		active[v] = true
+	}
+	for _, s := range o.Sources {
+		if !active[s] {
+			return fmt.Errorf("core: source %d not listed active", s)
+		}
+	}
+	seenEdge := make(map[graph.EdgeID]bool, len(o.ActiveEdges))
+	for _, id := range o.ActiveEdges {
+		if id < 0 || int(id) >= g.NumEdges() {
+			return fmt.Errorf("core: active edge %d out of range", id)
+		}
+		if seenEdge[id] {
+			return fmt.Errorf("core: duplicate active edge %d", id)
+		}
+		seenEdge[id] = true
+		e := g.Edge(id)
+		if !active[e.From] {
+			return fmt.Errorf("core: active edge %d->%d has inactive parent", e.From, e.To)
+		}
+		if !active[e.To] {
+			return fmt.Errorf("core: active edge %d->%d has inactive child", e.From, e.To)
+		}
+	}
+	return nil
+}

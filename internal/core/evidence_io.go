@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"infoflow/internal/graph"
+)
+
+// jsonObject is the wire form of one attributed object.
+type jsonObject struct {
+	Sources     []graph.NodeID `json:"sources"`
+	ActiveNodes []graph.NodeID `json:"active_nodes"`
+	ActiveEdges []graph.EdgeID `json:"active_edges,omitempty"`
+}
+
+// WriteEvidence serialises attributed evidence as JSON. Edge IDs are
+// graph-relative, so evidence is only meaningful alongside the graph it
+// was extracted against; pair it with graph.DiGraph.Write.
+func (d *AttributedEvidence) WriteEvidence(w io.Writer) error {
+	objs := make([]jsonObject, len(d.Objects))
+	for i, o := range d.Objects {
+		objs[i] = jsonObject{
+			Sources:     o.Sources,
+			ActiveNodes: o.ActiveNodes,
+			ActiveEdges: o.ActiveEdges,
+		}
+	}
+	return json.NewEncoder(w).Encode(objs)
+}
+
+// ReadEvidence deserialises attributed evidence written by WriteEvidence
+// and validates every object against g.
+func ReadEvidence(r io.Reader, g *graph.DiGraph) (*AttributedEvidence, error) {
+	var objs []jsonObject
+	if err := json.NewDecoder(r).Decode(&objs); err != nil {
+		return nil, fmt.Errorf("core: decode evidence: %w", err)
+	}
+	out := &AttributedEvidence{}
+	for i, jo := range objs {
+		o := AttributedObject{
+			Sources:     jo.Sources,
+			ActiveNodes: jo.ActiveNodes,
+			ActiveEdges: jo.ActiveEdges,
+		}
+		if err := o.Validate(g); err != nil {
+			return nil, fmt.Errorf("core: evidence object %d: %w", i, err)
+		}
+		out.Add(o)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestEvidenceRoundTrip(t *testing.T) {
+	r := rng.New(600)
+	g := graph.Random(r, 8, 24)
+	p := make([]float64, 24)
+	for i := range p {
+		p[i] = 0.4
+	}
+	m := MustNewICM(g, p)
+	orig := &AttributedEvidence{}
+	for i := 0; i < 50; i++ {
+		orig.Add(FromCascade(m.SampleCascade(r, []graph.NodeID{graph.NodeID(r.Intn(8))})))
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteEvidence(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvidence(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("objects: %d vs %d", got.Len(), orig.Len())
+	}
+	// Training on either must give identical posteriors.
+	a := NewBetaICM(g)
+	if err := a.TrainAttributed(orig); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBetaICM(g)
+	if err := b.TrainAttributed(got); err != nil {
+		t.Fatal(err)
+	}
+	for e := range p {
+		if a.B[e] != b.B[e] {
+			t.Fatalf("edge %d posterior changed: %v vs %v", e, a.B[e], b.B[e])
+		}
+	}
+}
+
+func TestReadEvidenceValidates(t *testing.T) {
+	g := graph.Path(2)
+	for _, s := range []string{
+		`[{"sources":[0],"active_nodes":[0],"active_edges":[0]}]`, // edge active, child inactive
+		`[{"sources":[5],"active_nodes":[5]}]`,                    // node out of range
+		`garbage`,
+	} {
+		if _, err := ReadEvidence(strings.NewReader(s), g); err == nil {
+			t.Errorf("accepted %s", s)
+		}
+	}
+	// A valid minimal document.
+	ok := `[{"sources":[0],"active_nodes":[0,1],"active_edges":[0]}]`
+	ev, err := ReadEvidence(strings.NewReader(ok), g)
+	if err != nil || ev.Len() != 1 {
+		t.Fatalf("valid evidence rejected: %v", err)
+	}
+}

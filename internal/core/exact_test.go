@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// triangleICM builds the worked example of §II: nodes v1,v2,v3 with arcs
+// (v1,v2), (v1,v3), (v2,v3).
+func triangleICM(p12, p13, p23 float64) *ICM {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1) // edge 0: v1->v2
+	g.MustAddEdge(0, 2) // edge 1: v1->v3
+	g.MustAddEdge(1, 2) // edge 2: v2->v3
+	return MustNewICM(g, []float64{p12, p13, p23})
+}
+
+func TestExactFlowTriangleClosedForm(t *testing.T) {
+	// Equation (1): Pr[v1 ~> v3] = 1 - (1 - p12*p23)(1 - p13).
+	cases := [][3]float64{
+		{0.5, 0.5, 0.5}, {0.9, 0.1, 0.8}, {0, 0.3, 1}, {1, 1, 1}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		m := triangleICM(c[0], c[1], c[2])
+		want := 1 - (1-c[0]*c[2])*(1-c[1])
+		if got := m.RecursiveFlowProb(0, 2); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v: exact = %v, closed form = %v", c, got, want)
+		}
+		if got := m.EnumFlowProb([]graph.NodeID{0}, 2); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v: enum = %v, closed form = %v", c, got, want)
+		}
+	}
+}
+
+func TestExactFlowCyclicExample(t *testing.T) {
+	// §II adds arc (v3,v2) forming a cycle; Pr[v1~>v3] is still Eq. (1)
+	// because flow into v3 cannot use a path through v3.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 1) // the cycle arc
+	p12, p13, p23, p32 := 0.6, 0.3, 0.7, 0.9
+	m := MustNewICM(g, []float64{p12, p13, p23, p32})
+	want := 1 - (1-p12*p23)*(1-p13)
+	if got := m.RecursiveFlowProb(0, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cyclic exact = %v, want %v", got, want)
+	}
+	if got := m.EnumFlowProb([]graph.NodeID{0}, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cyclic enum = %v, want %v", got, want)
+	}
+	// Flow to v2, however, picks up the v1->v3->v2 path:
+	// Pr[v1~>v2] = 1 - (1-p12)(1 - Pr[v1~>v3 ex {v2}] p32)
+	//            = 1 - (1-p12)(1 - p13*p32).
+	want2 := 1 - (1-p12)*(1-p13*p32)
+	if got := m.RecursiveFlowProb(0, 1); math.Abs(got-want2) > 1e-12 {
+		t.Errorf("cyclic exact to v2 = %v, want %v", got, want2)
+	}
+}
+
+func TestExactFlowTrivial(t *testing.T) {
+	m := triangleICM(0.5, 0.5, 0.5)
+	if got := m.RecursiveFlowProb(1, 1); got != 1 {
+		t.Errorf("self flow = %v", got)
+	}
+	// No path from v3 anywhere.
+	if got := m.RecursiveFlowProb(2, 0); got != 0 {
+		t.Errorf("impossible flow = %v", got)
+	}
+}
+
+// TestRecursionUpperBoundsEnum documents the reproduction finding on the
+// paper's Equation (2): the recursion treats parent-flow events as
+// independent, and since flow events are positively associated increasing
+// functions of the independent edge variables (Harris/FKG), the recursion
+// can only overestimate the exact (enumerated) flow probability.
+func TestRecursionUpperBoundsEnum(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(4) + 2 // 2..5 nodes
+		maxM := n * (n - 1)
+		m := r.Intn(min(maxM, 10) + 1)
+		g := graph.Random(r, n, m)
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		icm := MustNewICM(g, p)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		rec := icm.RecursiveFlowProb(u, v)
+		enum := icm.EnumFlowProb([]graph.NodeID{u}, v)
+		return rec >= enum-1e-9
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecursionExactOnInTrees: when every node has at most one incoming
+// edge, flows to distinct parents never share upstream structure inside
+// the product of Equation (2), so the recursion is exact.
+func TestRecursionExactOnInTrees(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(8) + 2
+		g := graph.New(n)
+		// Random in-tree: each node v >= 1 gets one parent among 0..v-1.
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(graph.NodeID(r.Intn(v)), graph.NodeID(v))
+		}
+		p := make([]float64, g.NumEdges())
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		icm := MustNewICM(g, p)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		rec := icm.RecursiveFlowProb(u, v)
+		enum := icm.EnumFlowProb([]graph.NodeID{u}, v)
+		return math.Abs(rec-enum) < 1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecursionDiamondCounterexample pins the worked counterexample from
+// the RecursiveFlowProb doc comment.
+func TestRecursionDiamondCounterexample(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	m := MustNewICM(g, []float64{0.5, 0.5, 0.5, 0.5})
+	if got := m.EnumFlowProb([]graph.NodeID{0}, 3); math.Abs(got-0.3125) > 1e-12 {
+		t.Errorf("enum = %v, want 0.3125", got)
+	}
+	if got := m.RecursiveFlowProb(0, 3); math.Abs(got-0.34375) > 1e-12 {
+		t.Errorf("recursion = %v, want 0.34375", got)
+	}
+}
+
+func TestEnumMultiSource(t *testing.T) {
+	// Two sources on a path graph 0->1->2: flow to 2 from {0,1} is
+	// p12 + (1-p12)*p01*p12... careful: sources {0,1}, sink 2. Node 1 is
+	// already active, so only edge 1->2 matters: Pr = p12.
+	g := graph.Path(3)
+	m := MustNewICM(g, []float64{0.3, 0.6})
+	got := m.EnumFlowProb([]graph.NodeID{0, 1}, 2)
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("multi-source enum = %v, want 0.6", got)
+	}
+}
+
+func TestEnumConditionalFlow(t *testing.T) {
+	// Path 0->1->2 with p01=0.5, p12=0.5.
+	// Pr[0~>2] = 0.25. Conditioned on 0~>1, Pr[0~>2 | C] = 0.5.
+	g := graph.Path(3)
+	m := MustNewICM(g, []float64{0.5, 0.5})
+	got, err := m.EnumConditionalFlowProb([]graph.NodeID{0}, 2,
+		[]FlowCondition{{Source: 0, Sink: 1, Require: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("conditional = %v, want 0.5", got)
+	}
+	// Conditioned on NO flow 0~>2, probability must be 0.
+	got, err = m.EnumConditionalFlowProb([]graph.NodeID{0}, 2,
+		[]FlowCondition{{Source: 0, Sink: 2, Require: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("conditional on absence = %v", got)
+	}
+}
+
+func TestEnumConditionalZeroProbability(t *testing.T) {
+	g := graph.Path(2)
+	m := MustNewICM(g, []float64{1}) // edge always active
+	_, err := m.EnumConditionalFlowProb([]graph.NodeID{0}, 1,
+		[]FlowCondition{{Source: 0, Sink: 1, Require: false}})
+	if err == nil {
+		t.Fatal("expected zero-probability condition error")
+	}
+}
+
+func TestExactMonotoneInEdgeProbability(t *testing.T) {
+	// Raising any activation probability cannot lower a flow probability.
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(4) + 3
+		m := r.Intn(min(n*(n-1), 9) + 1)
+		if m == 0 {
+			return true
+		}
+		g := graph.Random(r, n, m)
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		base := MustNewICM(g, p)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		before := base.RecursiveFlowProb(u, v)
+		bumped := make([]float64, m)
+		copy(bumped, p)
+		k := r.Intn(m)
+		bumped[k] = bumped[k] + (1-bumped[k])*r.Float64()
+		after := MustNewICM(g, bumped).RecursiveFlowProb(u, v)
+		return after >= before-1e-12
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactFlowDirectMonteCarlo(t *testing.T) {
+	// Cross-check exact evaluation against naive cascade simulation on a
+	// moderately sized cyclic graph.
+	r := rng.New(1234)
+	g := graph.Random(r, 8, 18)
+	p := make([]float64, 18)
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	m := MustNewICM(g, p)
+	u, v := graph.NodeID(0), graph.NodeID(7)
+	exact := m.EnumFlowProb([]graph.NodeID{u}, v)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		c := m.SampleCascade(r, []graph.NodeID{u})
+		if c.ActiveNodes[v] {
+			hits++
+		}
+	}
+	mc := float64(hits) / trials
+	if math.Abs(mc-exact) > 0.01 {
+		t.Errorf("monte carlo %v vs exact %v", mc, exact)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// Flow events are increasing functions of the independent edge
+// variables, so by the Harris/FKG inequality they are positively
+// associated. These property tests pin the consequences on the exact
+// (enumerated) evaluator; the samplers inherit them.
+
+// TestConditioningOnFlowNeverLowersFlow: Pr[A | B] >= Pr[A] when B is a
+// positive flow condition.
+func TestConditioningOnFlowNeverLowersFlow(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(4) + 3
+		mE := r.Intn(min(n*(n-1), 10) + 1)
+		g := graph.Random(r, n, mE)
+		p := make([]float64, mE)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		m := MustNewICM(g, p)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		w := graph.NodeID(r.Intn(n))
+		conds := []FlowCondition{{Source: u, Sink: w, Require: true}}
+		cond, err := m.EnumConditionalFlowProb([]graph.NodeID{u}, v, conds)
+		if err != nil {
+			return true // condition impossible: nothing to check
+		}
+		uncond := m.EnumFlowProb([]graph.NodeID{u}, v)
+		return cond >= uncond-1e-9
+	}, &quick.Config{MaxCount: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConditioningOnNonFlowNeverRaisesFlow: the mirror image for
+// negative conditions.
+func TestConditioningOnNonFlowNeverRaisesFlow(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 7777)
+		n := r.Intn(4) + 3
+		mE := r.Intn(min(n*(n-1), 10) + 1)
+		g := graph.Random(r, n, mE)
+		p := make([]float64, mE)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		m := MustNewICM(g, p)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		w := graph.NodeID(r.Intn(n))
+		if w == u {
+			return true // u ~> u is certain; conditioning on its absence is empty
+		}
+		conds := []FlowCondition{{Source: u, Sink: w, Require: false}}
+		cond, err := m.EnumConditionalFlowProb([]graph.NodeID{u}, v, conds)
+		if err != nil {
+			return true
+		}
+		uncond := m.EnumFlowProb([]graph.NodeID{u}, v)
+		return cond <= uncond+1e-9
+	}, &quick.Config{MaxCount: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddingEdgeNeverLowersFlow: adding a new edge (any probability)
+// cannot reduce any flow probability.
+func TestAddingEdgeNeverLowersFlow(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 3333)
+		n := r.Intn(4) + 3
+		mE := r.Intn(8) + 1
+		if mE >= n*(n-1) {
+			mE = n*(n-1) - 1
+		}
+		g := graph.Random(r, n, mE)
+		p := make([]float64, mE)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		m := MustNewICM(g, p)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		before := m.EnumFlowProb([]graph.NodeID{u}, v)
+		// Find a missing edge to add.
+		g2 := g.Clone()
+		var added bool
+		for a := 0; a < n && !added; a++ {
+			for b := 0; b < n && !added; b++ {
+				if a != b && !g2.HasEdge(graph.NodeID(a), graph.NodeID(b)) {
+					g2.MustAddEdge(graph.NodeID(a), graph.NodeID(b))
+					added = true
+				}
+			}
+		}
+		if !added {
+			return true
+		}
+		p2 := append(append([]float64{}, p...), r.Float64())
+		after := MustNewICM(g2, p2).EnumFlowProb([]graph.NodeID{u}, v)
+		return after >= before-1e-9
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJointFlowAtLeastProduct: positive association means
+// Pr[A and B] >= Pr[A] Pr[B] for two flows from the same source.
+func TestJointFlowAtLeastProduct(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 9999)
+		n := r.Intn(4) + 3
+		mE := r.Intn(min(n*(n-1), 10) + 1)
+		g := graph.Random(r, n, mE)
+		p := make([]float64, mE)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		m := MustNewICM(g, p)
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		w := graph.NodeID(r.Intn(n))
+		pv := m.EnumFlowProb([]graph.NodeID{u}, v)
+		pw := m.EnumFlowProb([]graph.NodeID{u}, w)
+		// Joint via conditional enumeration: Pr[v and w] =
+		// Pr[v | w required] * Pr[w].
+		if pw == 0 {
+			return true
+		}
+		condV, err := m.EnumConditionalFlowProb([]graph.NodeID{u}, v,
+			[]FlowCondition{{Source: u, Sink: w, Require: true}})
+		if err != nil {
+			return true
+		}
+		joint := condV * pw
+		return joint >= pv*pw-1e-9
+	}, &quick.Config{MaxCount: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

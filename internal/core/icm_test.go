@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestNewICMValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := NewICM(g, []float64{0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewICM(g, []float64{0.5, 1.5}); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := NewICM(g, []float64{-0.1, 0.5}); err == nil {
+		t.Error("p<0 accepted")
+	}
+	if _, err := NewICM(g, []float64{math.NaN(), 0.5}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := NewICM(g, []float64{0, 1}); err != nil {
+		t.Errorf("boundary probabilities rejected: %v", err)
+	}
+}
+
+func TestSamplePseudoStateMarginals(t *testing.T) {
+	r := rng.New(5)
+	g := graph.Path(4)
+	m := MustNewICM(g, []float64{0.2, 0.5, 0.9})
+	const trials = 100000
+	counts := make([]int, 3)
+	for i := 0; i < trials; i++ {
+		x := m.SamplePseudoState(r)
+		for e, a := range x {
+			if a {
+				counts[e]++
+			}
+		}
+	}
+	for e, p := range m.P {
+		got := float64(counts[e]) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("edge %d marginal = %v want %v", e, got, p)
+		}
+	}
+}
+
+func TestLogProbPseudoState(t *testing.T) {
+	g := graph.Path(3)
+	m := MustNewICM(g, []float64{0.25, 0.5})
+	x := PseudoState{true, false}
+	want := math.Log(0.25) + math.Log(0.5)
+	if got := m.LogProbPseudoState(x); math.Abs(got-want) > 1e-12 {
+		t.Errorf("logprob = %v want %v", got, want)
+	}
+	// Zero-probability state.
+	m2 := MustNewICM(graph.Path(2), []float64{0})
+	if got := m2.LogProbPseudoState(PseudoState{true}); !math.IsInf(got, -1) {
+		t.Errorf("impossible state logprob = %v", got)
+	}
+}
+
+func TestLogProbSumsToOne(t *testing.T) {
+	// Sum of Pr[x] over all pseudo-states equals 1.
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(3) + 2
+		mE := r.Intn(min(n*(n-1), 8) + 1)
+		g := graph.Random(r, n, mE)
+		p := make([]float64, mE)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		m := MustNewICM(g, p)
+		total := 0.0
+		for bits := 0; bits < 1<<mE; bits++ {
+			x := NewPseudoState(mE)
+			for e := 0; e < mE; e++ {
+				x[e] = bits&(1<<e) != 0
+			}
+			total += math.Exp(m.LogProbPseudoState(x))
+		}
+		return math.Abs(total-1) < 1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveNodesMatchesReachability(t *testing.T) {
+	g := graph.New(4)
+	e01 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	e23 := g.MustAddEdge(2, 3)
+	m := MustNewICM(g, []float64{0.5, 0.5, 0.5})
+	x := NewPseudoState(3)
+	x[e01] = true
+	x[e23] = true // parent 2 inactive, so 3 must stay inactive
+	active := m.ActiveNodes([]graph.NodeID{0}, x)
+	want := []bool{true, true, false, false}
+	for v := range want {
+		if active[v] != want[v] {
+			t.Fatalf("active = %v", active)
+		}
+	}
+}
+
+func TestHasFlowAgreesWithActiveNodes(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(8) + 2
+		mE := r.Intn(min(n*(n-1), 20) + 1)
+		g := graph.Random(r, n, mE)
+		p := make([]float64, mE)
+		for i := range p {
+			p[i] = 0.5
+		}
+		m := MustNewICM(g, p)
+		x := m.SamplePseudoState(r)
+		u := graph.NodeID(r.Intn(n))
+		active := m.ActiveNodes([]graph.NodeID{u}, x)
+		for v := 0; v < n; v++ {
+			if m.HasFlow(u, graph.NodeID(v), x) != active[v] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoStateClone(t *testing.T) {
+	x := PseudoState{true, false, true}
+	c := x.Clone()
+	c[0] = false
+	if !x[0] {
+		t.Fatal("clone aliases original")
+	}
+	if x.CountActive() != 2 || c.CountActive() != 1 {
+		t.Fatal("CountActive wrong")
+	}
+}

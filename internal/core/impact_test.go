@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestEnumImpactStar(t *testing.T) {
+	// Star with p=0.5 on 3 leaves: impact ~ Binomial(3, 0.5).
+	g := graph.New(4)
+	for v := 1; v < 4; v++ {
+		g.MustAddEdge(0, graph.NodeID(v))
+	}
+	m := MustNewICM(g, []float64{0.5, 0.5, 0.5})
+	dist := m.EnumImpactDistribution([]graph.NodeID{0})
+	want := []float64{1.0 / 8, 3.0 / 8, 3.0 / 8, 1.0 / 8}
+	if len(dist) != 4 {
+		t.Fatalf("length = %d", len(dist))
+	}
+	for k, w := range want {
+		if math.Abs(dist[k]-w) > 1e-12 {
+			t.Errorf("P[impact=%d] = %v want %v", k, dist[k], w)
+		}
+	}
+}
+
+func TestEnumImpactSumsToOne(t *testing.T) {
+	r := rng.New(120)
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(5) + 2
+		mE := r.Intn(min(n*(n-1), 10) + 1)
+		g := graph.Random(r, n, mE)
+		p := make([]float64, mE)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		m := MustNewICM(g, p)
+		dist := m.EnumImpactDistribution([]graph.NodeID{0})
+		sum := 0.0
+		for _, v := range dist {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("impact distribution sums to %v", sum)
+		}
+	}
+}
+
+func TestEnumImpactMatchesCascadeSampling(t *testing.T) {
+	r := rng.New(121)
+	g := graph.Random(r, 6, 14)
+	p := make([]float64, 14)
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	m := MustNewICM(g, p)
+	exact := m.EnumImpactDistribution([]graph.NodeID{0})
+	const trials = 200000
+	counts := make([]int, len(exact))
+	for i := 0; i < trials; i++ {
+		counts[m.SampleCascade(r, []graph.NodeID{0}).NumNewlyActive()]++
+	}
+	for k := range exact {
+		got := float64(counts[k]) / trials
+		if math.Abs(got-exact[k]) > 0.01 {
+			t.Errorf("P[impact=%d]: sampled %v vs exact %v", k, got, exact[k])
+		}
+	}
+}
+
+func TestEnumImpactMultiSourceDedup(t *testing.T) {
+	g := graph.Path(3)
+	m := MustNewICM(g, []float64{1, 1})
+	dist := m.EnumImpactDistribution([]graph.NodeID{0, 0})
+	// One distinct source, certain edges: impact always 2.
+	if len(dist) != 3 || dist[2] != 1 {
+		t.Fatalf("dist = %v", dist)
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import "math"
+
+// logOf and log1pOf centralise the convention that probability-zero
+// events contribute -Inf log-probability without tripping math domain
+// panics elsewhere.
+func logOf(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+func log1pOf(x float64) float64 {
+	if x <= -1 {
+		return math.Inf(-1)
+	}
+	return math.Log1p(x)
+}

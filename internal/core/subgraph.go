@@ -1,0 +1,41 @@
+package core
+
+import (
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+)
+
+// Subgraph projects the ICM onto the induced subgraph over keep,
+// preserving each surviving edge's activation probability. It returns
+// the sub-model plus the node mappings from graph.DiGraph.Subgraph.
+func (m *ICM) Subgraph(keep []graph.NodeID) (*ICM, []graph.NodeID, []graph.NodeID) {
+	sub, toOld, toNew := m.G.Subgraph(keep)
+	p := make([]float64, sub.NumEdges())
+	for id := 0; id < sub.NumEdges(); id++ {
+		e := sub.Edge(graph.EdgeID(id))
+		origID, ok := m.G.EdgeID(toOld[e.From], toOld[e.To])
+		if !ok {
+			panic("core: subgraph edge missing in parent graph")
+		}
+		p[id] = m.P[origID]
+	}
+	return MustNewICM(sub, p), toOld, toNew
+}
+
+// Subgraph projects the betaICM onto the induced subgraph over keep,
+// preserving each surviving edge's beta distribution. The paper's
+// §IV-C experiments train one model on the whole network and query
+// radius-n sub-models around focus users; this is that projection.
+func (m *BetaICM) Subgraph(keep []graph.NodeID) (*BetaICM, []graph.NodeID, []graph.NodeID) {
+	sub, toOld, toNew := m.G.Subgraph(keep)
+	b := make([]dist.Beta, sub.NumEdges())
+	for id := 0; id < sub.NumEdges(); id++ {
+		e := sub.Edge(graph.EdgeID(id))
+		origID, ok := m.G.EdgeID(toOld[e.From], toOld[e.To])
+		if !ok {
+			panic("core: subgraph edge missing in parent graph")
+		}
+		b[id] = m.B[origID]
+	}
+	return &BetaICM{G: sub, B: b}, toOld, toNew
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestICMSubgraphPreservesProbabilities(t *testing.T) {
+	r := rng.New(90)
+	g := graph.Random(r, 12, 50)
+	p := make([]float64, 50)
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	m := MustNewICM(g, p)
+	keep := []graph.NodeID{2, 5, 7, 9, 11}
+	sub, toOld, toNew := m.Subgraph(keep)
+	if sub.NumNodes() != 5 {
+		t.Fatalf("nodes = %d", sub.NumNodes())
+	}
+	for id := 0; id < sub.NumEdges(); id++ {
+		e := sub.G.Edge(graph.EdgeID(id))
+		origID, ok := g.EdgeID(toOld[e.From], toOld[e.To])
+		if !ok {
+			t.Fatal("phantom edge")
+		}
+		if sub.P[id] != p[origID] {
+			t.Fatalf("edge %d probability changed", id)
+		}
+	}
+	for _, v := range keep {
+		if toOld[toNew[v]] != v {
+			t.Fatalf("mapping broken for %d", v)
+		}
+	}
+}
+
+func TestBetaICMSubgraphPreservesBetas(t *testing.T) {
+	r := rng.New(91)
+	bm := GenerateBetaICM(r, 10, 40, 1, 20, 1, 20)
+	keep := []graph.NodeID{0, 1, 2, 3}
+	sub, toOld, _ := bm.Subgraph(keep)
+	edgeCount := 0
+	for id := 0; id < sub.NumEdges(); id++ {
+		e := sub.G.Edge(graph.EdgeID(id))
+		origID, ok := bm.G.EdgeID(toOld[e.From], toOld[e.To])
+		if !ok {
+			t.Fatal("phantom edge")
+		}
+		if sub.B[id] != bm.B[origID] {
+			t.Fatalf("edge %d beta changed", id)
+		}
+		edgeCount++
+	}
+	// Every original edge within the kept set must survive.
+	kept := map[graph.NodeID]bool{0: true, 1: true, 2: true, 3: true}
+	want := 0
+	for _, e := range bm.G.Edges() {
+		if kept[e.From] && kept[e.To] {
+			want++
+		}
+	}
+	if edgeCount != want {
+		t.Fatalf("subgraph has %d edges, want %d", edgeCount, want)
+	}
+	_ = dist.Uniform() // keep dist imported for the type assertion above
+}

@@ -1,0 +1,175 @@
+// Package ctic implements a continuous-time independent cascade model,
+// the delay-aware extension of the ICM that the paper discusses via
+// Saito et al.'s follow-up work ("Learning continuous-time information
+// diffusion model for social behavioral data analysis", ACML 2009,
+// reference [14]): each edge carries both a transmission probability k
+// and an exponential delay rate r, so a parent activating at time t
+// activates the child at t + Exp(r) with probability k, and the earliest
+// successful parent wins.
+//
+// The paper contrasts its own relaxed discrete treatment against this
+// model's "significant increase in computation cost"; this package makes
+// the comparison concrete. Learning follows the library's joint-Bayes
+// style — a Metropolis-Hastings sampler over each sink's (k, r)
+// parameters under the exact continuous-time likelihood — rather than
+// Saito's EM, so the posterior uncertainty machinery of the rest of the
+// library carries over unchanged.
+package ctic
+
+import (
+	"fmt"
+	"math"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// Model is a continuous-time ICM over a directed graph: per edge, a
+// transmission probability K in [0,1] and an exponential delay rate
+// R > 0 (mean delay 1/R).
+type Model struct {
+	G *graph.DiGraph
+	K []float64 // by EdgeID
+	R []float64 // by EdgeID
+}
+
+// New validates and wraps the parameters.
+func New(g *graph.DiGraph, k, r []float64) (*Model, error) {
+	if len(k) != g.NumEdges() || len(r) != g.NumEdges() {
+		return nil, fmt.Errorf("ctic: %d/%d parameters for %d edges", len(k), len(r), g.NumEdges())
+	}
+	for id := range k {
+		if k[id] < 0 || k[id] > 1 || k[id] != k[id] {
+			return nil, fmt.Errorf("ctic: k[%d]=%v outside [0,1]", id, k[id])
+		}
+		if r[id] <= 0 || math.IsInf(r[id], 0) || r[id] != r[id] {
+			return nil, fmt.Errorf("ctic: r[%d]=%v not positive and finite", id, r[id])
+		}
+	}
+	return &Model{G: g, K: k, R: r}, nil
+}
+
+// Episode is one observed diffusion: the activation time of every node
+// that activated before the observation Horizon. Nodes absent from
+// Times did not activate by the horizon (right-censoring).
+type Episode struct {
+	Times   map[graph.NodeID]float64
+	Horizon float64
+}
+
+// Simulate runs the continuous-time cascade from the given sources
+// (activating at time 0) up to the horizon, using a first-passage sweep:
+// when a node activates, each outgoing edge independently succeeds with
+// K and schedules the child at the parent's time plus an Exp(R) delay;
+// a child's activation time is the minimum over successful parents.
+func (m *Model) Simulate(r *rng.RNG, sources []graph.NodeID, horizon float64) Episode {
+	ep := Episode{Times: map[graph.NodeID]float64{}, Horizon: horizon}
+	// Tentative earliest arrival per node; process in time order.
+	best := make([]float64, m.G.NumNodes())
+	for v := range best {
+		best[v] = math.Inf(1)
+	}
+	done := make([]bool, m.G.NumNodes())
+	for _, s := range sources {
+		best[s] = 0
+	}
+	for {
+		// Extract-min without a heap: node counts here are modest and
+		// each node is settled once.
+		v := graph.NodeID(-1)
+		vt := math.Inf(1)
+		for u := 0; u < m.G.NumNodes(); u++ {
+			if !done[u] && best[u] < vt {
+				v, vt = graph.NodeID(u), best[u]
+			}
+		}
+		if v < 0 || vt > horizon {
+			break
+		}
+		done[v] = true
+		ep.Times[v] = vt
+		for _, id := range m.G.OutEdges(v) {
+			w := m.G.Edge(id).To
+			if done[w] || !r.Bernoulli(m.K[id]) {
+				continue
+			}
+			t := vt + r.Exp()/m.R[id]
+			if t < best[w] {
+				best[w] = t
+			}
+		}
+	}
+	return ep
+}
+
+// survivalLog returns ln S_u(dt): the log probability that parent u has
+// NOT transmitted to the child within dt of its own activation —
+// (1-k) + k e^{-r dt}.
+func survivalLog(k, r, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return math.Log((1 - k) + k*math.Exp(-r*dt))
+}
+
+// LogLikelihood evaluates the continuous-time likelihood of one sink's
+// observations under per-parent parameters k[j], r[j] (indexed like
+// parents). For an episode where the sink activates at t with
+// previously-active parents at t_j < t, the density is
+//
+//	sum_j h_j(t) * prod_{l != j} S_l(t),  h_j(t) = k_j r_j e^{-r_j (t - t_j)}
+//
+// and for a sink still inactive at the horizon it is prod_j S_j(horizon).
+// Episodes where the sink activates with no active parent are external
+// arrivals and contribute nothing (as in the discrete summaries).
+func LogLikelihood(sink graph.NodeID, parents []graph.NodeID, eps []Episode, k, r []float64) float64 {
+	ll := 0.0
+	for _, ep := range eps {
+		tSink, active := ep.Times[sink]
+		end := ep.Horizon
+		if active {
+			end = tSink
+		}
+		// Collect parents active strictly before `end`.
+		density := 0.0
+		survSum := 0.0
+		nParents := 0
+		for j, parent := range parents {
+			tp, ok := ep.Times[parent]
+			if !ok || tp >= end {
+				continue
+			}
+			nParents++
+			dt := end - tp
+			sl := survivalLog(k[j], r[j], dt)
+			survSum += sl
+			if active {
+				// hazard_j(t) * prod_l S_l / S_j summed below in linear
+				// space: accumulate h_j / S_j, multiply by prod S at the
+				// end.
+				h := k[j] * r[j] * math.Exp(-r[j]*dt)
+				s := math.Exp(sl)
+				if s <= 0 {
+					// S_j -> 0 only as dt -> inf with k=1; the density
+					// contribution of j is then h_j alone and others'
+					// survivals multiply in; handled by the general sum
+					// in the limit, skip to avoid 0/0.
+					continue
+				}
+				density += h / s
+			}
+		}
+		if nParents == 0 {
+			continue
+		}
+		if active {
+			if density <= 0 {
+				return math.Inf(-1)
+			}
+			ll += math.Log(density) + survSum
+		} else {
+			ll += survSum
+		}
+	}
+	return ll
+}

@@ -1,0 +1,243 @@
+package ctic
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func fanIn(nParents int) (*graph.DiGraph, graph.NodeID, []graph.NodeID) {
+	g := graph.New(nParents + 1)
+	sink := graph.NodeID(nParents)
+	parents := make([]graph.NodeID, nParents)
+	for j := 0; j < nParents; j++ {
+		g.MustAddEdge(graph.NodeID(j), sink)
+		parents[j] = graph.NodeID(j)
+	}
+	return g, sink, parents
+}
+
+func TestNewValidation(t *testing.T) {
+	g, _, _ := fanIn(1)
+	if _, err := New(g, []float64{0.5}, []float64{1}); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	for _, c := range []struct{ k, r []float64 }{
+		{[]float64{1.5}, []float64{1}},
+		{[]float64{0.5}, []float64{0}},
+		{[]float64{0.5}, []float64{math.Inf(1)}},
+		{[]float64{0.5}, nil},
+	} {
+		if _, err := New(g, c.k, c.r); err == nil {
+			t.Errorf("accepted k=%v r=%v", c.k, c.r)
+		}
+	}
+}
+
+func TestSimulateCertainChain(t *testing.T) {
+	// 0 -> 1 -> 2 with k=1: everything activates; times increase.
+	r := rng.New(1)
+	g := graph.Path(3)
+	m, err := New(g, []float64{1, 1}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := m.Simulate(r, []graph.NodeID{0}, 1e9)
+	if len(ep.Times) != 3 {
+		t.Fatalf("times = %v", ep.Times)
+	}
+	if !(ep.Times[0] == 0 && ep.Times[0] < ep.Times[1] && ep.Times[1] < ep.Times[2]) {
+		t.Fatalf("times not ordered: %v", ep.Times)
+	}
+}
+
+func TestSimulateTransmissionRate(t *testing.T) {
+	// Single edge, k = 0.3: activation frequency must match, and delays
+	// given activation must average 1/r.
+	r := rng.New(2)
+	g := graph.Path(2)
+	m, err := New(g, []float64{0.3}, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 50000
+	hits := 0
+	delaySum := 0.0
+	for i := 0; i < trials; i++ {
+		ep := m.Simulate(r, []graph.NodeID{0}, 1e9)
+		if tv, ok := ep.Times[1]; ok {
+			hits++
+			delaySum += tv
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("activation rate = %v", rate)
+	}
+	if mean := delaySum / float64(hits); math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("mean delay = %v want 0.25", mean)
+	}
+}
+
+func TestSimulateHorizonCensors(t *testing.T) {
+	r := rng.New(3)
+	g := graph.Path(2)
+	m, _ := New(g, []float64{1}, []float64{0.001}) // mean delay 1000
+	ep := m.Simulate(r, []graph.NodeID{0}, 1)
+	if _, ok := ep.Times[1]; ok && ep.Times[1] > 1 {
+		t.Fatalf("activation beyond horizon recorded: %v", ep.Times)
+	}
+}
+
+func TestLogLikelihoodHandValues(t *testing.T) {
+	_, sink, parents := fanIn(1)
+	k := []float64{0.5}
+	rr := []float64{2.0}
+	// Active at dt=1: density = k r e^{-r} = 0.5*2*e^{-2}; survival term
+	// of the causing parent divides out, so ll = ln(k r e^{-r dt}).
+	eps := []Episode{{Times: map[graph.NodeID]float64{0: 0, 1: 1}, Horizon: 10}}
+	want := math.Log(0.5 * 2 * math.Exp(-2))
+	if got := LogLikelihood(sink, parents, eps, k, rr); math.Abs(got-want) > 1e-12 {
+		t.Errorf("active ll = %v want %v", got, want)
+	}
+	// Censored at horizon 1: ll = ln((1-k) + k e^{-r}).
+	eps = []Episode{{Times: map[graph.NodeID]float64{0: 0}, Horizon: 1}}
+	want = math.Log(0.5 + 0.5*math.Exp(-2))
+	if got := LogLikelihood(sink, parents, eps, k, rr); math.Abs(got-want) > 1e-12 {
+		t.Errorf("censored ll = %v want %v", got, want)
+	}
+	// External arrival (no active parent): contributes nothing.
+	eps = []Episode{{Times: map[graph.NodeID]float64{1: 0.5}, Horizon: 1}}
+	if got := LogLikelihood(sink, parents, eps, k, rr); got != 0 {
+		t.Errorf("external ll = %v", got)
+	}
+}
+
+func TestLogLikelihoodTwoParents(t *testing.T) {
+	_, sink, parents := fanIn(2)
+	k := []float64{0.4, 0.7}
+	rr := []float64{1.0, 3.0}
+	// Parents at 0 and 0.5; sink at 1. Density =
+	// h0(1) S1(0.5) + h1(0.5) S0(1).
+	h0 := k[0] * rr[0] * math.Exp(-rr[0]*1)
+	h1 := k[1] * rr[1] * math.Exp(-rr[1]*0.5)
+	s0 := (1 - k[0]) + k[0]*math.Exp(-rr[0]*1)
+	s1 := (1 - k[1]) + k[1]*math.Exp(-rr[1]*0.5)
+	want := math.Log(h0*s1 + h1*s0)
+	eps := []Episode{{Times: map[graph.NodeID]float64{0: 0, 1: 0.5, 2: 1}, Horizon: 9}}
+	if got := LogLikelihood(sink, parents, eps, k, rr); math.Abs(got-want) > 1e-12 {
+		t.Errorf("two-parent ll = %v want %v", got, want)
+	}
+}
+
+func TestLikelihoodPeaksNearTruth(t *testing.T) {
+	// The log likelihood at the generating parameters should beat
+	// clearly wrong parameters on a large synthetic set.
+	r := rng.New(4)
+	g, sink, parents := fanIn(2)
+	truthK := []float64{0.6, 0.25}
+	truthR := []float64{2, 0.5}
+	m, err := New(g, truthK, truthR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eps []Episode
+	for i := 0; i < 3000; i++ {
+		eps = append(eps, m.Simulate(r, []graph.NodeID{0, 1}, 5))
+	}
+	atTruth := LogLikelihood(sink, parents, eps, truthK, truthR)
+	for _, wrong := range [][2][]float64{
+		{{0.1, 0.9}, truthR},
+		{truthK, []float64{0.2, 5}},
+	} {
+		if ll := LogLikelihood(sink, parents, eps, wrong[0], wrong[1]); ll >= atTruth {
+			t.Errorf("wrong params %v scored %v >= truth %v", wrong, ll, atTruth)
+		}
+	}
+}
+
+func TestLearnRecoversParameters(t *testing.T) {
+	r := rng.New(5)
+	g, sink, parents := fanIn(2)
+	truthK := []float64{0.7, 0.3}
+	truthR := []float64{3, 0.8}
+	m, err := New(g, truthK, truthR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eps []Episode
+	for i := 0; i < 1500; i++ {
+		// Randomise which parents participate so the likelihood can
+		// separate them.
+		var sources []graph.NodeID
+		for _, p := range parents {
+			if r.Bernoulli(0.7) {
+				sources = append(sources, p)
+			}
+		}
+		if len(sources) == 0 {
+			continue
+		}
+		eps = append(eps, m.Simulate(r, sources, 6))
+	}
+	opts := DefaultLearnOptions()
+	opts.BurnIn = 300
+	opts.Samples = 800
+	post, err := Learn(sink, parents, eps, opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range parents {
+		if math.Abs(post.KMean[j]-truthK[j]) > 0.09 {
+			t.Errorf("k[%d] = %v want %v", j, post.KMean[j], truthK[j])
+		}
+		if math.Abs(post.RMean[j]-truthR[j]) > 0.25*truthR[j]+0.1 {
+			t.Errorf("r[%d] = %v want %v", j, post.RMean[j], truthR[j])
+		}
+	}
+	if post.AcceptanceRate <= 0 || post.AcceptanceRate >= 1 {
+		t.Errorf("acceptance = %v", post.AcceptanceRate)
+	}
+	if len(post.KSamples) != opts.Samples {
+		t.Errorf("samples = %d", len(post.KSamples))
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	r := rng.New(6)
+	_, sink, parents := fanIn(1)
+	bad := DefaultLearnOptions()
+	bad.Samples = 0
+	if _, err := Learn(sink, parents, nil, bad, r); err == nil {
+		t.Error("bad options accepted")
+	}
+	if _, err := Learn(sink, nil, nil, DefaultLearnOptions(), r); err == nil {
+		t.Error("no parents accepted")
+	}
+}
+
+// TestDiscreteLimitAgreesWithICM: with very fast delays and horizon far
+// beyond them, the continuous model's activation frequency reduces to
+// the plain ICM's k.
+func TestDiscreteLimitAgreesWithICM(t *testing.T) {
+	r := rng.New(7)
+	g := graph.Path(3)
+	m, err := New(g, []float64{0.5, 0.4}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 40000
+	hit := 0
+	for i := 0; i < trials; i++ {
+		ep := m.Simulate(r, []graph.NodeID{0}, 1e6)
+		if _, ok := ep.Times[2]; ok {
+			hit++
+		}
+	}
+	got := float64(hit) / trials
+	if math.Abs(got-0.2) > 0.01 {
+		t.Errorf("end-to-end rate = %v want 0.2", got)
+	}
+}

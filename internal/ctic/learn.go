@@ -1,0 +1,169 @@
+package ctic
+
+import (
+	"fmt"
+	"math"
+
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// LearnOptions configures the Bayesian learner.
+type LearnOptions struct {
+	BurnIn  int     // discarded whole-vector sweeps
+	Thin    int     // sweeps between retained samples
+	Samples int     // retained posterior samples
+	StepK   float64 // random-walk width on transmission probabilities
+	StepR   float64 // multiplicative random-walk width on rates (log space)
+	// PriorK is the beta prior on each transmission probability.
+	PriorK dist.Beta
+	// PriorRShape/PriorRScale give a gamma prior on each rate.
+	PriorRShape, PriorRScale float64
+}
+
+// DefaultLearnOptions mixes well on per-sink problems with a handful of
+// parents.
+func DefaultLearnOptions() LearnOptions {
+	return LearnOptions{
+		BurnIn: 600, Thin: 5, Samples: 2000,
+		StepK: 0.08, StepR: 0.25,
+		PriorK:      dist.Uniform(),
+		PriorRShape: 1.5, PriorRScale: 2,
+	}
+}
+
+func (o LearnOptions) validate() error {
+	if o.BurnIn < 0 || o.Thin <= 0 || o.Samples <= 0 || o.StepK <= 0 || o.StepR <= 0 {
+		return fmt.Errorf("ctic: invalid options %+v", o)
+	}
+	if o.PriorRShape <= 0 || o.PriorRScale <= 0 {
+		return fmt.Errorf("ctic: invalid rate prior %+v", o)
+	}
+	return nil
+}
+
+// Posterior is the learner's output for one sink: per-parent samples and
+// summaries of both the transmission probabilities and the delay rates.
+type Posterior struct {
+	Parents []graph.NodeID
+	// KSamples[i][j] and RSamples[i][j] are the i-th retained sample.
+	KSamples, RSamples [][]float64
+	KMean, KStd        []float64
+	RMean, RStd        []float64
+	AcceptanceRate     float64
+}
+
+// Learn runs Metropolis-Hastings over one sink's (k, r) parameters under
+// the continuous-time likelihood: per step, one uniformly chosen
+// coordinate of one parameter block moves (gaussian walk for k, log-space
+// walk for r); a sweep is 2*len(parents) steps.
+func Learn(sink graph.NodeID, parents []graph.NodeID, eps []Episode, opts LearnOptions, r *rng.RNG) (*Posterior, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	nP := len(parents)
+	if nP == 0 {
+		return nil, fmt.Errorf("ctic: no parents for sink %d", sink)
+	}
+	k := make([]float64, nP)
+	rate := make([]float64, nP)
+	for j := range k {
+		k[j] = opts.PriorK.Mean()
+		rate[j] = opts.PriorRShape * opts.PriorRScale // prior mean
+	}
+	logPost := func() float64 {
+		lp := LogLikelihood(sink, parents, eps, k, rate)
+		if math.IsInf(lp, -1) {
+			return lp
+		}
+		for j := range k {
+			lp += opts.PriorK.LogPDF(k[j])
+			lp += dist.GammaLogPDF(rate[j]/opts.PriorRScale, opts.PriorRShape) - math.Log(opts.PriorRScale)
+		}
+		return lp
+	}
+	cur := logPost()
+	var proposed, accepted int64
+	step := func() {
+		j := r.Intn(nP)
+		proposed++
+		if r.Bernoulli(0.5) {
+			old := k[j]
+			k[j] = old + opts.StepK*r.Norm()
+			if k[j] <= 0 || k[j] >= 1 {
+				k[j] = old
+				return
+			}
+			cand := logPost()
+			if cand >= cur || r.Float64() < math.Exp(cand-cur) {
+				cur = cand
+				accepted++
+				return
+			}
+			k[j] = old
+		} else {
+			old := rate[j]
+			// Multiplicative walk: propose r' = r * e^(eps). The proposal
+			// is asymmetric in r, with Hastings correction q(r|r')/q(r'|r)
+			// = r'/r.
+			rate[j] = old * math.Exp(opts.StepR*r.Norm())
+			cand := logPost() + math.Log(rate[j]/old)
+			if cand >= cur || r.Float64() < math.Exp(cand-cur) {
+				cur = cand - math.Log(rate[j]/old)
+				accepted++
+				return
+			}
+			rate[j] = old
+		}
+	}
+	sweep := func() {
+		for i := 0; i < 2*nP; i++ {
+			step()
+		}
+	}
+	for i := 0; i < opts.BurnIn; i++ {
+		sweep()
+	}
+	post := &Posterior{Parents: append([]graph.NodeID(nil), parents...)}
+	kSum := make([]float64, nP)
+	kSq := make([]float64, nP)
+	rSum := make([]float64, nP)
+	rSq := make([]float64, nP)
+	for s := 0; s < opts.Samples; s++ {
+		for i := 0; i < opts.Thin; i++ {
+			sweep()
+		}
+		kRow := append([]float64(nil), k...)
+		rRow := append([]float64(nil), rate...)
+		post.KSamples = append(post.KSamples, kRow)
+		post.RSamples = append(post.RSamples, rRow)
+		for j := 0; j < nP; j++ {
+			kSum[j] += k[j]
+			kSq[j] += k[j] * k[j]
+			rSum[j] += rate[j]
+			rSq[j] += rate[j] * rate[j]
+		}
+	}
+	n := float64(opts.Samples)
+	post.KMean = make([]float64, nP)
+	post.KStd = make([]float64, nP)
+	post.RMean = make([]float64, nP)
+	post.RStd = make([]float64, nP)
+	for j := 0; j < nP; j++ {
+		post.KMean[j] = kSum[j] / n
+		post.RMean[j] = rSum[j] / n
+		kv := kSq[j]/n - post.KMean[j]*post.KMean[j]
+		rv := rSq[j]/n - post.RMean[j]*post.RMean[j]
+		if kv < 0 {
+			kv = 0
+		}
+		if rv < 0 {
+			rv = 0
+		}
+		post.KStd[j] = math.Sqrt(kv)
+		post.RStd[j] = math.Sqrt(rv)
+	}
+	post.AcceptanceRate = float64(accepted) / float64(proposed)
+	return post, nil
+}

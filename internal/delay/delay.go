@@ -1,0 +1,242 @@
+// Package delay implements the edge-latency extension sketched in the
+// paper's Discussion (§VI): "adding edge latency or delay before a
+// message is forwarded ... is trivially solved by assigning a delay
+// distribution to each edge, and sample from these distributions for
+// each sample from the posterior, i.e., assigning a weight to each edge
+// that represents a time, and running a shortest path algorithm."
+//
+// A DelayICM pairs an ICM with a delay distribution per edge. Each
+// sample realises edge activity (Bernoulli per edge, as in the ICM) and
+// a delay on every active edge, then computes earliest arrival times
+// from the sources by Dijkstra over the active edges. Information that
+// never arrives has arrival +Inf, so Pr[arrival < Inf] recovers the
+// ordinary flow probability — the consistency the tests pin down.
+package delay
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"infoflow/internal/core"
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// Dist is a non-negative delay distribution on one edge.
+type Dist interface {
+	// Sample draws one delay; implementations must return values >= 0.
+	Sample(r *rng.RNG) float64
+	// Mean returns the expected delay.
+	Mean() float64
+}
+
+// Constant is a deterministic delay.
+type Constant float64
+
+// Sample implements Dist.
+func (c Constant) Sample(*rng.RNG) float64 { return float64(c) }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// Exponential is an exponential delay with the given mean.
+type Exponential struct{ MeanDelay float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rng.RNG) float64 { return e.MeanDelay * r.Exp() }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.MeanDelay }
+
+// Gamma is a gamma-distributed delay (shape k, scale theta).
+type Gamma struct{ Shape, Scale float64 }
+
+// Sample implements Dist.
+func (g Gamma) Sample(r *rng.RNG) float64 { return dist.SampleGamma(r, g.Shape) * g.Scale }
+
+// Mean implements Dist.
+func (g Gamma) Mean() float64 { return g.Shape * g.Scale }
+
+// Uniform is a uniform delay on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rng.RNG) float64 { return r.Uniform(u.Lo, u.Hi) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// DelayICM is an ICM whose edges also carry delay distributions.
+type DelayICM struct {
+	M      *core.ICM
+	Delays []Dist // indexed by EdgeID
+}
+
+// New validates and wraps the model.
+func New(m *core.ICM, delays []Dist) (*DelayICM, error) {
+	if len(delays) != m.NumEdges() {
+		return nil, fmt.Errorf("delay: %d delay distributions for %d edges", len(delays), m.NumEdges())
+	}
+	for id, d := range delays {
+		if d == nil {
+			return nil, fmt.Errorf("delay: nil distribution on edge %d", id)
+		}
+		if d.Mean() < 0 {
+			return nil, fmt.Errorf("delay: negative mean delay on edge %d", id)
+		}
+	}
+	return &DelayICM{M: m, Delays: delays}, nil
+}
+
+// WithConstantDelay wraps an ICM with the same constant delay on every
+// edge — hop count scaled by d.
+func WithConstantDelay(m *core.ICM, d float64) *DelayICM {
+	delays := make([]Dist, m.NumEdges())
+	for i := range delays {
+		delays[i] = Constant(d)
+	}
+	dm, err := New(m, delays)
+	if err != nil {
+		panic(err) // unreachable: lengths match, constant is valid
+	}
+	return dm
+}
+
+// SampleArrivals realises one world (edge activity + delays) and returns
+// the earliest arrival time at every node from the given sources
+// (arrival 0 at sources, +Inf where the information never arrives).
+// Each edge's activity and delay are sampled at most once, on first
+// relaxation, which is distributionally identical to sampling the full
+// pseudo-state up front.
+func (d *DelayICM) SampleArrivals(r *rng.RNG, sources []graph.NodeID) []float64 {
+	n := d.M.NumNodes()
+	arrival := make([]float64, n)
+	for v := range arrival {
+		arrival[v] = math.Inf(1)
+	}
+	pq := &arrivalQueue{}
+	for _, s := range sources {
+		if arrival[s] > 0 {
+			arrival[s] = 0
+			heap.Push(pq, arrivalItem{node: s, time: 0})
+		}
+	}
+	// Edge state memo: 0 untried, 1 inactive, >1 encodes delay+2 via the
+	// slice below.
+	tried := make([]int8, d.M.NumEdges())
+	delays := make([]float64, d.M.NumEdges())
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(arrivalItem)
+		if it.time > arrival[it.node] {
+			continue // stale entry
+		}
+		for _, id := range d.M.G.OutEdges(it.node) {
+			switch tried[id] {
+			case 0:
+				if r.Bernoulli(d.M.P[id]) {
+					tried[id] = 2
+					delays[id] = d.Delays[id].Sample(r)
+				} else {
+					tried[id] = 1
+					continue
+				}
+			case 1:
+				continue
+			}
+			w := d.M.G.Edge(id).To
+			t := it.time + delays[id]
+			if t < arrival[w] {
+				arrival[w] = t
+				heap.Push(pq, arrivalItem{node: w, time: t})
+			}
+		}
+	}
+	return arrival
+}
+
+// ArrivalSamples draws nSamples worlds and returns the sink's arrival
+// time in each (+Inf when the flow never happens).
+func (d *DelayICM) ArrivalSamples(r *rng.RNG, source, sink graph.NodeID, nSamples int) []float64 {
+	if nSamples <= 0 {
+		panic("delay: non-positive sample count")
+	}
+	out := make([]float64, nSamples)
+	src := []graph.NodeID{source}
+	for i := range out {
+		out[i] = d.SampleArrivals(r, src)[sink]
+	}
+	return out
+}
+
+// ArrivalStats summarises arrival-time samples.
+type ArrivalStats struct {
+	// FlowProb is the fraction of worlds where the information arrived
+	// at all (finite arrival).
+	FlowProb float64
+	// MeanGivenArrival and Quantiles describe the arrival time
+	// conditioned on arrival; both are zero/empty when nothing arrived.
+	MeanGivenArrival float64
+	// Q10, Median, Q90 are arrival-time quantiles given arrival.
+	Q10, Median, Q90 float64
+	Samples          int
+}
+
+// Stats summarises a set of arrival samples (as produced by
+// ArrivalSamples).
+func Stats(samples []float64) ArrivalStats {
+	st := ArrivalStats{Samples: len(samples)}
+	finite := make([]float64, 0, len(samples))
+	for _, t := range samples {
+		if !math.IsInf(t, 1) {
+			finite = append(finite, t)
+		}
+	}
+	if len(samples) > 0 {
+		st.FlowProb = float64(len(finite)) / float64(len(samples))
+	}
+	if len(finite) == 0 {
+		return st
+	}
+	sum := 0.0
+	for _, t := range finite {
+		sum += t
+	}
+	st.MeanGivenArrival = sum / float64(len(finite))
+	qs := dist.Quantiles(finite, 0.1, 0.5, 0.9)
+	st.Q10, st.Median, st.Q90 = qs[0], qs[1], qs[2]
+	return st
+}
+
+// ProbArrivalWithin estimates Pr[information reaches sink within t] by
+// sampling.
+func (d *DelayICM) ProbArrivalWithin(r *rng.RNG, source, sink graph.NodeID, t float64, nSamples int) float64 {
+	hits := 0
+	for _, arr := range d.ArrivalSamples(r, source, sink, nSamples) {
+		if arr <= t {
+			hits++
+		}
+	}
+	return float64(hits) / float64(nSamples)
+}
+
+// arrivalQueue is a min-heap of tentative arrivals for Dijkstra.
+type arrivalItem struct {
+	node graph.NodeID
+	time float64
+}
+
+type arrivalQueue []arrivalItem
+
+func (q arrivalQueue) Len() int            { return len(q) }
+func (q arrivalQueue) Less(i, j int) bool  { return q[i].time < q[j].time }
+func (q arrivalQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *arrivalQueue) Push(x interface{}) { *q = append(*q, x.(arrivalItem)) }
+func (q *arrivalQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

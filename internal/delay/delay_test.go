@@ -1,0 +1,199 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestConstantDelayPathSums(t *testing.T) {
+	r := rng.New(1)
+	m := core.MustNewICM(graph.Path(4), []float64{1, 1, 1})
+	d := WithConstantDelay(m, 2.5)
+	arr := d.SampleArrivals(r, []graph.NodeID{0})
+	want := []float64{0, 2.5, 5, 7.5}
+	for v, w := range want {
+		if math.Abs(arr[v]-w) > 1e-12 {
+			t.Fatalf("arrival = %v", arr)
+		}
+	}
+}
+
+func TestShortestPathWins(t *testing.T) {
+	// Two certain routes 0->2: direct (delay 10) and via 1 (2 + 3).
+	r := rng.New(2)
+	g := graph.New(3)
+	e02 := g.MustAddEdge(0, 2)
+	e01 := g.MustAddEdge(0, 1)
+	e12 := g.MustAddEdge(1, 2)
+	m := core.MustNewICM(g, []float64{1, 1, 1})
+	delays := make([]Dist, 3)
+	delays[e02] = Constant(10)
+	delays[e01] = Constant(2)
+	delays[e12] = Constant(3)
+	d, err := New(m, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := d.SampleArrivals(r, []graph.NodeID{0})
+	if arr[2] != 5 {
+		t.Fatalf("arrival at 2 = %v, want 5 via the two-hop route", arr[2])
+	}
+}
+
+func TestUnreachableIsInfinite(t *testing.T) {
+	r := rng.New(3)
+	m := core.MustNewICM(graph.Path(3), []float64{0, 1})
+	d := WithConstantDelay(m, 1)
+	arr := d.SampleArrivals(r, []graph.NodeID{0})
+	if !math.IsInf(arr[1], 1) || !math.IsInf(arr[2], 1) {
+		t.Fatalf("arrivals = %v", arr)
+	}
+}
+
+// TestFlowProbConsistency: Pr[arrival finite] must equal the ordinary
+// ICM flow probability.
+func TestFlowProbConsistency(t *testing.T) {
+	r := rng.New(4)
+	g := graph.Random(r, 7, 16)
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	m := core.MustNewICM(g, p)
+	d := WithConstantDelay(m, 1)
+	exact := m.EnumFlowProb([]graph.NodeID{0}, 6)
+	samples := d.ArrivalSamples(r, 0, 6, 60000)
+	st := Stats(samples)
+	if math.Abs(st.FlowProb-exact) > 0.01 {
+		t.Errorf("Pr[arrival] = %v vs exact flow %v", st.FlowProb, exact)
+	}
+}
+
+func TestExponentialDelayMean(t *testing.T) {
+	// Certain 2-hop path with exponential delays: mean arrival = sum of
+	// means.
+	r := rng.New(5)
+	m := core.MustNewICM(graph.Path(3), []float64{1, 1})
+	delays := []Dist{Exponential{MeanDelay: 2}, Exponential{MeanDelay: 3}}
+	d, err := New(m, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(d.ArrivalSamples(r, 0, 2, 60000))
+	if st.FlowProb != 1 {
+		t.Fatalf("flow prob = %v", st.FlowProb)
+	}
+	if math.Abs(st.MeanGivenArrival-5) > 0.1 {
+		t.Errorf("mean arrival = %v want 5", st.MeanGivenArrival)
+	}
+	if !(st.Q10 < st.Median && st.Median < st.Q90) {
+		t.Errorf("quantiles not ordered: %+v", st)
+	}
+}
+
+func TestGammaAndUniformDelays(t *testing.T) {
+	r := rng.New(6)
+	m := core.MustNewICM(graph.Path(2), []float64{1})
+	for _, d := range []Dist{Gamma{Shape: 4, Scale: 0.5}, Uniform{Lo: 1, Hi: 3}} {
+		dm, err := New(m, []Dist{d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Stats(dm.ArrivalSamples(r, 0, 1, 40000))
+		if math.Abs(st.MeanGivenArrival-d.Mean()) > 0.05 {
+			t.Errorf("%T: mean arrival %v want %v", d, st.MeanGivenArrival, d.Mean())
+		}
+	}
+}
+
+func TestProbArrivalWithinMonotone(t *testing.T) {
+	r := rng.New(7)
+	m := core.MustNewICM(graph.Path(3), []float64{0.9, 0.9})
+	delays := []Dist{Exponential{MeanDelay: 1}, Exponential{MeanDelay: 1}}
+	d, err := New(m, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, horizon := range []float64{0.5, 1, 2, 4, 8, 1e9} {
+		p := d.ProbArrivalWithin(r, 0, 2, horizon, 30000)
+		if p < prev-0.01 {
+			t.Fatalf("CDF not monotone at %v: %v after %v", horizon, p, prev)
+		}
+		prev = p
+	}
+	// The infinite-horizon value is the flow probability 0.81.
+	if math.Abs(prev-0.81) > 0.01 {
+		t.Errorf("limit = %v want 0.81", prev)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := core.MustNewICM(graph.Path(2), []float64{0.5})
+	if _, err := New(m, nil); err == nil {
+		t.Error("wrong delay count accepted")
+	}
+	if _, err := New(m, []Dist{nil}); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := New(m, []Dist{Constant(-1)}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestStatsEmptyAndAllInf(t *testing.T) {
+	st := Stats(nil)
+	if st.FlowProb != 0 || st.Samples != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	st = Stats([]float64{math.Inf(1), math.Inf(1)})
+	if st.FlowProb != 0 || st.MeanGivenArrival != 0 {
+		t.Fatalf("all-inf stats = %+v", st)
+	}
+}
+
+// TestLazyEdgeSamplingUnbiased: the tried-once lazy sampling must give
+// the same activation statistics as independent pseudo-states (the edge
+// used by two different Dijkstra relaxations keeps one realised state).
+func TestLazyEdgeSamplingUnbiased(t *testing.T) {
+	r := rng.New(8)
+	// Diamond: 0->1, 0->2, 1->3, 2->3; flow prob to 3 known by enum.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	m := core.MustNewICM(g, []float64{0.6, 0.6, 0.5, 0.5})
+	exact := m.EnumFlowProb([]graph.NodeID{0}, 3)
+	d := WithConstantDelay(m, 1)
+	st := Stats(d.ArrivalSamples(r, 0, 3, 80000))
+	if math.Abs(st.FlowProb-exact) > 0.01 {
+		t.Errorf("lazy sampling flow %v vs exact %v", st.FlowProb, exact)
+	}
+}
+
+func BenchmarkSampleArrivals(b *testing.B) {
+	r := rng.New(9)
+	g := graph.Random(r, 2000, 8000)
+	p := make([]float64, 8000)
+	for i := range p {
+		p[i] = r.Float64() * 0.3
+	}
+	m := core.MustNewICM(g, p)
+	delays := make([]Dist, 8000)
+	for i := range delays {
+		delays[i] = Exponential{MeanDelay: 1}
+	}
+	d, err := New(m, delays)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.SampleArrivals(r, []graph.NodeID{0})
+	}
+}

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"infoflow/internal/rng"
+)
+
+// Beta is a Beta(Alpha, Beta) distribution on [0,1]. In the paper, a beta
+// distribution on each edge of a betaICM captures both the activation
+// probability estimate (its mean) and the uncertainty of that estimate
+// (its spread).
+type Beta struct {
+	Alpha, Beta float64
+}
+
+// NewBeta returns a Beta distribution, panicking on non-positive shapes.
+func NewBeta(alpha, beta float64) Beta {
+	if alpha <= 0 || beta <= 0 {
+		panic(fmt.Sprintf("dist: Beta shapes must be positive, got (%v,%v)", alpha, beta))
+	}
+	return Beta{Alpha: alpha, Beta: beta}
+}
+
+// Uniform returns the Beta(1,1) distribution, the uninformative prior used
+// to initialise betaICM training.
+func Uniform() Beta { return Beta{1, 1} }
+
+// Mean returns α/(α+β).
+func (d Beta) Mean() float64 { return d.Alpha / (d.Alpha + d.Beta) }
+
+// Var returns the variance αβ/((α+β)²(α+β+1)).
+func (d Beta) Var() float64 {
+	s := d.Alpha + d.Beta
+	return d.Alpha * d.Beta / (s * s * (s + 1))
+}
+
+// StdDev returns the standard deviation.
+func (d Beta) StdDev() float64 { return math.Sqrt(d.Var()) }
+
+// Mode returns the mode for α,β > 1; for other shapes it returns the mean
+// as a stable representative point.
+func (d Beta) Mode() float64 {
+	if d.Alpha > 1 && d.Beta > 1 {
+		return (d.Alpha - 1) / (d.Alpha + d.Beta - 2)
+	}
+	return d.Mean()
+}
+
+// LogPDF returns the log density at x.
+func (d Beta) LogPDF(x float64) float64 {
+	if x < 0 || x > 1 {
+		return math.Inf(-1)
+	}
+	if x == 0 {
+		switch {
+		case d.Alpha < 1:
+			return math.Inf(1)
+		case d.Alpha > 1:
+			return math.Inf(-1)
+		default: // alpha == 1: density is beta*(1-x)^(beta-1) at 0
+			return (d.Beta-1)*math.Log1p(-x) - LogBeta(d.Alpha, d.Beta)
+		}
+	}
+	if x == 1 {
+		switch {
+		case d.Beta < 1:
+			return math.Inf(1)
+		case d.Beta > 1:
+			return math.Inf(-1)
+		default: // beta == 1: density is alpha*x^(alpha-1) at 1
+			return -LogBeta(d.Alpha, d.Beta)
+		}
+	}
+	return (d.Alpha-1)*math.Log(x) + (d.Beta-1)*math.Log1p(-x) - LogBeta(d.Alpha, d.Beta)
+}
+
+// PDF returns the density at x.
+func (d Beta) PDF(x float64) float64 { return math.Exp(d.LogPDF(x)) }
+
+// CDF returns P(X <= x).
+func (d Beta) CDF(x float64) float64 { return RegIncBeta(x, d.Alpha, d.Beta) }
+
+// Quantile returns the p-quantile.
+func (d Beta) Quantile(p float64) float64 { return InvRegIncBeta(p, d.Alpha, d.Beta) }
+
+// ConfidenceInterval returns the equal-tailed interval containing the
+// given probability mass, e.g. level=0.95 gives the central 95% interval
+// used throughout the paper's bucket experiments.
+func (d Beta) ConfidenceInterval(level float64) (lo, hi float64) {
+	tail := (1 - level) / 2
+	return d.Quantile(tail), d.Quantile(1 - tail)
+}
+
+// Sample draws one variate using two gamma variates: X = G_a/(G_a+G_b).
+func (d Beta) Sample(r *rng.RNG) float64 {
+	ga := SampleGamma(r, d.Alpha)
+	gb := SampleGamma(r, d.Beta)
+	if ga == 0 && gb == 0 {
+		return 0.5
+	}
+	return ga / (ga + gb)
+}
+
+// Observe returns the posterior after observing a Bernoulli outcome:
+// success increments α, failure increments β. This is exactly step 2 of
+// the betaICM training procedure in §II-A of the paper.
+func (d Beta) Observe(success bool) Beta {
+	if success {
+		return Beta{d.Alpha + 1, d.Beta}
+	}
+	return Beta{d.Alpha, d.Beta + 1}
+}
+
+// ObserveCounts returns the posterior after s successes and f failures.
+func (d Beta) ObserveCounts(s, f int) Beta {
+	return Beta{d.Alpha + float64(s), d.Beta + float64(f)}
+}
+
+// FitBetaMoments returns the Beta distribution whose mean and variance
+// match the given values (method of moments). The variance must satisfy
+// 0 < v < m(1-m); values outside are clamped to the nearest valid shape
+// to keep downstream sampling robust on degenerate empirical inputs.
+func FitBetaMoments(mean, variance float64) Beta {
+	const minShape = 1e-3
+	if mean <= 0 {
+		mean = 1e-9
+	}
+	if mean >= 1 {
+		mean = 1 - 1e-9
+	}
+	maxVar := mean * (1 - mean)
+	if variance >= maxVar {
+		variance = maxVar * 0.999999
+	}
+	if variance <= 0 {
+		// Nearly a point mass: use a sharp but finite concentration.
+		variance = maxVar * 1e-9
+	}
+	k := mean*(1-mean)/variance - 1
+	a := mean * k
+	b := (1 - mean) * k
+	if a < minShape {
+		a = minShape
+	}
+	if b < minShape {
+		b = minShape
+	}
+	return Beta{a, b}
+}
+
+// String implements fmt.Stringer.
+func (d Beta) String() string {
+	return fmt.Sprintf("Beta(%.4g, %.4g)", d.Alpha, d.Beta)
+}

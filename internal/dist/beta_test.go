@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestBetaMoments(t *testing.T) {
+	d := NewBeta(3, 7)
+	if !almostEqual(d.Mean(), 0.3, 1e-12) {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	wantVar := 3.0 * 7.0 / (100.0 * 11.0)
+	if !almostEqual(d.Var(), wantVar, 1e-12) {
+		t.Errorf("var = %v want %v", d.Var(), wantVar)
+	}
+}
+
+func TestBetaMode(t *testing.T) {
+	if got := NewBeta(3, 5).Mode(); !almostEqual(got, 2.0/6.0, 1e-12) {
+		t.Errorf("mode = %v", got)
+	}
+	// Degenerate shapes fall back to the mean.
+	if got := NewBeta(1, 5).Mode(); !almostEqual(got, NewBeta(1, 5).Mean(), 1e-12) {
+		t.Errorf("fallback mode = %v", got)
+	}
+}
+
+func TestBetaPDFIntegratesToOne(t *testing.T) {
+	for _, d := range []Beta{NewBeta(1, 1), NewBeta(2, 5), NewBeta(9, 3), NewBeta(0.5, 0.5)} {
+		// Trapezoidal integration, excluding singular endpoints for
+		// shapes < 1.
+		const n = 200000
+		sum := 0.0
+		for i := 1; i < n; i++ {
+			x := float64(i) / n
+			sum += d.PDF(x)
+		}
+		integral := sum / n
+		if math.Abs(integral-1) > 0.01 {
+			t.Errorf("%v integrates to %v", d, integral)
+		}
+	}
+}
+
+func TestBetaPDFMatchesCDFDerivative(t *testing.T) {
+	d := NewBeta(4, 6)
+	const h = 1e-6
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		numeric := (d.CDF(x+h) - d.CDF(x-h)) / (2 * h)
+		if !almostEqual(numeric, d.PDF(x), 1e-4) {
+			t.Errorf("pdf(%v) = %v, cdf slope %v", x, d.PDF(x), numeric)
+		}
+	}
+}
+
+func TestBetaSampleMoments(t *testing.T) {
+	r := rng.New(21)
+	for _, d := range []Beta{NewBeta(2, 2), NewBeta(1, 9), NewBeta(16, 4), NewBeta(0.5, 1.5)} {
+		const n = 100000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Sample(r)
+			if xs[i] < 0 || xs[i] > 1 {
+				t.Fatalf("%v sample out of range: %v", d, xs[i])
+			}
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean-d.Mean()) > 0.01 {
+			t.Errorf("%v sample mean = %v want %v", d, s.Mean, d.Mean())
+		}
+		if math.Abs(s.Variance-d.Var()) > 0.005 {
+			t.Errorf("%v sample var = %v want %v", d, s.Variance, d.Var())
+		}
+	}
+}
+
+func TestBetaSampleMatchesCDF(t *testing.T) {
+	// Kolmogorov-Smirnov style check: empirical CDF close to analytic.
+	r := rng.New(22)
+	d := NewBeta(5, 2)
+	const n = 50000
+	for _, x := range []float64{0.3, 0.6, 0.8, 0.95} {
+		count := 0
+		rr := rng.New(22)
+		_ = r
+		for i := 0; i < n; i++ {
+			if d.Sample(rr) <= x {
+				count++
+			}
+		}
+		emp := float64(count) / n
+		if math.Abs(emp-d.CDF(x)) > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v, analytic %v", x, emp, d.CDF(x))
+		}
+	}
+}
+
+func TestBetaConfidenceInterval(t *testing.T) {
+	d := NewBeta(10, 30)
+	lo, hi := d.ConfidenceInterval(0.95)
+	if lo >= hi {
+		t.Fatalf("lo %v >= hi %v", lo, hi)
+	}
+	if !almostEqual(d.CDF(hi)-d.CDF(lo), 0.95, 1e-6) {
+		t.Errorf("interval mass = %v", d.CDF(hi)-d.CDF(lo))
+	}
+	mean := d.Mean()
+	if mean < lo || mean > hi {
+		t.Errorf("mean %v outside CI [%v,%v]", mean, lo, hi)
+	}
+}
+
+func TestBetaObserve(t *testing.T) {
+	d := Uniform()
+	d = d.Observe(true).Observe(true).Observe(false)
+	if d.Alpha != 3 || d.Beta != 2 {
+		t.Fatalf("got %v, want Beta(3,2)", d)
+	}
+	d2 := Uniform().ObserveCounts(2, 1)
+	if d2 != d {
+		t.Fatalf("ObserveCounts mismatch: %v vs %v", d2, d)
+	}
+}
+
+func TestFitBetaMomentsRoundTrip(t *testing.T) {
+	err := quick.Check(func(ar, br uint16) bool {
+		a := float64(ar%200)/10 + 0.5
+		b := float64(br%200)/10 + 0.5
+		orig := NewBeta(a, b)
+		fit := FitBetaMoments(orig.Mean(), orig.Var())
+		return almostEqual(fit.Alpha, a, 1e-6) && almostEqual(fit.Beta, b, 1e-6)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitBetaMomentsDegenerate(t *testing.T) {
+	// Excessive variance and zero variance must still produce valid shapes.
+	for _, c := range []struct{ m, v float64 }{
+		{0.5, 0.9}, {0.5, 0}, {0, 0.1}, {1, 0.1}, {0.3, 0.3},
+	} {
+		d := FitBetaMoments(c.m, c.v)
+		if d.Alpha <= 0 || d.Beta <= 0 || math.IsNaN(d.Alpha) || math.IsNaN(d.Beta) {
+			t.Errorf("FitBetaMoments(%v,%v) = %v invalid", c.m, c.v, d)
+		}
+	}
+}
+
+func TestNewBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBeta(0,1) did not panic")
+		}
+	}()
+	NewBeta(0, 1)
+}
+
+func TestBetaQuantileMedianOfSymmetric(t *testing.T) {
+	for _, a := range []float64{1, 2, 8, 50} {
+		d := NewBeta(a, a)
+		if got := d.Quantile(0.5); !almostEqual(got, 0.5, 1e-9) {
+			t.Errorf("median of Beta(%v,%v) = %v", a, a, got)
+		}
+	}
+}
+
+func TestBetaLogPDFEdges(t *testing.T) {
+	if v := NewBeta(2, 2).LogPDF(0); !math.IsInf(v, -1) {
+		t.Errorf("logpdf(0) for alpha>1 = %v", v)
+	}
+	if v := NewBeta(1, 1).LogPDF(0); v != 0 {
+		t.Errorf("uniform logpdf(0) = %v", v)
+	}
+	if v := NewBeta(2, 2).LogPDF(-0.1); !math.IsInf(v, -1) {
+		t.Errorf("logpdf outside support = %v", v)
+	}
+}

@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"infoflow/internal/rng"
+)
+
+// Binomial is a Binomial(N, P) distribution: the number of successes in N
+// independent Bernoulli(P) trials. The paper's unattributed learner
+// replaces a set of Bernoulli variables with one Binomial per evidence
+// characteristic (its "summary"), which this type supports.
+type Binomial struct {
+	N int
+	P float64
+}
+
+// NewBinomial returns a Binomial distribution, validating parameters.
+func NewBinomial(n int, p float64) Binomial {
+	if n < 0 {
+		panic(fmt.Sprintf("dist: Binomial with negative n=%d", n))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("dist: Binomial with p=%v outside [0,1]", p))
+	}
+	return Binomial{N: n, P: p}
+}
+
+// Mean returns N*P.
+func (d Binomial) Mean() float64 { return float64(d.N) * d.P }
+
+// Var returns N*P*(1-P).
+func (d Binomial) Var() float64 { return float64(d.N) * d.P * (1 - d.P) }
+
+// LogPMF returns ln P(X = k).
+func (d Binomial) LogPMF(k int) float64 {
+	if k < 0 || k > d.N {
+		return math.Inf(-1)
+	}
+	if d.P == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if d.P == 1 {
+		if k == d.N {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogChoose(d.N, k) + float64(k)*math.Log(d.P) + float64(d.N-k)*math.Log1p(-d.P)
+}
+
+// PMF returns P(X = k).
+func (d Binomial) PMF(k int) float64 { return math.Exp(d.LogPMF(k)) }
+
+// CDF returns P(X <= k) via the regularized incomplete beta identity
+// P(X <= k) = I_{1-p}(n-k, k+1).
+func (d Binomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= d.N {
+		return 1
+	}
+	if d.P == 0 {
+		return 1
+	}
+	if d.P == 1 {
+		return 0
+	}
+	return RegIncBeta(1-d.P, float64(d.N-k), float64(k+1))
+}
+
+// Sample draws one variate. For small N it sums Bernoulli trials; for
+// large N it uses CDF inversion from a uniform via sequential search
+// starting at the mode, which is O(sqrt(N*P*(1-P))) expected steps.
+func (d Binomial) Sample(r *rng.RNG) int {
+	if d.N <= 32 {
+		k := 0
+		for i := 0; i < d.N; i++ {
+			if r.Bernoulli(d.P) {
+				k++
+			}
+		}
+		return k
+	}
+	// Inversion by sequential search over the PMF recurrence, starting at 0
+	// when p is small (mass concentrated low) and with the complement when
+	// p is large, to bound the expected number of steps.
+	if d.P > 0.5 {
+		flipped := Binomial{N: d.N, P: 1 - d.P}
+		return d.N - flipped.Sample(r)
+	}
+	u := r.Float64()
+	// pmf(0) = (1-p)^n computed in log space to avoid underflow.
+	logPMF := float64(d.N) * math.Log1p(-d.P)
+	pmf := math.Exp(logPMF)
+	cdf := pmf
+	k := 0
+	for u > cdf && k < d.N {
+		// pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+		pmf *= float64(d.N-k) / float64(k+1) * d.P / (1 - d.P)
+		k++
+		cdf += pmf
+		if pmf == 0 {
+			// Deep underflow in an extreme tail; remaining mass is
+			// negligible, accept current k.
+			break
+		}
+	}
+	return k
+}
+
+// String implements fmt.Stringer.
+func (d Binomial) String() string {
+	return fmt.Sprintf("Binomial(%d, %.4g)", d.N, d.P)
+}

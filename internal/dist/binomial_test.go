@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, d := range []Binomial{
+		NewBinomial(10, 0.3), NewBinomial(1, 0.5), NewBinomial(100, 0.07),
+		NewBinomial(50, 0.99), NewBinomial(5, 0), NewBinomial(5, 1),
+	} {
+		sum := 0.0
+		for k := 0; k <= d.N; k++ {
+			sum += d.PMF(k)
+		}
+		if !almostEqual(sum, 1, 1e-10) {
+			t.Errorf("%v PMF sums to %v", d, sum)
+		}
+	}
+}
+
+func TestBinomialPMFKnown(t *testing.T) {
+	d := NewBinomial(4, 0.5)
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		if got := d.PMF(k); !almostEqual(got, w, 1e-12) {
+			t.Errorf("PMF(%d) = %v want %v", k, got, w)
+		}
+	}
+}
+
+func TestBinomialCDFMatchesPMFSum(t *testing.T) {
+	err := quick.Check(func(nr uint8, pr uint16) bool {
+		n := int(nr%60) + 1
+		p := float64(pr%1001) / 1000
+		d := NewBinomial(n, p)
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += d.PMF(k)
+			if !almostEqual(d.CDF(k), sum, 1e-8) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialSampleMoments(t *testing.T) {
+	r := rng.New(31)
+	for _, d := range []Binomial{
+		NewBinomial(10, 0.3),   // small-N path
+		NewBinomial(500, 0.02), // inversion path, small p
+		NewBinomial(500, 0.97), // flipped path
+	} {
+		const trials = 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			k := d.Sample(r)
+			if k < 0 || k > d.N {
+				t.Fatalf("%v sample out of range: %d", d, k)
+			}
+			sum += float64(k)
+			sumSq += float64(k) * float64(k)
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		if math.Abs(mean-d.Mean()) > 0.05*math.Max(1, d.Mean()) {
+			t.Errorf("%v sample mean = %v want %v", d, mean, d.Mean())
+		}
+		if math.Abs(variance-d.Var()) > 0.1*math.Max(1, d.Var()) {
+			t.Errorf("%v sample var = %v want %v", d, variance, d.Var())
+		}
+	}
+}
+
+func TestBinomialDegenerate(t *testing.T) {
+	r := rng.New(32)
+	if k := NewBinomial(40, 0).Sample(r); k != 0 {
+		t.Errorf("Binomial(40,0) sampled %d", k)
+	}
+	if k := NewBinomial(40, 1).Sample(r); k != 40 {
+		t.Errorf("Binomial(40,1) sampled %d", k)
+	}
+	if v := NewBinomial(5, 0).LogPMF(0); v != 0 {
+		t.Errorf("logpmf = %v", v)
+	}
+	if v := NewBinomial(5, 0).LogPMF(1); !math.IsInf(v, -1) {
+		t.Errorf("logpmf = %v", v)
+	}
+}
+
+func TestBinomialValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBinomial(-1, 0.5) },
+		func() { NewBinomial(5, -0.1) },
+		func() { NewBinomial(5, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,51 @@
+package dist
+
+import (
+	"math"
+
+	"infoflow/internal/rng"
+)
+
+// SampleGamma draws a Gamma(shape, 1) variate using the Marsaglia-Tsang
+// squeeze method, with the standard boost for shape < 1.
+func SampleGamma(r *rng.RNG, shape float64) float64 {
+	if shape <= 0 {
+		panic("dist: SampleGamma with non-positive shape")
+	}
+	if shape < 1 {
+		// G(a) = G(a+1) * U^{1/a}
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return SampleGamma(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Norm()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// GammaLogPDF returns the log density of Gamma(shape, 1) at x.
+func GammaLogPDF(x, shape float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return (shape-1)*math.Log(x) - x - LogGamma(shape)
+}

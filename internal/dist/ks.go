@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov-Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of xs and ys.
+// It quantifies how close two sampled distributions are — used by the
+// Figure 3 style comparisons between nested-MH flow distributions and
+// empirical betas.
+func KSStatistic(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, fmt.Errorf("dist: KS needs non-empty samples")
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	maxDiff := 0.0
+	for i < len(a) && j < len(b) {
+		var step float64
+		if a[i] <= b[j] {
+			step = a[i]
+		} else {
+			step = b[j]
+		}
+		for i < len(a) && a[i] <= step {
+			i++
+		}
+		for j < len(b) && b[j] <= step {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	return maxDiff, nil
+}
+
+// KSAgainstCDF returns the one-sample KS statistic of xs against an
+// analytic CDF.
+func KSAgainstCDF(xs []float64, cdf func(float64) float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("dist: KS needs a non-empty sample")
+	}
+	a := append([]float64(nil), xs...)
+	sort.Float64s(a)
+	n := float64(len(a))
+	maxDiff := 0.0
+	for i, x := range a {
+		f := cdf(x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > maxDiff {
+			maxDiff = lo
+		}
+		if hi > maxDiff {
+			maxDiff = hi
+		}
+	}
+	return maxDiff, nil
+}

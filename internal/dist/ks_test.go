@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"testing"
+
+	"infoflow/internal/rng"
+)
+
+func TestKSSameDistributionSmall(t *testing.T) {
+	r := rng.New(60)
+	d := NewBeta(3, 5)
+	xs := make([]float64, 5000)
+	ys := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+		ys[i] = d.Sample(r)
+	}
+	ks, err := KSStatistic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical value at alpha=0.001 for n=m=5000 is ~0.039.
+	if ks > 0.04 {
+		t.Errorf("same-distribution KS = %v", ks)
+	}
+}
+
+func TestKSDifferentDistributionsLarge(t *testing.T) {
+	r := rng.New(61)
+	a := NewBeta(2, 8)
+	b := NewBeta(8, 2)
+	xs := make([]float64, 3000)
+	ys := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = a.Sample(r)
+		ys[i] = b.Sample(r)
+	}
+	ks, err := KSStatistic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks < 0.5 {
+		t.Errorf("disjoint-ish distributions KS = %v", ks)
+	}
+}
+
+func TestKSExactSmallCase(t *testing.T) {
+	// xs = {1}, ys = {2}: CDFs differ by 1 between the points.
+	ks, err := KSStatistic([]float64{1}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != 1 {
+		t.Errorf("KS = %v want 1", ks)
+	}
+	ks, err = KSStatistic([]float64{1, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != 0 {
+		t.Errorf("identical samples KS = %v", ks)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSStatistic(nil, []float64{1}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := KSAgainstCDF(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestKSAgainstCDF(t *testing.T) {
+	r := rng.New(62)
+	d := NewBeta(4, 2)
+	xs := make([]float64, 8000)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	ks, err := KSAgainstCDF(xs, d.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-sample critical value at alpha=0.001 for n=8000 ~ 0.022.
+	if ks > 0.025 {
+		t.Errorf("matching CDF KS = %v", ks)
+	}
+	// Against the wrong CDF the statistic must blow up.
+	wrong := NewBeta(1, 6)
+	ks, err = KSAgainstCDF(xs, wrong.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks < 0.4 {
+		t.Errorf("mismatched CDF KS = %v", ks)
+	}
+}

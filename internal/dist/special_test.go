@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestLogBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{1, 1, 0},                 // B(1,1)=1
+		{2, 2, math.Log(1.0 / 6)}, // B(2,2)=1/6
+		{5, 1, math.Log(1.0 / 5)}, // B(5,1)=1/5
+		{2, 3, math.Log(1.0 / 12)},
+		{0.5, 0.5, math.Log(math.Pi)}, // B(1/2,1/2)=pi
+	}
+	for _, c := range cases {
+		if got := LogBeta(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("LogBeta(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LogChoose(c.n, c.k); !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("LogChoose out of range should be -Inf")
+	}
+}
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := RegIncBeta(0, 2, 3); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := RegIncBeta(1, 2, 3); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+}
+
+func TestRegIncBetaUniform(t *testing.T) {
+	// Beta(1,1) CDF is the identity.
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.77, 0.99} {
+		if got := RegIncBeta(x, 1, 1); !almostEqual(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// Beta(2,1) CDF is x^2; Beta(1,2) CDF is 1-(1-x)^2 = 2x - x^2.
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.9} {
+		if got := RegIncBeta(x, 2, 1); !almostEqual(got, x*x, 1e-12) {
+			t.Errorf("I_%v(2,1) = %v, want %v", x, got, x*x)
+		}
+		want := 2*x - x*x
+		if got := RegIncBeta(x, 1, 2); !almostEqual(got, want, 1e-12) {
+			t.Errorf("I_%v(1,2) = %v, want %v", x, got, want)
+		}
+	}
+	// Symmetric case: I_0.5(a,a) = 0.5 for any a.
+	for _, a := range []float64{0.5, 1, 3, 17, 200} {
+		if got := RegIncBeta(0.5, a, a); !almostEqual(got, 0.5, 1e-10) {
+			t.Errorf("I_0.5(%v,%v) = %v", a, a, got)
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a)
+	err := quick.Check(func(xr, ar, br uint16) bool {
+		x := float64(xr%999+1) / 1000
+		a := float64(ar%500)/10 + 0.1
+		b := float64(br%500)/10 + 0.1
+		lhs := RegIncBeta(x, a, b)
+		rhs := 1 - RegIncBeta(1-x, b, a)
+		return almostEqual(lhs, rhs, 1e-9)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaMonotone(t *testing.T) {
+	for _, shapes := range [][2]float64{{2, 5}, {0.7, 0.7}, {30, 4}, {100, 100}} {
+		prev := -1.0
+		for x := 0.0; x <= 1.0001; x += 0.01 {
+			v := RegIncBeta(math.Min(x, 1), shapes[0], shapes[1])
+			if v < prev-1e-12 {
+				t.Fatalf("CDF not monotone at x=%v for shapes %v", x, shapes)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestInvRegIncBetaRoundTrip(t *testing.T) {
+	err := quick.Check(func(pr, ar, br uint16) bool {
+		p := float64(pr%998+1) / 1000
+		a := float64(ar%300)/10 + 0.2
+		b := float64(br%300)/10 + 0.2
+		x := InvRegIncBeta(p, a, b)
+		if x < 0 || x > 1 {
+			return false
+		}
+		return almostEqual(RegIncBeta(x, a, b), p, 1e-8)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvRegIncBetaBoundaries(t *testing.T) {
+	if InvRegIncBeta(0, 3, 4) != 0 {
+		t.Error("quantile(0) != 0")
+	}
+	if InvRegIncBeta(1, 3, 4) != 1 {
+		t.Error("quantile(1) != 1")
+	}
+}
+
+func TestRegIncBetaLargeShapes(t *testing.T) {
+	// With huge symmetric shapes, mass concentrates at 0.5.
+	if got := RegIncBeta(0.49, 5000, 5000); got > 0.05 {
+		t.Errorf("I_0.49(5000,5000) = %v, want near 0", got)
+	}
+	if got := RegIncBeta(0.51, 5000, 5000); got < 0.95 {
+		t.Errorf("I_0.51(5000,5000) = %v, want near 1", got)
+	}
+}
+
+func TestErfApproxCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := ErfApproxCDF(c.x); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Phi(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

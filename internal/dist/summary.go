@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample set. It is the common
+// currency between the samplers (which produce slices of flow
+// probabilities, impact counts, etc.) and the experiment reports.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs. An empty slice yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+	}
+	return s
+}
+
+// StdDev returns the sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.N))
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev(), s.Min, s.Max)
+}
+
+// Quantile returns the p-quantile of xs by linear interpolation on the
+// sorted sample. xs is not modified. It panics on an empty slice.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("dist: Quantile of empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+// Quantiles returns the quantiles of xs at each of ps, sorting once.
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("dist: Quantiles of empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = quantileSorted(sorted, p)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FitBetaToSamples fits a Beta distribution to samples in [0,1] by the
+// method of moments, the construction used for the dashed curve in the
+// paper's Figure 3.
+func FitBetaToSamples(xs []float64) Beta {
+	s := Summarize(xs)
+	if s.N < 2 {
+		return Uniform()
+	}
+	return FitBetaMoments(s.Mean, s.Variance)
+}
+
+// Histogram counts xs into nBins equal-width bins over [lo,hi]. Values
+// outside the range are clamped into the end bins. It returns the counts
+// and the bin edges (nBins+1 values).
+func Histogram(xs []float64, lo, hi float64, nBins int) (counts []int, edges []float64) {
+	if nBins <= 0 {
+		panic("dist: Histogram with non-positive bin count")
+	}
+	if hi <= lo {
+		panic("dist: Histogram with empty range")
+	}
+	counts = make([]int, nBins)
+	edges = make([]float64, nBins+1)
+	width := (hi - lo) / float64(nBins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// IntHistogram counts non-negative integers into unit-width bins
+// [0..max], used for the paper's Figure 4 retweet-count histograms.
+func IntHistogram(xs []int) []int {
+	maxV := 0
+	for _, x := range xs {
+		if x < 0 {
+			panic("dist: IntHistogram with negative value")
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	counts := make([]int, maxV+1)
+	for _, x := range xs {
+		counts[x]++
+	}
+	return counts
+}

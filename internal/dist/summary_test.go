@@ -1,0 +1,194 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEqual(s.Variance, 2.5, 1e-12) {
+		t.Fatalf("variance = %v", s.Variance)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Variance != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInvariance(t *testing.T) {
+	r := rng.New(41)
+	err := quick.Check(func(n uint8) bool {
+		m := int(n%50) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Float64()*10 - 5
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Variance >= 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilesConsistent(t *testing.T) {
+	xs := []float64{9, 2, 7, 4, 6, 1}
+	qs := Quantiles(xs, 0.1, 0.5, 0.9)
+	for i, p := range []float64{0.1, 0.5, 0.9} {
+		if qs[i] != Quantile(xs, p) {
+			t.Errorf("Quantiles[%d] = %v, Quantile = %v", i, qs[i], Quantile(xs, p))
+		}
+	}
+	if !(qs[0] <= qs[1] && qs[1] <= qs[2]) {
+		t.Errorf("quantiles not ordered: %v", qs)
+	}
+}
+
+func TestFitBetaToSamplesRecovers(t *testing.T) {
+	r := rng.New(42)
+	truth := NewBeta(6, 14)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = truth.Sample(r)
+	}
+	fit := FitBetaToSamples(xs)
+	if math.Abs(fit.Mean()-truth.Mean()) > 0.01 {
+		t.Errorf("fit mean %v, truth %v", fit.Mean(), truth.Mean())
+	}
+	if math.Abs(fit.Alpha-truth.Alpha) > 1.0 {
+		t.Errorf("fit alpha %v, truth %v", fit.Alpha, truth.Alpha)
+	}
+}
+
+func TestFitBetaToSamplesSmall(t *testing.T) {
+	if d := FitBetaToSamples([]float64{0.5}); d != Uniform() {
+		t.Errorf("1-sample fit = %v, want uniform", d)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0.05, 0.15, 0.95, -1, 2}, 0, 1, 10)
+	if len(counts) != 10 || len(edges) != 11 {
+		t.Fatalf("lengths %d %d", len(counts), len(edges))
+	}
+	if counts[0] != 2 { // 0.05 and clamped -1
+		t.Errorf("bin0 = %d", counts[0])
+	}
+	if counts[1] != 1 || counts[9] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := IntHistogram([]int{0, 0, 3, 1})
+	want := []int{2, 1, 0, 1}
+	if len(h) != len(want) {
+		t.Fatalf("len = %d", len(h))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("h = %v", h)
+		}
+	}
+}
+
+func TestSummaryStdErr(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	want := s.StdDev() / 2
+	if !almostEqual(s.StdErr(), want, 1e-12) {
+		t.Errorf("stderr = %v want %v", s.StdErr(), want)
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	r := rng.New(43)
+	for _, shape := range []float64{0.5, 1, 2.5, 16} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := SampleGamma(r, shape)
+			if v < 0 {
+				t.Fatalf("negative gamma sample %v", v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.05*math.Max(1, shape) {
+			t.Errorf("Gamma(%v) sample mean = %v", shape, mean)
+		}
+	}
+}
+
+func TestNormalCDFAndSample(t *testing.T) {
+	d := NewNormal(2, 3)
+	if !almostEqual(d.CDF(2), 0.5, 1e-12) {
+		t.Errorf("CDF at mean = %v", d.CDF(2))
+	}
+	r := rng.New(44)
+	const n = 100000
+	sum, inUnit := 0.0, 0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+		u := NewNormal(0.5, 0.2).SampleUnit(r)
+		if u >= 0 && u <= 1 {
+			inUnit++
+		}
+	}
+	if math.Abs(sum/n-2) > 0.05 {
+		t.Errorf("sample mean = %v", sum/n)
+	}
+	if inUnit != n {
+		t.Errorf("SampleUnit out of range %d times", n-inUnit)
+	}
+}
+
+func TestNormalZeroSigma(t *testing.T) {
+	d := NewNormal(0.3, 0)
+	if d.CDF(0.2) != 0 || d.CDF(0.4) != 1 {
+		t.Error("degenerate CDF wrong")
+	}
+	r := rng.New(45)
+	if v := d.Sample(r); v != 0.3 {
+		t.Errorf("degenerate sample = %v", v)
+	}
+}

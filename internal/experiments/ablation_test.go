@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestAblation(t *testing.T) {
+	res, err := Ablation(AblationSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III-C design claim: the weighted proposal accepts more and, at an
+	// identical budget, estimates at least as accurately.
+	if res.WeightedAcceptance <= res.UniformAcceptance {
+		t.Errorf("weighted acceptance %v <= uniform %v",
+			res.WeightedAcceptance, res.UniformAcceptance)
+	}
+	if res.WeightedMAE > res.UniformMAE*1.5 {
+		t.Errorf("weighted MAE %v much worse than uniform %v",
+			res.WeightedMAE, res.UniformMAE)
+	}
+	// §V-D: omitting the omnipotent user increases flow probabilities.
+	if res.MeanFlowNoOmni < res.MeanFlowWithOmni {
+		t.Errorf("no-omnipotent mean flow %v below with-omnipotent %v",
+			res.MeanFlowNoOmni, res.MeanFlowWithOmni)
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}

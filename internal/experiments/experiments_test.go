@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run every driver at Small scale and assert the
+// SHAPE claims of the paper: who wins, what is calibrated, what degrades.
+
+func TestFig1Calibrated(t *testing.T) {
+	res, err := Fig1(Fig1Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analysis.NonEmpty < 3 {
+		t.Fatalf("only %d non-empty bins", res.Analysis.NonEmpty)
+	}
+	// The paper's claim: estimates predominantly within the 95% CI.
+	if res.Analysis.Coverage < 0.7 {
+		t.Errorf("MH coverage = %v, expected well-calibrated", res.Analysis.Coverage)
+	}
+	if res.All.Brier > 0.25 {
+		t.Errorf("MH Brier = %v, too poor", res.All.Brier)
+	}
+	if !strings.Contains(res.String(), "Figure 1") {
+		t.Error("report missing title")
+	}
+}
+
+func TestFig5RWRWorseThanMH(t *testing.T) {
+	mhRes, err := Fig1(Fig1Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rwrRes, err := Fig5(Fig5Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §IV-E: RWR is a similarity, not a probability — clearly worse
+	// calibration and accuracy than the MH estimates.
+	if rwrRes.All.Brier <= mhRes.All.Brier {
+		t.Errorf("RWR Brier %v <= MH Brier %v", rwrRes.All.Brier, mhRes.All.Brier)
+	}
+	if rwrRes.All.NormalisedLikelihood >= mhRes.All.NormalisedLikelihood {
+		t.Errorf("RWR NL %v >= MH NL %v",
+			rwrRes.All.NormalisedLikelihood, mhRes.All.NormalisedLikelihood)
+	}
+	if rwrRes.Analysis.Coverage >= mhRes.Analysis.Coverage {
+		t.Errorf("RWR coverage %v >= MH coverage %v",
+			rwrRes.Analysis.Coverage, mhRes.Analysis.Coverage)
+	}
+}
+
+func TestFig2CellsProduced(t *testing.T) {
+	res, err := Fig2(Fig2Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) < 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range res.Cells {
+		seen[[2]int{c.Radius, c.KnownFlows}] = true
+		if c.Pairs == 0 {
+			t.Errorf("cell r%d c%d empty", c.Radius, c.KnownFlows)
+		}
+		// Trained-model estimates should beat coin-flipping.
+		if c.All.Brier > 0.3 {
+			t.Errorf("cell r%d c%d Brier = %v", c.Radius, c.KnownFlows, c.All.Brier)
+		}
+	}
+	if !seen[[2]int{1, 0}] || !seen[[2]int{2, 0}] {
+		t.Errorf("missing unconditioned radius cells: %v", seen)
+	}
+	if res.RecoveredOriginals == 0 {
+		t.Error("preprocessing recovered no originals despite drops")
+	}
+}
+
+func TestFig3UncertaintyMirrored(t *testing.T) {
+	res, err := Fig3(Fig3Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	for _, p := range res.Pairs {
+		if len(p.ModelSamples) == 0 {
+			t.Fatal("no model samples")
+		}
+		// §IV-D claim: the model mirrors the uncertainty in the evidence
+		// — means should be in the same region.
+		diff := p.ModelFit.Mean() - p.Empirical.Mean()
+		if diff < -0.35 || diff > 0.35 {
+			t.Errorf("pair %d->%d: model mean %v far from empirical %v",
+				p.Source, p.Sink, p.ModelFit.Mean(), p.Empirical.Mean())
+		}
+	}
+}
+
+func TestFig4ImpactShapes(t *testing.T) {
+	res, err := Fig4(Fig4Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predicted) == 0 || len(res.Actual) == 0 {
+		t.Fatal("empty histograms")
+	}
+	if res.PredictedMean < 0 || res.ActualMean < 0 {
+		t.Fatal("negative means")
+	}
+	// §IV-D: the sampler predicts a similar RANGE of impact (we don't
+	// assert the overestimation the paper attributes to its data
+	// collection, only that the prediction is in the same regime).
+	if res.PredictedMean > 10*(res.ActualMean+1) {
+		t.Errorf("predicted mean %v wildly above actual %v", res.PredictedMean, res.ActualMean)
+	}
+	if !strings.Contains(res.String(), "retweets") {
+		t.Error("report missing content")
+	}
+}
+
+func TestFig6TimingSane(t *testing.T) {
+	res, err := Fig6(Fig6Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.OursCore <= 0 || p.GoyalCore <= 0 || p.Summarise <= 0 {
+			t.Errorf("non-positive durations: %+v", p)
+		}
+		// omega = O(min(2^n, objects)).
+		maxOmega := 1 << p.Case.Parents
+		if p.UniqueCharacteristics > maxOmega || p.UniqueCharacteristics > p.Case.Objects {
+			t.Errorf("omega = %d out of bounds", p.UniqueCharacteristics)
+		}
+	}
+}
+
+func TestFig7OursBeatsGoyalWithEvidence(t *testing.T) {
+	res, err := Fig7(Fig7Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != len(Fig7Truths) {
+		t.Fatalf("panels = %d", len(res.Panels))
+	}
+	for pi, panel := range res.Panels {
+		last := panel.Points[len(panel.Points)-1]
+		first := panel.Points[0]
+		// Our method refines with evidence.
+		if last.Ours >= first.Ours {
+			t.Errorf("panel %d: ours did not improve (%v -> %v)", pi, first.Ours, last.Ours)
+		}
+		// At high evidence, ours clearly beats Goyal (whose bias floors
+		// its accuracy) on every panel.
+		if last.Ours >= last.Goyal {
+			t.Errorf("panel %d at %d objects: ours %v >= goyal %v",
+				pi, last.Objects, last.Ours, last.Goyal)
+		}
+		if last.OursCILo > last.OursCIHi {
+			t.Errorf("panel %d: inverted CI", pi)
+		}
+	}
+}
+
+func TestFig8vs9URLsEasierThanHashtags(t *testing.T) {
+	urls, err := RunTag(Fig8Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags, err := RunTag(Fig9Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ourBrier := func(r *TagResult) (float64, bool) {
+		for _, c := range r.Cells {
+			if c.Method == "ours" {
+				return c.All.Brier, true
+			}
+		}
+		return 0, false
+	}
+	ub, ok1 := ourBrier(urls)
+	hb, ok2 := ourBrier(tags)
+	if !ok1 || !ok2 {
+		t.Fatalf("missing ours cells: urls %v tags %v", ok1, ok2)
+	}
+	// §V-D: substantially poorer performance at predicting hashtag flows
+	// (they enter the network at many independent points).
+	if hb <= ub {
+		t.Errorf("hashtag Brier %v <= URL Brier %v; expected hashtags harder", hb, ub)
+	}
+}
+
+func TestFig8OursVsGoyal(t *testing.T) {
+	res, err := RunTag(Fig8Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ours, goyal *TagCell
+	for i := range res.Cells {
+		switch res.Cells[i].Method {
+		case "ours":
+			ours = &res.Cells[i]
+		case "goyal":
+			goyal = &res.Cells[i]
+		}
+	}
+	if ours == nil || goyal == nil {
+		t.Fatal("missing method cells")
+	}
+	// §V-D: "in practice our model for learning edge probabilities is
+	// more accurate". Per the paper's Table III discussion, the
+	// informative comparison is over MIDDLE values: Goyal's zero
+	// estimates on no-evidence edges flood the all-values metric with
+	// trivially correct negatives (the paper saw the same wash-out).
+	if ours.Middle.NormalisedLikelihood <= goyal.Middle.NormalisedLikelihood {
+		t.Errorf("ours middle NL %v <= goyal middle NL %v",
+			ours.Middle.NormalisedLikelihood, goyal.Middle.NormalisedLikelihood)
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	res, err := Fig10(Fig10Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 || res.Graphs != Fig10Small().Graphs {
+		t.Fatalf("pairs=%d graphs=%d", res.Pairs, res.Graphs)
+	}
+	if !strings.Contains(res.String(), "Figure 10") {
+		t.Error("report missing title")
+	}
+}
+
+func TestFig11EMScattersBayesCharacterises(t *testing.T) {
+	res, err := Fig11(Fig11Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EM) != Fig11Small().Restarts || len(res.Bayes) != Fig11Small().BayesSamples {
+		t.Fatalf("sizes: em=%d bayes=%d", len(res.EM), len(res.Bayes))
+	}
+	emSpread := spread(res.EM)
+	wide := false
+	for _, s := range emSpread {
+		if s > 0.1 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Errorf("budgeted EM restarts did not scatter: %v", emSpread)
+	}
+	for _, row := range res.Bayes {
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("posterior sample out of range: %v", row)
+			}
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "*") {
+		t.Error("scatter plots empty")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	t1 := TableI().String()
+	if !strings.Contains(t1, "B,C") || !strings.Contains(t1, "50") {
+		t.Errorf("Table I rendering:\n%s", t1)
+	}
+	t2 := TableII().String()
+	if !strings.Contains(t2, "A,B,C") || !strings.Contains(t2, "75") {
+		t.Errorf("Table II rendering:\n%s", t2)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range Registry() {
+		if r.Name == "" || r.Description == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if names[r.Name] {
+			t.Fatalf("duplicate runner %s", r.Name)
+		}
+		names[r.Name] = true
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3", "ablation"} {
+		if !names[want] {
+			t.Errorf("missing runner %s", want)
+		}
+	}
+	if _, ok := Lookup("fig1"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("lookup invented a runner")
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"infoflow/internal/dist"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+	"infoflow/internal/twitter"
+)
+
+// Fig3Config parameterises the uncertainty experiment (§IV-D, Fig. 3):
+// does the nested-MH distribution over flow probabilities from the
+// trained betaICM match the empirical beta distribution observed in the
+// evidence itself?
+type Fig3Config struct {
+	Seed      uint64
+	Twitter   twitter.Config
+	TrainFrac float64
+	// Pairs is how many (source, sink) pairs to examine (paper shows 2).
+	Pairs int
+	// Models is the number of ICMs sampled from the betaICM (paper:
+	// ~100).
+	Models int
+	MH     mh.Options
+}
+
+// Fig3Paper returns the paper-scale configuration.
+func Fig3Paper() Fig3Config {
+	return Fig3Config{
+		Seed: 3, Twitter: twitter.DefaultConfig(), TrainFrac: 0.7,
+		Pairs: 2, Models: 100,
+		MH: mh.Options{BurnIn: 500, Thin: 30, Samples: 300},
+	}
+}
+
+// Fig3Small returns a fast configuration for tests.
+func Fig3Small() Fig3Config {
+	c := Fig3Paper()
+	tw := twitter.DefaultConfig()
+	tw.NumUsers = 250
+	tw.NumTweets = 800
+	tw.NumHashtags = 0
+	tw.NumURLs = 0
+	c.Twitter = tw
+	c.Models = 40
+	c.MH = mh.Options{BurnIn: 200, Thin: 20, Samples: 200}
+	return c
+}
+
+// Fig3Pair is one panel: a direct source->sink relationship, the
+// empirical beta over the retweet rate in training data, and the
+// nested-MH sample of flow probabilities from the trained model.
+type Fig3Pair struct {
+	Source, Sink twitter.UserID
+	// Empirical is Beta(1+successes, 1+failures) counted directly from
+	// the training cascades where Source was active.
+	Empirical dist.Beta
+	// ModelSamples are the nested-MH flow probabilities.
+	ModelSamples []float64
+	// ModelFit is a beta moment-matched to ModelSamples (the paper's
+	// dashed curve).
+	ModelFit dist.Beta
+}
+
+// Fig3Result collects the pairs.
+type Fig3Result struct {
+	Pairs []Fig3Pair
+}
+
+// String reports, per pair, the empirical and model distributions.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: uncertainty captured by the trained betaICM\n")
+	for _, p := range r.Pairs {
+		s := dist.Summarize(p.ModelSamples)
+		fmt.Fprintf(&b, "pair %d->%d: empirical %v (mean %.3f sd %.3f); model samples mean %.3f sd %.3f; fit %v\n",
+			p.Source, p.Sink, p.Empirical, p.Empirical.Mean(), p.Empirical.StdDev(),
+			s.Mean, s.StdDev(), p.ModelFit)
+	}
+	return b.String()
+}
+
+// Fig3 runs the experiment: pick frequent tweeters with a directly
+// connected sink, compare empirical vs nested-MH distributions.
+func Fig3(cfg Fig3Config) (*Fig3Result, error) {
+	r := rng.New(cfg.Seed)
+	lab, err := NewTwitterLab(cfg.Twitter, cfg.TrainFrac, r)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{}
+	for _, focus := range lab.Dataset.InterestingUsers(cfg.Pairs * 4) {
+		if len(res.Pairs) == cfg.Pairs {
+			break
+		}
+		children := lab.RealFlow.Children(focus)
+		if len(children) == 0 {
+			continue
+		}
+		sink := children[r.Intn(len(children))]
+		// Empirical rate: over training cascades with focus active, did
+		// sink activate?
+		succ, fail := 0, 0
+		for i := 0; i < lab.TrainCut; i++ {
+			obj := lab.Dataset.Retweets[i]
+			if _, ok := obj.ActiveTime[focus]; !ok {
+				continue
+			}
+			if _, ok := obj.ActiveTime[sink]; ok {
+				succ++
+			} else {
+				fail++
+			}
+		}
+		if succ+fail < 5 {
+			continue // not enough direct evidence to compare against
+		}
+		empirical := dist.Uniform().ObserveCounts(succ, fail)
+		// Nested MH on the radius-2 sub-model around the focus.
+		nodes := lab.RealFlow.NodesWithinUndirected(focus, 2)
+		sub, _, toNew := lab.Trained.Subgraph(nodes)
+		if toNew[sink] < 0 {
+			continue
+		}
+		samples, err := mh.NestedFlowProb(sub, toNew[focus], toNew[sink], nil, cfg.Models, cfg.MH, r)
+		if err != nil {
+			return nil, err
+		}
+		res.Pairs = append(res.Pairs, Fig3Pair{
+			Source:       focus,
+			Sink:         sink,
+			Empirical:    empirical,
+			ModelSamples: samples,
+			ModelFit:     dist.FitBetaToSamples(samples),
+		})
+	}
+	if len(res.Pairs) == 0 {
+		return nil, fmt.Errorf("fig3: no source/sink pair with enough direct evidence")
+	}
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"infoflow/internal/dist"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+	"infoflow/internal/twitter"
+)
+
+// Fig4Config parameterises the impact experiment (§IV-D, Fig. 4):
+// compare the trained model's predicted distribution of retweet counts
+// for a user's tweets against the counts observed in held-out data.
+type Fig4Config struct {
+	Seed      uint64
+	Twitter   twitter.Config
+	TrainFrac float64
+	// Models is the number of ICMs sampled from the betaICM for the
+	// posterior predictive.
+	Models int
+	// Radius bounds the sub-graph around the focus user.
+	Radius int
+	MH     mh.Options
+}
+
+// Fig4Paper returns the paper-scale configuration.
+func Fig4Paper() Fig4Config {
+	return Fig4Config{
+		Seed: 4, Twitter: twitter.DefaultConfig(), TrainFrac: 0.7,
+		// Radius 6 effectively covers a hub's whole reachable set; a
+		// tighter radius truncates the predicted impact of exactly the
+		// high-impact users the experiment focuses on.
+		Models: 40, Radius: 6,
+		MH: mh.Options{BurnIn: 500, Thin: 40, Samples: 250},
+	}
+}
+
+// Fig4Small returns a fast configuration for tests.
+func Fig4Small() Fig4Config {
+	c := Fig4Paper()
+	tw := twitter.DefaultConfig()
+	tw.NumUsers = 250
+	tw.NumTweets = 800
+	tw.NumHashtags = 0
+	tw.NumURLs = 0
+	c.Twitter = tw
+	c.Models = 15
+	c.MH = mh.Options{BurnIn: 200, Thin: 20, Samples: 150}
+	return c
+}
+
+// Fig4Result holds the two histograms of Figure 4.
+type Fig4Result struct {
+	Focus twitter.UserID
+	// Predicted[k] counts predicted impacts of k retweeting users.
+	Predicted []int
+	// Actual[k] counts held-out cascades with k retweeting users.
+	Actual []int
+	// PredictedMean and ActualMean summarise the histograms.
+	PredictedMean, ActualMean float64
+}
+
+// String renders both histograms side by side on a log-style scale.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: impact of tweets by %s (number of retweeting users)\n",
+		twitter.FormatUser(r.Focus))
+	maxLen := len(r.Predicted)
+	if len(r.Actual) > maxLen {
+		maxLen = len(r.Actual)
+	}
+	fmt.Fprintf(&b, "%9s %12s %12s\n", "retweets", "predicted", "actual")
+	for k := 0; k < maxLen; k++ {
+		p, a := 0, 0
+		if k < len(r.Predicted) {
+			p = r.Predicted[k]
+		}
+		if k < len(r.Actual) {
+			a = r.Actual[k]
+		}
+		fmt.Fprintf(&b, "%9d %12d %12d\n", k, p, a)
+	}
+	fmt.Fprintf(&b, "means: predicted %.3f, actual %.3f\n", r.PredictedMean, r.ActualMean)
+	return b.String()
+}
+
+// Fig4 runs the experiment on the most active user with held-out
+// cascades.
+func Fig4(cfg Fig4Config) (*Fig4Result, error) {
+	r := rng.New(cfg.Seed)
+	lab, err := NewTwitterLab(cfg.Twitter, cfg.TrainFrac, r)
+	if err != nil {
+		return nil, err
+	}
+	var focus twitter.UserID = -1
+	var actualImpacts []int
+	for _, u := range lab.Dataset.InterestingUsers(20) {
+		objs := lab.TestCascadesFrom(u)
+		if len(objs) < 3 {
+			continue
+		}
+		focus = u
+		for _, obj := range objs {
+			actualImpacts = append(actualImpacts, len(obj.ActiveTime)-1)
+		}
+		break
+	}
+	if focus < 0 {
+		return nil, fmt.Errorf("fig4: no focus user with held-out cascades")
+	}
+	nodes := lab.RealFlow.NodesWithinUndirected(focus, cfg.Radius)
+	sub, _, toNew := lab.Trained.Subgraph(nodes)
+	predicted, err := mh.NestedImpact(sub, []twitter.UserID{toNew[focus]}, cfg.Models, cfg.MH, r)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{
+		Focus:     focus,
+		Predicted: dist.IntHistogram(predicted),
+		Actual:    dist.IntHistogram(actualImpacts),
+	}
+	res.PredictedMean = meanOfInts(predicted)
+	res.ActualMean = meanOfInts(actualImpacts)
+	return res, nil
+}
+
+func meanOfInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}

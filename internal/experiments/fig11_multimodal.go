@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"infoflow/internal/rng"
+	"infoflow/internal/unattrib"
+)
+
+// Fig11Config parameterises the EM-versus-Bayes comparison of the
+// Appendix (Fig. 11) on the Table II evidence.
+type Fig11Config struct {
+	Seed uint64
+	// Restarts is the number of random EM restarts (paper: 1000).
+	Restarts int
+	// EMIters is the fixed EM budget (paper: 200).
+	EMIters int
+	// BayesSamples is the number of MCMC posterior samples (paper: 1000).
+	BayesSamples int
+}
+
+// Fig11Paper returns the paper-scale configuration.
+func Fig11Paper() Fig11Config {
+	return Fig11Config{Seed: 11, Restarts: 1000, EMIters: 200, BayesSamples: 1000}
+}
+
+// Fig11Small returns a fast configuration for tests.
+func Fig11Small() Fig11Config {
+	return Fig11Config{Seed: 11, Restarts: 150, EMIters: 60, BayesSamples: 400}
+}
+
+// Fig11Result holds both point clouds over (A, B) and (A, C).
+type Fig11Result struct {
+	// EM[i] is the converged-or-budget-stopped estimate of restart i:
+	// [A, B, C].
+	EM [][]float64
+	// Bayes[i] is one posterior sample: [A, B, C].
+	Bayes [][]float64
+}
+
+// String renders ASCII scatter plots of both clouds, matching the
+// Figure 11 panels (B vs A and A vs C), plus spread statistics.
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 11: Saito EM restarts vs joint-Bayes MCMC on Table II\n")
+	b.WriteString("EM restarts (fixed budget), B vs A:\n")
+	b.WriteString(scatter(r.EM, 0, 1))
+	b.WriteString("EM restarts (fixed budget), A vs C:\n")
+	b.WriteString(scatter(r.EM, 2, 0))
+	b.WriteString("joint-Bayes MCMC samples, B vs A:\n")
+	b.WriteString(scatter(r.Bayes, 0, 1))
+	b.WriteString("joint-Bayes MCMC samples, A vs C:\n")
+	b.WriteString(scatter(r.Bayes, 2, 0))
+	fmt.Fprintf(&b, "EM spread (max-min per coord): %v\nBayes spread: %v\n",
+		spread(r.EM), spread(r.Bayes))
+	return b.String()
+}
+
+// scatter renders points (rows[i][xIdx], rows[i][yIdx]) on a 30x12 grid
+// over [0, 0.6] x [0, 0.6], the axis range of the paper's panels.
+func scatter(rows [][]float64, xIdx, yIdx int) string {
+	const (
+		w, h = 30, 12
+		span = 0.6
+	)
+	grid := make([][]rune, h)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(".", w))
+	}
+	for _, row := range rows {
+		x := int(row[xIdx] / span * float64(w))
+		y := int(row[yIdx] / span * float64(h))
+		if x < 0 || y < 0 || x >= w || y >= h {
+			continue
+		}
+		grid[h-1-y][x] = '*'
+	}
+	var b strings.Builder
+	for _, line := range grid {
+		b.WriteString("  ")
+		b.WriteString(string(line))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func spread(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	n := len(rows[0])
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	copy(lo, rows[0])
+	copy(hi, rows[0])
+	for _, row := range rows {
+		for j, v := range row {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	out := make([]float64, n)
+	for j := range out {
+		out[j] = hi[j] - lo[j]
+	}
+	return out
+}
+
+// Fig11 runs both procedures on the Table II summary.
+func Fig11(cfg Fig11Config) (*Fig11Result, error) {
+	r := rng.New(cfg.Seed)
+	table := unattrib.TableII()
+	em, err := unattrib.SaitoRelaxedRestarts(table, cfg.Restarts,
+		unattrib.SaitoOptions{MaxIter: cfg.EMIters, Tol: 1e-12}, r)
+	if err != nil {
+		return nil, err
+	}
+	opts := unattrib.DefaultBayesOptions()
+	opts.Samples = cfg.BayesSamples
+	post, err := unattrib.JointBayes(table, opts, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{EM: em, Bayes: post.Samples}, nil
+}

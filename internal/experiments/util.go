@@ -1,0 +1,9 @@
+package experiments
+
+import "infoflow/internal/dist"
+
+// quantile is a thin alias over dist.Quantile for readability in the
+// drivers.
+func quantile(xs []float64, p float64) float64 {
+	return dist.Quantile(xs, p)
+}

@@ -1,0 +1,120 @@
+// Package fenwick implements a Fenwick (binary indexed) tree over
+// non-negative float64 weights with O(log n) point updates and O(log n)
+// weighted sampling.
+//
+// This is the "search tree" of §III-C of the paper: the
+// Metropolis-Hastings proposal selects an edge from a multinomial
+// distribution whose weights change by one entry per step, so the chain
+// needs a structure supporting both update and sample in logarithmic
+// time, including maintenance of the normalizing constant Z.
+package fenwick
+
+import (
+	"fmt"
+
+	"infoflow/internal/rng"
+)
+
+// Tree is a weighted-sampling Fenwick tree. The zero value is unusable;
+// construct with New.
+type Tree struct {
+	n       int
+	sums    []float64 // 1-based partial sums, sums[i] covers (i-lowbit(i), i]
+	weights []float64 // current weight of each index, 0-based
+	total   float64
+}
+
+// New builds a tree over the given weights. Weights must be
+// non-negative; the slice is copied.
+func New(weights []float64) *Tree {
+	t := &Tree{
+		n:       len(weights),
+		sums:    make([]float64, len(weights)+1),
+		weights: make([]float64, len(weights)),
+	}
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("fenwick: negative weight %v at %d", w, i))
+		}
+		t.weights[i] = w
+		t.total += w
+	}
+	// O(n) bulk build.
+	for i := 1; i <= t.n; i++ {
+		t.sums[i] += t.weights[i-1]
+		if j := i + (i & -i); j <= t.n {
+			t.sums[j] += t.sums[i]
+		}
+	}
+	return t
+}
+
+// Len returns the number of indices.
+func (t *Tree) Len() int { return t.n }
+
+// Total returns the sum of all weights (the normalizing constant Z).
+func (t *Tree) Total() float64 { return t.total }
+
+// Weight returns the weight at index i.
+func (t *Tree) Weight(i int) float64 { return t.weights[i] }
+
+// Set changes the weight at index i to w.
+func (t *Tree) Set(i int, w float64) {
+	if w < 0 {
+		panic(fmt.Sprintf("fenwick: negative weight %v at %d", w, i))
+	}
+	delta := w - t.weights[i]
+	t.weights[i] = w
+	t.total += delta
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.sums[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of weights over indices [0, i].
+func (t *Tree) PrefixSum(i int) float64 {
+	s := 0.0
+	for j := i + 1; j > 0; j -= j & -j {
+		s += t.sums[j]
+	}
+	return s
+}
+
+// Sample draws an index with probability proportional to its weight. It
+// panics if the total weight is not positive.
+func (t *Tree) Sample(r *rng.RNG) int {
+	if t.total <= 0 {
+		panic("fenwick: sampling from empty distribution")
+	}
+	return t.Find(r.Float64() * t.total)
+}
+
+// Find returns the smallest index i such that PrefixSum(i) > target,
+// clamped to the last positive-weight index. It runs in O(log n) by
+// descending the implicit tree.
+func (t *Tree) Find(target float64) int {
+	idx := 0 // 1-based position before the answer
+	// Largest power of two <= n.
+	bit := 1
+	for bit<<1 <= t.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= t.n && t.sums[next] <= target {
+			idx = next
+			target -= t.sums[next]
+		}
+	}
+	if idx >= t.n {
+		// target >= total due to floating-point roundoff: return the last
+		// index with positive weight.
+		for i := t.n - 1; i >= 0; i-- {
+			if t.weights[i] > 0 {
+				return i
+			}
+		}
+		panic("fenwick: no positive weights")
+	}
+	return idx
+}

@@ -1,0 +1,196 @@
+package fenwick
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestBuildAndPrefixSums(t *testing.T) {
+	tr := New([]float64{1, 2, 3, 4})
+	if tr.Total() != 10 {
+		t.Fatalf("total = %v", tr.Total())
+	}
+	wants := []float64{1, 3, 6, 10}
+	for i, w := range wants {
+		if got := tr.PrefixSum(i); got != w {
+			t.Fatalf("prefix(%d) = %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestSetUpdates(t *testing.T) {
+	tr := New([]float64{1, 1, 1})
+	tr.Set(1, 5)
+	if tr.Total() != 7 {
+		t.Fatalf("total = %v", tr.Total())
+	}
+	if tr.Weight(1) != 5 {
+		t.Fatalf("weight = %v", tr.Weight(1))
+	}
+	if got := tr.PrefixSum(1); got != 6 {
+		t.Fatalf("prefix(1) = %v", got)
+	}
+	tr.Set(1, 0)
+	if tr.Total() != 2 || tr.PrefixSum(2) != 2 {
+		t.Fatal("zeroing failed")
+	}
+}
+
+func TestFindBoundaries(t *testing.T) {
+	tr := New([]float64{2, 0, 3})
+	cases := []struct {
+		target float64
+		want   int
+	}{
+		{0, 0}, {1.999, 0}, {2, 2}, {4.999, 2},
+	}
+	for _, c := range cases {
+		if got := tr.Find(c.target); got != c.want {
+			t.Errorf("Find(%v) = %d want %d", c.target, got, c.want)
+		}
+	}
+	// Roundoff overshoot clamps to last positive index.
+	if got := tr.Find(5.0); got != 2 {
+		t.Errorf("Find(total) = %d", got)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	r := rng.New(7)
+	weights := []float64{1, 0, 3, 6}
+	tr := New(weights)
+	const trials = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[tr.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[1])
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestSampleAfterUpdates(t *testing.T) {
+	r := rng.New(8)
+	tr := New([]float64{1, 1, 1, 1})
+	tr.Set(0, 0)
+	tr.Set(3, 2)
+	const trials = 100000
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		counts[tr.Sample(r)]++
+	}
+	if counts[0] != 0 {
+		t.Fatal("sampled zeroed index")
+	}
+	if got := float64(counts[3]) / trials; math.Abs(got-0.5) > 0.01 {
+		t.Errorf("index 3 frequency = %v", got)
+	}
+}
+
+func TestPrefixSumMatchesNaive(t *testing.T) {
+	err := quick.Check(func(seed uint16, nRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw%64) + 1
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64() * 10
+		}
+		tr := New(weights)
+		// Random updates.
+		for k := 0; k < 10; k++ {
+			i := r.Intn(n)
+			w := r.Float64() * 5
+			weights[i] = w
+			tr.Set(i, w)
+		}
+		sum := 0.0
+		for i, w := range weights {
+			sum += w
+			if math.Abs(tr.PrefixSum(i)-sum) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(tr.Total()-sum) < 1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindIsInverseOfPrefixSum(t *testing.T) {
+	err := quick.Check(func(seed uint16, nRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		n := int(nRaw%32) + 1
+		weights := make([]float64, n)
+		for i := range weights {
+			if r.Bernoulli(0.7) {
+				weights[i] = r.Float64()*4 + 0.01
+			}
+		}
+		tr := New(weights)
+		if tr.Total() <= 0 {
+			return true
+		}
+		for k := 0; k < 20; k++ {
+			target := r.Float64() * tr.Total()
+			i := tr.Find(target)
+			// Invariant: prefix(i-1) <= target < prefix(i), with weight>0.
+			if weights[i] <= 0 {
+				return false
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = tr.PrefixSum(i - 1)
+			}
+			if !(lo <= target+1e-9 && target < tr.PrefixSum(i)+1e-9) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative weight")
+		}
+	}()
+	New([]float64{1, -1})
+}
+
+func TestEmptySamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic sampling zero-total tree")
+		}
+	}()
+	New([]float64{0, 0}).Sample(rng.New(1))
+}
+
+func BenchmarkSampleAndSet(b *testing.B) {
+	r := rng.New(1)
+	weights := make([]float64, 14000) // the paper's 14K-edge graph scale
+	for i := range weights {
+		weights[i] = r.Float64()
+	}
+	tr := New(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := tr.Sample(r)
+		tr.Set(j, 1-tr.Weight(j))
+	}
+}

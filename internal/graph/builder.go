@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"fmt"
+
+	"infoflow/internal/rng"
+)
+
+// Random returns a graph with n nodes and m distinct directed edges
+// chosen uniformly at random (no self-loops). This is the synthetic
+// structure generator of §IV-A: "creates n nodes, and adds m random
+// edges". It panics if m exceeds n(n-1).
+func Random(r *rng.RNG, n, m int) *DiGraph {
+	maxEdges := n * (n - 1)
+	if m > maxEdges {
+		panic(fmt.Sprintf("graph: cannot place %d edges on %d nodes (max %d)", m, n, maxEdges))
+	}
+	g := New(n)
+	if m == 0 {
+		return g
+	}
+	// For dense requests, sample by shuffling all possible edges; for
+	// sparse ones, rejection-sample. The cutover keeps both paths fast.
+	if m*3 >= maxEdges {
+		all := make([]Edge, 0, maxEdges)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					all = append(all, Edge{NodeID(u), NodeID(v)})
+				}
+			}
+		}
+		r.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		for _, e := range all[:m] {
+			g.MustAddEdge(e.From, e.To)
+		}
+		return g
+	}
+	for g.NumEdges() < m {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	return g
+}
+
+// RandomDAG returns an acyclic graph with n nodes and m edges: edges are
+// sampled uniformly among pairs (u, v) with u < v under a random node
+// relabelling, so the topological order is hidden but guaranteed.
+func RandomDAG(r *rng.RNG, n, m int) *DiGraph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("graph: cannot place %d acyclic edges on %d nodes (max %d)", m, n, maxEdges))
+	}
+	rank := r.Perm(n) // rank[v] = position of v in the hidden topo order
+	g := New(n)
+	for g.NumEdges() < m {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if rank[u] > rank[v] {
+			u, v = v, u
+		}
+		if g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	return g
+}
+
+// PreferentialAttachment generates a follow-graph-like structure: nodes
+// arrive one at a time and each creates edgesPerNode edges toward
+// existing nodes chosen with probability proportional to in-degree + 1
+// (so early nodes become hubs, giving the heavy-tailed degree
+// distribution characteristic of social networks such as Twitter).
+// Reciprocal edges are added independently with probability reciprocity.
+func PreferentialAttachment(r *rng.RNG, n, edgesPerNode int, reciprocity float64) *DiGraph {
+	if n < 2 {
+		panic("graph: PreferentialAttachment needs at least 2 nodes")
+	}
+	g := New(n)
+	// targets holds one entry per (in-degree + 1) unit of attractiveness;
+	// sampling uniformly from it realises preferential attachment.
+	targets := make([]NodeID, 0, n*(edgesPerNode+1))
+	targets = append(targets, 0)
+	for v := 1; v < n; v++ {
+		k := edgesPerNode
+		if k > v {
+			k = v
+		}
+		added := make(map[NodeID]bool, k)
+		for len(added) < k {
+			t := targets[r.Intn(len(targets))]
+			if t == NodeID(v) || added[t] {
+				// Fall back to a uniform node to guarantee progress on
+				// tiny prefixes where targets is saturated with duplicates.
+				t = NodeID(r.Intn(v))
+				if added[t] {
+					continue
+				}
+			}
+			added[t] = true
+			g.MustAddEdge(NodeID(v), t)
+			targets = append(targets, t)
+			if r.Bernoulli(reciprocity) && !g.HasEdge(t, NodeID(v)) {
+				g.MustAddEdge(t, NodeID(v))
+			}
+		}
+		targets = append(targets, NodeID(v))
+	}
+	return g
+}
+
+// Complete returns the complete directed graph on n nodes (both
+// directions of every pair), useful for exhaustive small-scale tests.
+func Complete(n int) *DiGraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.MustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// Path returns the directed path v0 -> v1 -> ... -> v(n-1).
+func Path(n int) *DiGraph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(NodeID(v), NodeID(v+1))
+	}
+	return g
+}

@@ -1,0 +1,198 @@
+// Package graph provides the directed-graph substrate underlying every
+// model in the infoflow library: an Independent Cascade Model is a
+// directed graph whose nodes are information repositories and whose edges
+// are routes information may traverse (§II of the paper).
+//
+// The representation is edge-centric: edges carry dense integer IDs in
+// [0, NumEdges), because the samplers manipulate m-bit pseudo-states and
+// per-edge weights indexed by EdgeID. Adjacency lists store edge IDs, so
+// both the endpoints and any per-edge payload (activation probability,
+// beta parameters, pseudo-state bit) are a single array lookup away.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; IDs are dense in [0, NumNodes).
+type NodeID = int32
+
+// EdgeID identifies an edge; IDs are dense in [0, NumEdges) in insertion
+// order.
+type EdgeID = int32
+
+// Edge is a directed edge From -> To.
+type Edge struct {
+	From, To NodeID
+}
+
+// DiGraph is a simple directed graph (no self-loops, no parallel edges).
+// The zero value is an empty graph ready for use.
+type DiGraph struct {
+	edges []Edge
+	out   [][]EdgeID // out[v] = IDs of edges leaving v
+	in    [][]EdgeID // in[v] = IDs of edges entering v
+	index map[Edge]EdgeID
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *DiGraph {
+	g := &DiGraph{
+		out:   make([][]EdgeID, n),
+		in:    make([][]EdgeID, n),
+		index: make(map[Edge]EdgeID),
+	}
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g *DiGraph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of edges.
+func (g *DiGraph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a new isolated node and returns its ID.
+func (g *DiGraph) AddNode() NodeID {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return NodeID(len(g.out) - 1)
+}
+
+// AddEdge inserts the edge u -> v and returns its ID. It returns an error
+// for out-of-range endpoints, self-loops, and duplicate edges.
+func (g *DiGraph) AddEdge(u, v NodeID) (EdgeID, error) {
+	if err := g.checkNode(u); err != nil {
+		return 0, err
+	}
+	if err := g.checkNode(v); err != nil {
+		return 0, err
+	}
+	if u == v {
+		return 0, fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	e := Edge{u, v}
+	if id, ok := g.index[e]; ok {
+		return id, fmt.Errorf("graph: duplicate edge %d->%d", u, v)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, e)
+	g.out[u] = append(g.out[u], id)
+	g.in[v] = append(g.in[v], id)
+	g.index[e] = id
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for construction
+// of known-good graphs in tests and generators.
+func (g *DiGraph) MustAddEdge(u, v NodeID) EdgeID {
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (g *DiGraph) checkNode(v NodeID) error {
+	if v < 0 || int(v) >= len(g.out) {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", v, len(g.out))
+	}
+	return nil
+}
+
+// Edge returns the endpoints of edge id. It panics on out-of-range IDs.
+func (g *DiGraph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// EdgeID returns the ID of edge u -> v if it exists.
+func (g *DiGraph) EdgeID(u, v NodeID) (EdgeID, bool) {
+	id, ok := g.index[Edge{u, v}]
+	return id, ok
+}
+
+// HasEdge reports whether the edge u -> v exists.
+func (g *DiGraph) HasEdge(u, v NodeID) bool {
+	_, ok := g.index[Edge{u, v}]
+	return ok
+}
+
+// OutEdges returns the IDs of edges leaving v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *DiGraph) OutEdges(v NodeID) []EdgeID { return g.out[v] }
+
+// InEdges returns the IDs of edges entering v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *DiGraph) InEdges(v NodeID) []EdgeID { return g.in[v] }
+
+// OutDegree returns the number of edges leaving v.
+func (g *DiGraph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree returns the number of edges entering v.
+func (g *DiGraph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Edges returns a copy of the edge list, indexed by EdgeID.
+func (g *DiGraph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Parents returns the distinct nodes with an edge into v, sorted.
+func (g *DiGraph) Parents(v NodeID) []NodeID {
+	ps := make([]NodeID, 0, len(g.in[v]))
+	for _, id := range g.in[v] {
+		ps = append(ps, g.edges[id].From)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// Children returns the distinct nodes with an edge from v, sorted.
+func (g *DiGraph) Children(v NodeID) []NodeID {
+	cs := make([]NodeID, 0, len(g.out[v]))
+	for _, id := range g.out[v] {
+		cs = append(cs, g.edges[id].To)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// Clone returns a deep copy of g.
+func (g *DiGraph) Clone() *DiGraph {
+	c := New(g.NumNodes())
+	for _, e := range g.edges {
+		c.MustAddEdge(e.From, e.To)
+	}
+	return c
+}
+
+// Subgraph returns the subgraph induced by keep (any order, no
+// duplicates), along with the mapping from new node IDs to original IDs.
+// Edge IDs in the subgraph are fresh and dense. toNew maps original IDs
+// to new ones (-1 for dropped nodes).
+func (g *DiGraph) Subgraph(keep []NodeID) (sub *DiGraph, toOld []NodeID, toNew []NodeID) {
+	toNew = make([]NodeID, g.NumNodes())
+	for i := range toNew {
+		toNew[i] = -1
+	}
+	toOld = make([]NodeID, len(keep))
+	copy(toOld, keep)
+	for newID, oldID := range toOld {
+		if toNew[oldID] != -1 {
+			panic(fmt.Sprintf("graph: duplicate node %d in Subgraph keep set", oldID))
+		}
+		toNew[oldID] = NodeID(newID)
+	}
+	sub = New(len(keep))
+	for _, e := range g.edges {
+		u, v := toNew[e.From], toNew[e.To]
+		if u >= 0 && v >= 0 {
+			sub.MustAddEdge(u, v)
+		}
+	}
+	return sub, toOld, toNew
+}
+
+// String implements fmt.Stringer with a compact structural description.
+func (g *DiGraph) String() string {
+	return fmt.Sprintf("DiGraph(n=%d, m=%d)", g.NumNodes(), g.NumEdges())
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	id, err := g.AddEdge(0, 1)
+	if err != nil || id != 0 {
+		t.Fatalf("AddEdge = (%d, %v)", id, err)
+	}
+	id, err = g.AddEdge(1, 2)
+	if err != nil || id != 1 {
+		t.Fatalf("AddEdge = (%d, %v)", id, err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("sizes = (%d, %d)", g.NumNodes(), g.NumEdges())
+	}
+	if e := g.Edge(0); e.From != 0 || e.To != 1 {
+		t.Fatalf("edge 0 = %+v", e)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if id, ok := g.EdgeID(1, 2); !ok || id != 1 {
+		t.Fatalf("EdgeID = (%d, %v)", id, ok)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	g.MustAddEdge(0, 1)
+	if _, err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(0)
+	if v := g.AddNode(); v != 0 {
+		t.Fatalf("first node = %d", v)
+	}
+	if v := g.AddNode(); v != 1 {
+		t.Fatalf("second node = %d", v)
+	}
+	g.MustAddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Fatal("edge after AddNode failed")
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(3, 1)
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 2 || g.InDegree(0) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	ps := g.Parents(1)
+	if len(ps) != 2 || ps[0] != 0 || ps[1] != 3 {
+		t.Fatalf("parents = %v", ps)
+	}
+	cs := g.Children(0)
+	if len(cs) != 2 || cs[0] != 1 || cs[1] != 2 {
+		t.Fatalf("children = %v", cs)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2)
+	if g.NumEdges() != 1 || c.NumEdges() != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(0, 4)
+	sub, toOld, toNew := g.Subgraph([]NodeID{1, 2, 3})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("subgraph = %v", sub)
+	}
+	// Edge 1->2 maps to 0->1; edge 2->3 maps to 1->2.
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatal("subgraph edges wrong")
+	}
+	if toOld[0] != 1 || toNew[2] != 1 || toNew[0] != -1 {
+		t.Fatalf("mappings: toOld=%v toNew=%v", toOld, toNew)
+	}
+}
+
+func TestEdgesCopy(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	es := g.Edges()
+	es[0] = Edge{1, 0}
+	if g.Edge(0).From != 0 {
+		t.Fatal("Edges() exposed internal state")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	g := Random(r, 20, 60)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes changed: %v vs %v", got, g)
+	}
+	for id := EdgeID(0); int(id) < g.NumEdges(); id++ {
+		if got.Edge(id) != g.Edge(id) {
+			t.Fatalf("edge %d changed", id)
+		}
+	}
+}
+
+func TestJSONRejectsBadGraph(t *testing.T) {
+	for _, s := range []string{
+		`{"nodes":2,"edges":[[0,0]]}`,       // self-loop
+		`{"nodes":2,"edges":[[0,5]]}`,       // out of range
+		`{"nodes":-1,"edges":[]}`,           // negative nodes
+		`{"nodes":2,"edges":[[0,1],[0,1]]}`, // duplicate
+	} {
+		g := New(0)
+		if err := g.UnmarshalJSON([]byte(s)); err == nil {
+			t.Errorf("accepted invalid graph %s", s)
+		}
+	}
+}
+
+func TestEdgeIDsDenseProperty(t *testing.T) {
+	r := rng.New(2)
+	err := quick.Check(func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		n := rr.Intn(15) + 2
+		maxM := n * (n - 1)
+		m := rr.Intn(maxM + 1)
+		g := Random(r, n, m)
+		if g.NumEdges() != m {
+			return false
+		}
+		// Every edge ID round-trips through the index.
+		for id := EdgeID(0); int(id) < m; id++ {
+			e := g.Edge(id)
+			got, ok := g.EdgeID(e.From, e.To)
+			if !ok || got != id {
+				return false
+			}
+		}
+		// Degree sums match edge count.
+		outSum, inSum := 0, 0
+		for v := 0; v < n; v++ {
+			outSum += g.OutDegree(NodeID(v))
+			inSum += g.InDegree(NodeID(v))
+		}
+		return outSum == m && inSum == m
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

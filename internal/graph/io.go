@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the serialised wire form: node count plus a flat edge
+// list in EdgeID order, so per-edge payloads serialised alongside line up
+// after decoding.
+type jsonGraph struct {
+	Nodes int        `json:"nodes"`
+	Edges [][2]int32 `json:"edges"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *DiGraph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: g.NumNodes(), Edges: make([][2]int32, g.NumEdges())}
+	for i, e := range g.edges {
+		jg.Edges[i] = [2]int32{e.From, e.To}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *DiGraph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	if jg.Nodes < 0 {
+		return fmt.Errorf("graph: negative node count %d", jg.Nodes)
+	}
+	fresh := New(jg.Nodes)
+	for i, e := range jg.Edges {
+		if _, err := fresh.AddEdge(e[0], e[1]); err != nil {
+			return fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// Write encodes the graph as JSON to w.
+func (g *DiGraph) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(g)
+}
+
+// Read decodes a JSON-encoded graph from r.
+func Read(r io.Reader) (*DiGraph, error) {
+	g := New(0)
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

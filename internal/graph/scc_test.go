@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0) // cycle 0-1-2
+	g.MustAddEdge(2, 3) // 3 downstream
+	labels, count := g.StronglyConnectedComponents()
+	if count != 2 {
+		t.Fatalf("count = %d (labels %v)", count, labels)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("cycle split: %v", labels)
+	}
+	if labels[3] == labels[0] {
+		t.Fatalf("downstream merged: %v", labels)
+	}
+}
+
+func TestSCCDAGIsAllSingletons(t *testing.T) {
+	r := rng.New(1)
+	g := RandomDAG(r, 12, 30)
+	_, count := g.StronglyConnectedComponents()
+	if count != 12 {
+		t.Fatalf("DAG components = %d", count)
+	}
+}
+
+func TestSCCCompleteGraphIsOne(t *testing.T) {
+	g := Complete(5)
+	_, count := g.StronglyConnectedComponents()
+	if count != 1 {
+		t.Fatalf("complete graph components = %d", count)
+	}
+}
+
+// TestSCCMatchesMutualReachability: u and v share a component iff each
+// reaches the other.
+func TestSCCMatchesMutualReachability(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(8) + 2
+		m := r.Intn(n*(n-1) + 1)
+		g := Random(r, n, m)
+		labels, _ := g.StronglyConnectedComponents()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				mutual := g.HasPath(NodeID(u), NodeID(v), AllEdges) &&
+					g.HasPath(NodeID(v), NodeID(u), AllEdges)
+				if (labels[u] == labels[v]) != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondensedDAGAcyclicAndEdgePreserving(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 555)
+		n := r.Intn(10) + 2
+		m := r.Intn(n*(n-1) + 1)
+		g := Random(r, n, m)
+		dag, labels := g.CondensedDAG()
+		if !dag.IsAcyclic() {
+			return false
+		}
+		// Every cross-component original edge appears in the DAG.
+		for _, e := range g.Edges() {
+			a, b := labels[e.From], labels[e.To]
+			if a != b && !dag.HasEdge(NodeID(a), NodeID(b)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCLabelsReverseTopological(t *testing.T) {
+	// Tarjan labels components in reverse topological order: every DAG
+	// edge goes from a higher label to a lower one.
+	r := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		g := Random(r, 10, 40)
+		dag, _ := g.CondensedDAG()
+		for _, e := range dag.Edges() {
+			if e.From <= e.To {
+				t.Fatalf("condensation edge %v not reverse-topological", e)
+			}
+		}
+	}
+}
+
+func TestSCCDeepRecursionSafe(t *testing.T) {
+	// A 50k-node path would overflow a recursive Tarjan; the iterative
+	// version must handle it.
+	g := Path(50000)
+	_, count := g.StronglyConnectedComponents()
+	if count != 50000 {
+		t.Fatalf("path components = %d", count)
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"infoflow/internal/rng"
+)
+
+func TestDegreeStatsBasics(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	out := g.OutDegreeStats()
+	if out.Min != 0 || out.Max != 2 || math.Abs(out.Mean-2.0/3) > 1e-12 {
+		t.Fatalf("out stats = %+v", out)
+	}
+	in := g.InDegreeStats()
+	if in.Max != 1 || math.Abs(in.Mean-2.0/3) > 1e-12 {
+		t.Fatalf("in stats = %+v", in)
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	if st := New(0).OutDegreeStats(); st.Mean != 0 || st.Gini != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestGiniUniformVsHub(t *testing.T) {
+	// A cycle has perfectly uniform degrees: Gini 0.
+	cycle := New(6)
+	for v := 0; v < 6; v++ {
+		cycle.MustAddEdge(NodeID(v), NodeID((v+1)%6))
+	}
+	if gi := cycle.OutDegreeStats().Gini; math.Abs(gi) > 1e-12 {
+		t.Errorf("cycle Gini = %v", gi)
+	}
+	// A star concentrates everything on the hub.
+	star := New(7)
+	for v := 1; v < 7; v++ {
+		star.MustAddEdge(0, NodeID(v))
+	}
+	if gi := star.OutDegreeStats().Gini; gi < 0.8 {
+		t.Errorf("star Gini = %v", gi)
+	}
+	// Preferential attachment sits in between but clearly above uniform.
+	r := rng.New(1)
+	pa := PreferentialAttachment(r, 800, 3, 0.2)
+	if gi := pa.InDegreeStats().Gini; gi < 0.3 {
+		t.Errorf("PA in-degree Gini = %v, want heavy-tailed", gi)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 1) // 0,1,2 weakly connected
+	g.MustAddEdge(3, 4) // 3,4
+	// 5 isolated
+	labels, count := g.WeaklyConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d (labels %v)", count, labels)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestWeaklyConnectedWholeGraph(t *testing.T) {
+	r := rng.New(2)
+	g := PreferentialAttachment(r, 200, 2, 0)
+	_, count := g.WeaklyConnectedComponents()
+	if count != 1 {
+		t.Fatalf("PA graph has %d components", count)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "test", []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`digraph "test"`, "n0 -> n1", `label="0.500"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if err := g.WriteDOT(&buf, "bad", []float64{1, 2}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	buf.Reset()
+	if err := g.WriteDOT(&buf, "plain", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "label") {
+		t.Error("unexpected labels without weights")
+	}
+}

@@ -1,0 +1,154 @@
+package graph
+
+// AllEdges is an edge predicate accepting every edge; passing it to the
+// traversal functions yields plain graph reachability.
+func AllEdges(EdgeID) bool { return true }
+
+// Reachable returns the set of nodes reachable from sources by traversing
+// only edges for which active returns true. Sources themselves are always
+// included. This is exactly the derivation of an active-state from a
+// pseudo-state in §III-A: i-active nodes are those reachable from the
+// source set across i-active edges.
+//
+// The result is a dense boolean slice indexed by NodeID. Runs in
+// O(n + m).
+func (g *DiGraph) Reachable(sources []NodeID, active func(EdgeID) bool) []bool {
+	seen := make([]bool, g.NumNodes())
+	queue := make([]NodeID, 0, len(sources))
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[v] {
+			if !active(id) {
+				continue
+			}
+			w := g.edges[id].To
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// HasPath reports whether sink is reachable from source across edges for
+// which active returns true. It is Reachable with early exit, used as the
+// flow indicator I(u, v; x) of Equation (5).
+func (g *DiGraph) HasPath(source, sink NodeID, active func(EdgeID) bool) bool {
+	if source == sink {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	seen[source] = true
+	queue := []NodeID{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[v] {
+			if !active(id) {
+				continue
+			}
+			w := g.edges[id].To
+			if w == sink {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// NodesWithin returns the nodes at distance <= radius from focus,
+// following edges out of each node (the direction information flows). The
+// focus itself is included and the result is in BFS order.
+func (g *DiGraph) NodesWithin(focus NodeID, radius int) []NodeID {
+	return g.bfsWithin(focus, radius, false)
+}
+
+// NodesWithinUndirected returns the nodes at undirected distance <=
+// radius from focus, treating each edge as bidirectional. This matches
+// the paper's sub-graph selection "such that all users are no more than
+// distance n from this focus".
+func (g *DiGraph) NodesWithinUndirected(focus NodeID, radius int) []NodeID {
+	return g.bfsWithin(focus, radius, true)
+}
+
+func (g *DiGraph) bfsWithin(focus NodeID, radius int, undirected bool) []NodeID {
+	type item struct {
+		v NodeID
+		d int
+	}
+	seen := make([]bool, g.NumNodes())
+	seen[focus] = true
+	order := []NodeID{focus}
+	queue := []item{{focus, 0}}
+	push := func(w NodeID, d int) {
+		if !seen[w] {
+			seen[w] = true
+			order = append(order, w)
+			queue = append(queue, item{w, d})
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.d == radius {
+			continue
+		}
+		for _, id := range g.out[it.v] {
+			push(g.edges[id].To, it.d+1)
+		}
+		if undirected {
+			for _, id := range g.in[it.v] {
+				push(g.edges[id].From, it.d+1)
+			}
+		}
+	}
+	return order
+}
+
+// TopoSort returns a topological order of the nodes, or ok=false if the
+// graph has a cycle. Used by generators that need DAG structure and by
+// tests of the exact evaluator.
+func (g *DiGraph) TopoSort() (order []NodeID, ok bool) {
+	indeg := make([]int, g.NumNodes())
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	queue := make([]NodeID, 0, g.NumNodes())
+	for v := range indeg {
+		if indeg[v] == 0 {
+			queue = append(queue, NodeID(v))
+		}
+	}
+	order = make([]NodeID, 0, g.NumNodes())
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, id := range g.out[v] {
+			w := g.edges[id].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order, len(order) == g.NumNodes()
+}
+
+// IsAcyclic reports whether the graph has no directed cycles.
+func (g *DiGraph) IsAcyclic() bool {
+	_, ok := g.TopoSort()
+	return ok
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/rng"
+)
+
+func TestReachableAllEdges(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	seen := g.Reachable([]NodeID{0}, AllEdges)
+	want := []bool{true, true, true, false, false}
+	for v, w := range want {
+		if seen[v] != w {
+			t.Fatalf("seen = %v", seen)
+		}
+	}
+}
+
+func TestReachableMultiSource(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	seen := g.Reachable([]NodeID{0, 2}, AllEdges)
+	for v := 0; v < 4; v++ {
+		if !seen[v] {
+			t.Fatalf("node %d not reached", v)
+		}
+	}
+}
+
+func TestReachableRespectsMask(t *testing.T) {
+	g := New(3)
+	e01 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	seen := g.Reachable([]NodeID{0}, func(id EdgeID) bool { return id != e01 })
+	if seen[1] || seen[2] {
+		t.Fatalf("masked edge traversed: %v", seen)
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if !g.HasPath(0, 2, AllEdges) {
+		t.Error("path 0->2 missed")
+	}
+	if g.HasPath(2, 0, AllEdges) {
+		t.Error("reverse path invented")
+	}
+	if !g.HasPath(3, 3, AllEdges) {
+		t.Error("trivial self path missed")
+	}
+}
+
+func TestHasPathCycle(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(1, 2)
+	if !g.HasPath(0, 2, AllEdges) {
+		t.Error("cycle broke reachability")
+	}
+	if g.HasPath(2, 1, AllEdges) {
+		t.Error("bogus path through cycle")
+	}
+}
+
+func TestHasPathMatchesReachable(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(12) + 2
+		m := r.Intn(n*(n-1) + 1)
+		g := Random(r, n, m)
+		// Random edge mask.
+		mask := make([]bool, m)
+		for i := range mask {
+			mask[i] = r.Bernoulli(0.5)
+		}
+		active := func(id EdgeID) bool { return mask[id] }
+		u := NodeID(r.Intn(n))
+		seen := g.Reachable([]NodeID{u}, active)
+		for v := 0; v < n; v++ {
+			if g.HasPath(u, NodeID(v), active) != seen[v] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodesWithin(t *testing.T) {
+	g := Path(5) // 0->1->2->3->4
+	got := g.NodesWithin(1, 2)
+	want := map[NodeID]bool{1: true, 2: true, 3: true}
+	if len(got) != len(want) {
+		t.Fatalf("NodesWithin = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected node %d", v)
+		}
+	}
+}
+
+func TestNodesWithinUndirected(t *testing.T) {
+	g := Path(5)
+	got := g.NodesWithinUndirected(2, 1)
+	want := map[NodeID]bool{1: true, 2: true, 3: true}
+	if len(got) != len(want) {
+		t.Fatalf("NodesWithinUndirected = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected node %d", v)
+		}
+	}
+}
+
+func TestNodesWithinZeroRadius(t *testing.T) {
+	g := Complete(4)
+	got := g.NodesWithin(2, 0)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("radius 0 = %v", got)
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("DAG reported cyclic")
+	}
+	pos := make(map[NodeID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("order %v violates edge %v", order, e)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	if _, ok := g.TopoSort(); ok {
+		t.Fatal("cycle not detected")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic wrong")
+	}
+}
+
+func TestRandomDAGIsAcyclic(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		n := r.Intn(15) + 2
+		m := r.Intn(n*(n-1)/2 + 1)
+		g := RandomDAG(r, n, m)
+		return g.NumEdges() == m && g.IsAcyclic()
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	r := rng.New(9)
+	g := PreferentialAttachment(r, 500, 3, 0.2)
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 3*497 {
+		t.Fatalf("edges = %d, too few", g.NumEdges())
+	}
+	// Heavy tail: the maximum in-degree should far exceed the mean.
+	maxIn, sumIn := 0, 0
+	for v := 0; v < 500; v++ {
+		d := g.InDegree(NodeID(v))
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(sumIn) / 500
+	if float64(maxIn) < 4*mean {
+		t.Errorf("max in-degree %d not heavy-tailed vs mean %.1f", maxIn, mean)
+	}
+}
+
+func TestCompleteAndPath(t *testing.T) {
+	c := Complete(4)
+	if c.NumEdges() != 12 {
+		t.Fatalf("complete edges = %d", c.NumEdges())
+	}
+	p := Path(4)
+	if p.NumEdges() != 3 || !p.HasPath(0, 3, AllEdges) {
+		t.Fatal("path graph wrong")
+	}
+}
+
+func BenchmarkReachable(b *testing.B) {
+	r := rng.New(1)
+	g := Random(r, 6000, 14000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reachable([]NodeID{0}, AllEdges)
+	}
+}

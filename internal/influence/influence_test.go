@@ -1,0 +1,192 @@
+package influence
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestSpreadDeterministicCases(t *testing.T) {
+	r := rng.New(1)
+	m := core.MustNewICM(graph.Path(4), []float64{1, 1, 1})
+	if got := Spread(m, []graph.NodeID{0}, 100, r); got != 4 {
+		t.Fatalf("certain path spread = %v", got)
+	}
+	if got := Spread(m, []graph.NodeID{3}, 100, r); got != 1 {
+		t.Fatalf("leaf spread = %v", got)
+	}
+	if got := Spread(m, nil, 100, r); got != 0 {
+		t.Fatalf("empty spread = %v", got)
+	}
+}
+
+func TestSpreadMatchesAnalytic(t *testing.T) {
+	// Star 0 -> 1..4 with p=0.5: spread(0) = 1 + 4*0.5 = 3.
+	r := rng.New(2)
+	g := graph.New(5)
+	for v := 1; v < 5; v++ {
+		g.MustAddEdge(0, graph.NodeID(v))
+	}
+	m := core.MustNewICM(g, []float64{0.5, 0.5, 0.5, 0.5})
+	got := Spread(m, []graph.NodeID{0}, 60000, r)
+	if math.Abs(got-3) > 0.05 {
+		t.Fatalf("star spread = %v want 3", got)
+	}
+}
+
+func TestGreedyPicksTheHub(t *testing.T) {
+	// Two stars; the bigger hub must be chosen first.
+	r := rng.New(3)
+	g := graph.New(12)
+	for v := 1; v <= 7; v++ {
+		g.MustAddEdge(0, graph.NodeID(v)) // hub 0: seven children
+	}
+	for v := 9; v <= 11; v++ {
+		g.MustAddEdge(8, graph.NodeID(v)) // hub 8: three children
+	}
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = 0.8
+	}
+	m := core.MustNewICM(g, p)
+	res, err := Greedy(m, 2, DefaultOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+	if res.Seeds[0] != 0 || res.Seeds[1] != 8 {
+		t.Fatalf("seeds = %v, want hubs [0 8]", res.Seeds)
+	}
+	if res.MarginalGains[0] < res.MarginalGains[1] {
+		t.Fatalf("gains not decreasing: %v", res.MarginalGains)
+	}
+}
+
+func TestGreedyAvoidsOverlap(t *testing.T) {
+	// Chain 0->1->2->3->4 with certain edges plus an isolated pair
+	// 5->6. Seeding 0 covers the whole chain, so the second seed must be
+	// 5 (gain 2) rather than any chain node (gain 0).
+	r := rng.New(4)
+	g := graph.New(7)
+	for v := 0; v < 4; v++ {
+		g.MustAddEdge(graph.NodeID(v), graph.NodeID(v+1))
+	}
+	g.MustAddEdge(5, 6)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = 1
+	}
+	m := core.MustNewICM(g, p)
+	res, err := Greedy(m, 2, DefaultOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 || res.Seeds[1] != 5 {
+		t.Fatalf("seeds = %v, want [0 5]", res.Seeds)
+	}
+	if math.Abs(res.SpreadEstimate-7) > 1e-9 {
+		t.Fatalf("spread = %v want 7", res.SpreadEstimate)
+	}
+}
+
+func TestGreedyCandidatesRestriction(t *testing.T) {
+	r := rng.New(5)
+	m := core.MustNewICM(graph.Path(4), []float64{1, 1, 1})
+	res, err := Greedy(m, 1, Options{Samples: 50, Candidates: []graph.NodeID{2, 3}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 2 {
+		t.Fatalf("restricted seed = %v", res.Seeds)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	r := rng.New(6)
+	m := core.MustNewICM(graph.Path(2), []float64{1})
+	if _, err := Greedy(m, 0, DefaultOptions(), r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Greedy(m, 1, Options{Samples: 0}, r); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := Greedy(m, 1, Options{Samples: 10, Candidates: []graph.NodeID{9}}, r); err == nil {
+		t.Error("bad candidate accepted")
+	}
+}
+
+func TestGreedyExhaustsCandidates(t *testing.T) {
+	r := rng.New(7)
+	m := core.MustNewICM(graph.Path(2), []float64{0.5})
+	res, err := Greedy(m, 5, DefaultOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds = %v, want all nodes", res.Seeds)
+	}
+}
+
+// TestCELFSkipsEvaluations: lazy evaluation must do far fewer spread
+// estimates than the eager k*n baseline on a graph with a clear
+// ordering.
+func TestCELFSkipsEvaluations(t *testing.T) {
+	r := rng.New(8)
+	g := graph.PreferentialAttachment(r, 150, 3, 0.2)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = 0.1
+	}
+	m := core.MustNewICM(g, p)
+	const k = 5
+	res, err := Greedy(m, k, Options{Samples: 200}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := k * m.NumNodes()
+	if res.Evaluations >= eager/2 {
+		t.Errorf("CELF used %d evaluations, eager would use %d", res.Evaluations, eager)
+	}
+	if len(res.Seeds) != k {
+		t.Fatalf("seeds = %d", len(res.Seeds))
+	}
+}
+
+// TestGreedyBeatsRandomSeeds: the selected set should clearly outperform
+// random seed sets of the same size.
+func TestGreedyBeatsRandomSeeds(t *testing.T) {
+	r := rng.New(9)
+	g := graph.PreferentialAttachment(r, 200, 3, 0.2)
+	flow := graph.New(200)
+	for _, e := range g.Edges() {
+		flow.MustAddEdge(e.To, e.From)
+	}
+	p := make([]float64, flow.NumEdges())
+	for i := range p {
+		p[i] = 0.15
+	}
+	m := core.MustNewICM(flow, p)
+	res, err := Greedy(m, 3, Options{Samples: 300}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedySpread := Spread(m, res.Seeds, 3000, r)
+	worse := 0
+	for trial := 0; trial < 20; trial++ {
+		seeds := []graph.NodeID{}
+		for _, v := range r.Sample(200, 3) {
+			seeds = append(seeds, graph.NodeID(v))
+		}
+		if Spread(m, seeds, 1000, r) < greedySpread {
+			worse++
+		}
+	}
+	if worse < 18 {
+		t.Errorf("greedy beat only %d/20 random seed sets", worse)
+	}
+}

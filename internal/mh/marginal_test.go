@@ -1,0 +1,70 @@
+package mh
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestMarginalConditionalMatchesEnum(t *testing.T) {
+	r := rng.New(310)
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(0, 2)
+	m := core.MustNewICM(g, []float64{0.4, 0.5, 0.5, 0.3})
+	conds := []core.FlowCondition{{Source: 0, Sink: 2, Require: true}}
+	exact, err := m.EnumConditionalFlowProb([]graph.NodeID{0}, 3, conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{BurnIn: 1000, Thin: 8, Samples: 60000}
+	got, satisfied, err := MarginalConditionalFlowProb(m, 0, 3, conds, opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satisfied < 1000 {
+		t.Fatalf("satisfied = %d, condition should be common", satisfied)
+	}
+	if math.Abs(got-exact) > 0.02 {
+		t.Errorf("marginal conditional %v vs exact %v", got, exact)
+	}
+}
+
+func TestMarginalAgreesWithConstrainedSampler(t *testing.T) {
+	r := rng.New(311)
+	m := randomICM(r, 6, 12)
+	n := m.NumNodes()
+	u, v, w := graph.NodeID(0), graph.NodeID(n-1), graph.NodeID(n/2)
+	conds := []core.FlowCondition{{Source: u, Sink: w, Require: true}}
+	opts := Options{BurnIn: 1000, Thin: 8, Samples: 40000}
+	marginal, satisfied, err := MarginalConditionalFlowProb(m, u, v, conds, opts, r)
+	if err != nil {
+		t.Skipf("condition too rare in this model: %v", err)
+	}
+	if satisfied < 2000 {
+		t.Skipf("condition satisfied only %d times; comparison too noisy", satisfied)
+	}
+	constrained, err := FlowProb(m, u, v, conds, Options{BurnIn: 1000, Thin: 8, Samples: 30000}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(marginal-constrained) > 0.03 {
+		t.Errorf("marginal %v vs constrained %v", marginal, constrained)
+	}
+}
+
+func TestMarginalImpossibleCondition(t *testing.T) {
+	r := rng.New(312)
+	m := core.MustNewICM(graph.Path(2), []float64{0})
+	conds := []core.FlowCondition{{Source: 0, Sink: 1, Require: true}}
+	_, _, err := MarginalConditionalFlowProb(m, 0, 1, conds,
+		Options{BurnIn: 10, Thin: 1, Samples: 500}, r)
+	if err == nil {
+		t.Fatal("impossible condition produced an estimate")
+	}
+}

@@ -1,0 +1,331 @@
+// Package mh implements §III of the paper: Metropolis-Hastings sampling
+// of ICM pseudo-states, used to estimate end-to-end, joint, conditional
+// and source-to-community flow probabilities, impact (dispersion)
+// distributions, and — via nested sampling over a betaICM — uncertainty
+// in all of the above.
+//
+// The chain state is the m-bit pseudo-state x of §III-A. The proposal
+// (§III-C) flips exactly one edge, chosen from a multinomial whose weight
+// for edge i is p_i when the edge is inactive and 1-p_i when active,
+// maintained in a Fenwick tree so proposing and updating are O(log m).
+// With that proposal the Metropolis-Hastings acceptance ratio
+// p_ratio/q_ratio collapses to Z_t/Z' — the ratio of the old and new
+// normalizing constants — and Z updates in O(1) per flip by
+// +-(1 - 2 p_i).
+package mh
+
+import (
+	"errors"
+	"fmt"
+
+	"infoflow/internal/core"
+	"infoflow/internal/fenwick"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// Options controls chain length and decorrelation.
+type Options struct {
+	// BurnIn is the number of initial chain steps discarded (the paper's
+	// delta).
+	BurnIn int
+	// Thin is the number of chain steps between output samples (the
+	// paper's delta'). A value of k means k steps are taken per output
+	// sample.
+	Thin int
+	// Samples is the number of output samples drawn.
+	Samples int
+}
+
+// DefaultOptions returns settings adequate for the graph sizes in the
+// paper's experiments; Thin scales with the edge count so successive
+// samples are roughly decorrelated.
+func DefaultOptions(numEdges int) Options {
+	thin := numEdges
+	if thin < 16 {
+		thin = 16
+	}
+	return Options{BurnIn: 4 * thin, Thin: thin, Samples: 2000}
+}
+
+func (o Options) validate() error {
+	if o.BurnIn < 0 || o.Thin <= 0 || o.Samples <= 0 {
+		return fmt.Errorf("mh: invalid options %+v", o)
+	}
+	return nil
+}
+
+// ErrUnsatisfiable is returned when no pseudo-state with positive
+// probability satisfies the flow conditions (e.g. requiring a flow along
+// edges of probability zero, or contradictory conditions).
+var ErrUnsatisfiable = errors.New("mh: flow conditions unsatisfiable")
+
+// Sampler is a Metropolis-Hastings chain over pseudo-states of one ICM,
+// optionally constrained by flow conditions (§III-D). It is not safe for
+// concurrent use.
+type Sampler struct {
+	m     *core.ICM
+	conds []core.FlowCondition
+	r     *rng.RNG
+
+	x       core.PseudoState
+	tree    *fenwick.Tree
+	uniform bool
+
+	steps    int64
+	accepted int64
+}
+
+// SetUniformProposal switches the chain to a uniform flip-one-edge
+// proposal instead of the paper's weighted multinomial (§III-C). The
+// stationary distribution is unchanged — the acceptance ratio becomes
+// the plain probability ratio p_i/(1-p_i) (or its inverse) — but mixing
+// degrades on skewed edge probabilities. It exists as the ablation
+// target for the design choice DESIGN.md calls out.
+func (s *Sampler) SetUniformProposal(uniform bool) { s.uniform = uniform }
+
+// NewSampler builds a chain for model m under conditions conds (nil for
+// marginal sampling), seeded from r. It returns ErrUnsatisfiable if it
+// cannot construct an initial state consistent with the conditions.
+func NewSampler(m *core.ICM, conds []core.FlowCondition, r *rng.RNG) (*Sampler, error) {
+	s := &Sampler{m: m, conds: conds, r: r}
+	x, err := s.initialState()
+	if err != nil {
+		return nil, err
+	}
+	s.x = x
+	weights := make([]float64, m.NumEdges())
+	for i := range weights {
+		weights[i] = flipWeight(m.P[i], x[i])
+	}
+	s.tree = fenwick.New(weights)
+	return s, nil
+}
+
+// flipWeight is the §III-C proposal weight of edge i: proportional to the
+// probability of the activity the edge would take after flipping, i.e.
+// p for an inactive edge, 1-p for an active one.
+func flipWeight(p float64, active bool) float64 {
+	if active {
+		return 1 - p
+	}
+	return p
+}
+
+// initialState finds a positive-probability pseudo-state satisfying the
+// conditions: first by rejection from the marginal, then constructively.
+func (s *Sampler) initialState() (core.PseudoState, error) {
+	if len(s.conds) == 0 {
+		return s.m.SamplePseudoState(s.r), nil
+	}
+	const rejectionTries = 200
+	for t := 0; t < rejectionTries; t++ {
+		x := s.m.SamplePseudoState(s.r)
+		if s.m.Satisfies(x, s.conds) {
+			return x, nil
+		}
+	}
+	return s.constructInitialState()
+}
+
+// constructInitialState starts from the maximal feasible state (every
+// positive-probability edge active), which satisfies all satisfiable
+// positive conditions, then repairs negative conditions by cutting
+// removable edges (p < 1) along offending paths, rechecking everything
+// after each repair round.
+func (s *Sampler) constructInitialState() (core.PseudoState, error) {
+	m := s.m
+	x := core.NewPseudoState(m.NumEdges())
+	for i := range x {
+		x[i] = m.P[i] > 0
+	}
+	// A bounded number of repair rounds; each round cuts at least one
+	// edge, so m rounds suffice when repair is possible at all.
+	for round := 0; round <= m.NumEdges(); round++ {
+		violated := false
+		for _, c := range s.conds {
+			if m.HasFlow(c.Source, c.Sink, x) == c.Require {
+				continue
+			}
+			violated = true
+			if c.Require {
+				// A required flow is missing even though every possible
+				// edge is active (or was cut to satisfy a negative
+				// condition): unsatisfiable or conflicting.
+				return nil, fmt.Errorf("%w: cannot realise required flow %d~>%d",
+					ErrUnsatisfiable, c.Source, c.Sink)
+			}
+			// Negative condition violated: cut a removable edge on some
+			// active path from c.Source to c.Sink.
+			id, ok := s.cuttableEdgeOnPath(x, c.Source, c.Sink)
+			if !ok {
+				return nil, fmt.Errorf("%w: flow %d~>%d is certain but forbidden",
+					ErrUnsatisfiable, c.Source, c.Sink)
+			}
+			x[id] = false
+		}
+		if !violated {
+			return x, nil
+		}
+	}
+	return nil, ErrUnsatisfiable
+}
+
+// cuttableEdgeOnPath finds an active path source~>sink in x and returns
+// the last p<1 edge along it. Returns ok=false if there is no active
+// path (caller logic error) or every edge on the found path has p=1.
+func (s *Sampler) cuttableEdgeOnPath(x core.PseudoState, source, sink graph.NodeID) (graph.EdgeID, bool) {
+	g := s.m.G
+	n := g.NumNodes()
+	via := make([]graph.EdgeID, n)
+	for i := range via {
+		via[i] = -1
+	}
+	seen := make([]bool, n)
+	seen[source] = true
+	queue := []graph.NodeID{source}
+	found := false
+	for len(queue) > 0 && !found {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.OutEdges(v) {
+			if !x[id] {
+				continue
+			}
+			w := g.Edge(id).To
+			if !seen[w] {
+				seen[w] = true
+				via[w] = id
+				if w == sink {
+					found = true
+					break
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	// Walk the path backwards, returning the first removable edge.
+	for v := sink; via[v] >= 0; v = s.m.G.Edge(via[v]).From {
+		if s.m.P[via[v]] < 1 {
+			return via[v], true
+		}
+	}
+	return 0, false
+}
+
+// lazyProb is the probability with which a step holds the current state
+// instead of proposing a flip. The flip-one-edge chain is periodic with
+// period 2 whenever every proposal is accepted (e.g. all edges at p=0.5
+// make Z constant and A=1 always), so the active-edge-count parity would
+// alternate deterministically and thinned samples would see only one
+// parity class. A lazy step with any positive hold probability makes the
+// chain aperiodic while preserving its stationary distribution; 1/8
+// decorrelates parity well within one thinning interval at negligible
+// cost.
+const lazyProb = 1.0 / 8
+
+// Step performs one Metropolis-Hastings update (Algorithm 1, as a lazy
+// chain) and reports whether the proposal was accepted.
+func (s *Sampler) Step() bool {
+	s.steps++
+	zt := s.tree.Total()
+	if zt <= 0 {
+		// Every edge is pinned (p in {0,1} at its certain state): the
+		// chain has a single reachable state and stays there.
+		return false
+	}
+	if s.r.Float64() < lazyProb {
+		return false
+	}
+	var (
+		i int
+		a float64
+	)
+	if s.uniform {
+		// Uniform proposal ablation: q symmetric, so A = p(x')/p(x).
+		i = s.r.Intn(s.m.NumEdges())
+		p := s.m.P[i]
+		if s.x[i] {
+			if p >= 1 {
+				return false // flipping a certain edge off has density 0
+			}
+			a = (1 - p) / p
+		} else {
+			if p <= 0 {
+				return false
+			}
+			a = p / (1 - p)
+		}
+	} else {
+		i = s.tree.Sample(s.r)
+		p := s.m.P[i]
+		// Z' after flipping edge i: the edge's proposal weight swaps
+		// between p and 1-p.
+		var zNew float64
+		if s.x[i] {
+			zNew = zt - (1 - p) + p
+		} else {
+			zNew = zt - p + (1 - p)
+		}
+		// Acceptance: p_ratio/q_ratio = Z_t / Z' (see package comment),
+		// gated by the condition indicator I(x', C) of Equation (7). The
+		// current state always satisfies C, so the indicator ratio is
+		// just I(x', C).
+		a = zt / zNew
+	}
+	if a < 1 && s.r.Float64() > a {
+		return false
+	}
+	if len(s.conds) > 0 {
+		s.x[i] = !s.x[i]
+		ok := s.m.Satisfies(s.x, s.conds)
+		if !ok {
+			s.x[i] = !s.x[i] // reject: candidate violates C
+			return false
+		}
+		// Keep the flip.
+	} else {
+		s.x[i] = !s.x[i]
+	}
+	s.tree.Set(i, flipWeight(s.m.P[i], s.x[i]))
+	s.accepted++
+	return true
+}
+
+// AcceptanceRate returns the fraction of proposals accepted so far.
+func (s *Sampler) AcceptanceRate() float64 {
+	if s.steps == 0 {
+		return 0
+	}
+	return float64(s.accepted) / float64(s.steps)
+}
+
+// Steps returns the number of chain updates performed.
+func (s *Sampler) Steps() int64 { return s.steps }
+
+// State returns the current pseudo-state. The returned slice is the live
+// chain state: callers must not modify it and must copy it to retain it
+// across Step calls.
+func (s *Sampler) State() core.PseudoState { return s.x }
+
+// Run executes the burn-in and then emits opts.Samples thinned states to
+// visit. The pseudo-state passed to visit is the live chain state; copy
+// it if retaining.
+func (s *Sampler) Run(opts Options, visit func(core.PseudoState)) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	for i := 0; i < opts.BurnIn; i++ {
+		s.Step()
+	}
+	for n := 0; n < opts.Samples; n++ {
+		for i := 0; i < opts.Thin; i++ {
+			s.Step()
+		}
+		visit(s.x)
+	}
+	return nil
+}

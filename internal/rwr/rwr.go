@@ -1,0 +1,106 @@
+// Package rwr implements Random Walk with Restart, the graph-similarity
+// baseline of §IV-E. RWR scores are the stationary distribution of a
+// walker that follows out-edges (weighted by edge probability) and, with
+// probability restart, teleports back to the source. The paper's point —
+// reproduced in the Figure 5 experiment — is that RWR produces a
+// similarity measure, not a probability, so using its scores as flow
+// probability estimates is badly calibrated, and it cannot answer joint
+// or conditional flow queries at all.
+package rwr
+
+import (
+	"fmt"
+
+	"infoflow/internal/graph"
+)
+
+// Options configures the power iteration.
+type Options struct {
+	// Restart is the teleport probability c (typically 0.1-0.3).
+	Restart float64
+	// MaxIter bounds the number of power-iteration sweeps.
+	MaxIter int
+	// Tol is the L1 convergence tolerance.
+	Tol float64
+}
+
+// DefaultOptions mirrors common RWR settings in the literature.
+func DefaultOptions() Options {
+	return Options{Restart: 0.15, MaxIter: 200, Tol: 1e-10}
+}
+
+// Scores computes the RWR score vector for the given source over a graph
+// whose edges carry weights (the ICM activation probabilities). Each
+// node's outgoing weights are normalised into a transition distribution;
+// dangling nodes (no positive out-weight) teleport back to the source.
+// The returned vector sums to 1.
+func Scores(g *graph.DiGraph, weights []float64, source graph.NodeID, opts Options) ([]float64, error) {
+	n := g.NumNodes()
+	if len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("rwr: %d weights for %d edges", len(weights), g.NumEdges())
+	}
+	if opts.Restart <= 0 || opts.Restart >= 1 {
+		return nil, fmt.Errorf("rwr: restart %v outside (0,1)", opts.Restart)
+	}
+	if opts.MaxIter <= 0 {
+		return nil, fmt.Errorf("rwr: non-positive MaxIter")
+	}
+	// Per-node total outgoing weight for normalisation.
+	outTotal := make([]float64, n)
+	for id := 0; id < g.NumEdges(); id++ {
+		w := weights[id]
+		if w < 0 {
+			return nil, fmt.Errorf("rwr: negative weight on edge %d", id)
+		}
+		outTotal[g.Edge(graph.EdgeID(id)).From] += w
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[source] = 1
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			mass := cur[v]
+			if mass == 0 || outTotal[v] == 0 {
+				continue // dangling mass restarts in full, handled below
+			}
+			for _, id := range g.OutEdges(graph.NodeID(v)) {
+				if weights[id] > 0 {
+					next[g.Edge(id).To] += mass * weights[id] / outTotal[v] * (1 - opts.Restart)
+				}
+			}
+		}
+		// Restart mass: the teleported fraction of walking mass plus all
+		// dangling mass — everything not pushed along an edge.
+		restartMass := 1.0
+		for _, m := range next {
+			restartMass -= m
+		}
+		next[source] += restartMass
+		// Convergence in L1.
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			d := next[v] - cur[v]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		cur, next = next, cur
+		if delta < opts.Tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// Score computes the single source-to-sink RWR similarity.
+func Score(g *graph.DiGraph, weights []float64, source, sink graph.NodeID, opts Options) (float64, error) {
+	s, err := Scores(g, weights, source, opts)
+	if err != nil {
+		return 0, err
+	}
+	return s[sink], nil
+}

@@ -1,0 +1,142 @@
+package rwr
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestScoresSumToOne(t *testing.T) {
+	r := rng.New(1)
+	g := graph.Random(r, 30, 120)
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	s, err := Scores(g, w, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range s {
+		if v < 0 {
+			t.Fatalf("negative score %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Fatalf("scores sum to %v", sum)
+	}
+}
+
+func TestTwoNodeClosedForm(t *testing.T) {
+	// 0 -> 1 only: walker at 0 moves to 1 w.p. (1-c), then from 1
+	// (dangling) restarts. Stationary: s0 = c*s0 + c*s1 + ... solve:
+	// s1 = (1-c) s0 and s0 + s1 = 1 => s0 = 1/(2-c).
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	c := 0.15
+	opts := Options{Restart: c, MaxIter: 1000, Tol: 1e-14}
+	s, err := Scores(g, []float64{1}, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 1 / (2 - c)
+	if math.Abs(s[0]-want0) > 1e-9 || math.Abs(s[1]-(1-c)*want0) > 1e-9 {
+		t.Fatalf("scores = %v, want [%v %v]", s, want0, (1-c)*want0)
+	}
+}
+
+func TestUnreachableNodeZero(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	// Node 2 isolated.
+	s, err := Scores(g, []float64{0.7}, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[2] != 0 {
+		t.Fatalf("isolated node score = %v", s[2])
+	}
+	if s[0] <= s[1] {
+		t.Fatalf("restart node should dominate: %v", s)
+	}
+}
+
+func TestHigherWeightHigherScore(t *testing.T) {
+	// 0 -> 1 (w=0.9), 0 -> 2 (w=0.1): node 1 must outscore node 2.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	s, err := Scores(g, []float64{0.9, 0.1}, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] <= s[2] {
+		t.Fatalf("weights ignored: %v", s)
+	}
+	ratio := s[1] / s[2]
+	if math.Abs(ratio-9) > 1e-6 {
+		t.Fatalf("score ratio = %v, want 9", ratio)
+	}
+}
+
+func TestScoreMatchesScores(t *testing.T) {
+	r := rng.New(2)
+	g := graph.Random(r, 10, 30)
+	w := make([]float64, 30)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	all, err := Scores(g, w, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Score(g, w, 3, 7, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != all[7] {
+		t.Fatalf("Score %v vs Scores %v", one, all[7])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.Path(2)
+	if _, err := Scores(g, []float64{1, 2}, 0, DefaultOptions()); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := Scores(g, []float64{-1}, 0, DefaultOptions()); err == nil {
+		t.Error("negative weight accepted")
+	}
+	bad := DefaultOptions()
+	bad.Restart = 1.5
+	if _, err := Scores(g, []float64{1}, 0, bad); err == nil {
+		t.Error("bad restart accepted")
+	}
+	bad2 := DefaultOptions()
+	bad2.MaxIter = 0
+	if _, err := Scores(g, []float64{1}, 0, bad2); err == nil {
+		t.Error("bad MaxIter accepted")
+	}
+}
+
+// TestRWRIsNotAProbability documents the calibration flaw the paper
+// highlights: on a long path with certain edges, true flow probability to
+// the end is 1, but the RWR score decays geometrically.
+func TestRWRIsNotAProbability(t *testing.T) {
+	g := graph.Path(6)
+	w := []float64{1, 1, 1, 1, 1}
+	s, err := Scores(g, w, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[5] > 0.5 {
+		t.Fatalf("RWR score to path end = %v; expected far below the true flow probability 1", s[5])
+	}
+	if !(s[1] > s[2] && s[2] > s[3]) {
+		t.Fatalf("scores should decay along the path: %v", s)
+	}
+}

@@ -1,0 +1,22 @@
+package twitter
+
+import (
+	"encoding/json"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+)
+
+// decodeGraph and newICM isolate the deserialisation glue so dataset.go
+// reads linearly.
+func decodeGraph(raw json.RawMessage) (*graph.DiGraph, error) {
+	g := graph.New(0)
+	if err := json.Unmarshal(raw, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func newICM(g *graph.DiGraph, probs []float64) (*core.ICM, error) {
+	return core.NewICM(g, probs)
+}

@@ -1,0 +1,180 @@
+package twitter
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Stats summarises a dataset, mirroring the corpus-level numbers the
+// paper reports for its Twitter data.
+type Stats struct {
+	Users            int
+	FlowEdges        int
+	Tweets           int
+	Retweets         int
+	Originals        int
+	DroppedOriginals int
+	HashtagObjects   int
+	URLObjects       int
+	MaxChainLength   int // longest recovered retweet ancestry chain
+}
+
+// Stats computes corpus statistics.
+func (d *Dataset) Stats() Stats {
+	s := Stats{
+		Users:            d.Config.NumUsers,
+		FlowEdges:        d.Flow.NumEdges(),
+		Tweets:           len(d.Tweets),
+		DroppedOriginals: d.DroppedOriginals,
+		HashtagObjects:   len(d.Hashtags),
+		URLObjects:       len(d.URLs),
+	}
+	for _, t := range d.Tweets {
+		p := ParseTweet(t.Text)
+		if p.IsRetweet() {
+			s.Retweets++
+			if len(p.Ancestors) > s.MaxChainLength {
+				s.MaxChainLength = len(p.Ancestors)
+			}
+		} else {
+			s.Originals++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "users: %d (plus omnipotent), flow edges: %d\n", s.Users, s.FlowEdges)
+	fmt.Fprintf(&b, "tweets: %d (%d originals, %d retweets; %d originals dropped)\n",
+		s.Tweets, s.Originals, s.Retweets, s.DroppedOriginals)
+	fmt.Fprintf(&b, "hashtag objects: %d, url objects: %d, longest chain: %d\n",
+		s.HashtagObjects, s.URLObjects, s.MaxChainLength)
+	return b.String()
+}
+
+// InterestingUsers returns the top-k users by observable activity
+// (authored tweets plus times retweeted), the paper's "interesting
+// users" focus selection for §IV-C. Ties break toward lower IDs.
+func (d *Dataset) InterestingUsers(k int) []UserID {
+	score := make(map[UserID]int)
+	for _, t := range d.Tweets {
+		p := ParseTweet(t.Text)
+		score[t.Author]++
+		for _, a := range p.Ancestors {
+			score[a] += 2 // being retweeted signals an interesting source
+		}
+	}
+	users := make([]UserID, 0, len(score))
+	for u := range score {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool {
+		if score[users[i]] != score[users[j]] {
+			return score[users[i]] > score[users[j]]
+		}
+		return users[i] < users[j]
+	})
+	if k > len(users) {
+		k = len(users)
+	}
+	return users[:k]
+}
+
+// SplitObjects partitions the retweet objects into train and test sets
+// by index parity of a deterministic split at trainFrac.
+func splitIdx(n int, trainFrac float64) int {
+	k := int(float64(n) * trainFrac)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// SplitTweets splits the corpus tweets belonging to retweet cascades
+// into train/test by cascade: the first trainFrac of cascades (by
+// generation order) contribute their tweets to train, the rest to test.
+// Hashtag/URL tweets always go to train (they feed the unattributed
+// experiments, which split separately).
+func (d *Dataset) SplitTweets(trainFrac float64) (train, test []Tweet) {
+	cut := splitIdx(len(d.Retweets), trainFrac)
+	// Identify test cascades by (origin, body) via their truth records'
+	// cascade source and message index.
+	testKeys := make(map[cascadeKey]bool)
+	for i := cut; i < len(d.Retweets); i++ {
+		origin := d.Retweets[i].Seeds[0]
+		body := fmt.Sprintf("message %d from %s", i, FormatUser(origin))
+		testKeys[cascadeKey{origin, body}] = true
+	}
+	for _, t := range d.Tweets {
+		p := ParseTweet(t.Text)
+		key := cascadeKey{p.Origin(t.Author), p.Body}
+		if testKeys[key] {
+			test = append(test, t)
+		} else {
+			train = append(train, t)
+		}
+	}
+	return train, test
+}
+
+// jsonDataset is the serialised form: configuration, graph, truth
+// probabilities and tweets. Object truths are reconstructible but stored
+// for fidelity.
+type jsonDataset struct {
+	Config           Config          `json:"config"`
+	Flow             json.RawMessage `json:"flow"`
+	Probs            []float64       `json:"probs"`
+	Tweets           []Tweet         `json:"tweets"`
+	DroppedOriginals int             `json:"dropped_originals"`
+}
+
+// Write serialises the observable dataset plus ground-truth model as
+// JSON. Object-level truth records are omitted (they are large and
+// derivable); experiments that need them should use the in-memory
+// dataset.
+func (d *Dataset) Write(w io.Writer) error {
+	flowJSON, err := json.Marshal(d.Flow)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(jsonDataset{
+		Config:           d.Config,
+		Flow:             flowJSON,
+		Probs:            d.TruthICM.P,
+		Tweets:           d.Tweets,
+		DroppedOriginals: d.DroppedOriginals,
+	})
+}
+
+// Read deserialises a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("twitter: decode dataset: %w", err)
+	}
+	d := &Dataset{
+		Config:           jd.Config,
+		Omnipotent:       UserID(jd.Config.NumUsers),
+		Tweets:           jd.Tweets,
+		DroppedOriginals: jd.DroppedOriginals,
+	}
+	g, err := decodeGraph(jd.Flow)
+	if err != nil {
+		return nil, err
+	}
+	d.Flow = g
+	icm, err := newICM(g, jd.Probs)
+	if err != nil {
+		return nil, err
+	}
+	d.TruthICM = icm
+	return d, nil
+}

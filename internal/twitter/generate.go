@@ -1,0 +1,333 @@
+package twitter
+
+import (
+	"fmt"
+
+	"infoflow/internal/core"
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// Config controls dataset generation. The defaults (DefaultConfig)
+// produce a corpus with the qualitative properties the paper reports:
+// heavy-tailed user activity, short retweet chains, sparse data with
+// missing originals, URLs entering the network at a single point and
+// hashtags at many.
+type Config struct {
+	NumUsers       int
+	FollowsPerUser int     // outgoing follows per arriving user
+	Reciprocity    float64 // probability a follow is reciprocated
+
+	// Ground-truth activation probabilities (§V-C mixture): SkewFrac of
+	// edges draw from High, the rest from Low.
+	High     dist.Beta
+	Low      dist.Beta
+	SkewFrac float64
+
+	NumTweets  int     // original (non-retweet) message cascades
+	AuthorZipf float64 // skew of tweet authorship across users
+
+	// DropOriginalFrac of original tweets are removed from the corpus
+	// (the paper's data "contains many retweeted messages without the
+	// original tweet"); the preprocessor recovers them.
+	DropOriginalFrac float64
+
+	NumHashtags  int
+	HashtagSeeds int // independent external entry points per hashtag
+	NumURLs      int // each URL enters once, via the omnipotent user
+}
+
+// DefaultConfig returns a laptop-scale corpus configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumUsers:       2000,
+		FollowsPerUser: 4,
+		Reciprocity:    0.3,
+		// Subcritical activation probabilities: with ~5 flow edges per
+		// node, a mean near 0.1 keeps cascades small and chains short,
+		// matching the paper's observation that retweet chains longer
+		// than 3 users are very rare. A minority of stronger edges
+		// (mean 0.2) preserves the skew the learners must capture.
+		High:             dist.NewBeta(4, 16),
+		Low:              dist.NewBeta(1, 19),
+		SkewFrac:         0.3,
+		NumTweets:        4000,
+		AuthorZipf:       1.1,
+		DropOriginalFrac: 0.15,
+		NumHashtags:      150,
+		HashtagSeeds:     6,
+		NumURLs:          150,
+	}
+}
+
+func (c Config) validate() error {
+	if c.NumUsers < 2 {
+		return fmt.Errorf("twitter: need at least 2 users")
+	}
+	if c.FollowsPerUser < 1 {
+		return fmt.Errorf("twitter: FollowsPerUser must be positive")
+	}
+	if c.SkewFrac < 0 || c.SkewFrac > 1 || c.Reciprocity < 0 || c.Reciprocity > 1 ||
+		c.DropOriginalFrac < 0 || c.DropOriginalFrac > 1 {
+		return fmt.Errorf("twitter: fractions must lie in [0,1]")
+	}
+	if c.NumTweets < 0 || c.NumHashtags < 0 || c.NumURLs < 0 || c.HashtagSeeds < 1 {
+		return fmt.Errorf("twitter: negative counts")
+	}
+	return nil
+}
+
+// ObjectKind distinguishes the three granularities the paper studies.
+type ObjectKind int
+
+// The object kinds.
+const (
+	KindRetweet ObjectKind = iota
+	KindHashtag
+	KindURL
+)
+
+// ObjectTruth records the generator's ground truth for one propagated
+// object, for validation and for building test outcomes.
+type ObjectTruth struct {
+	Kind  ObjectKind
+	Label string // hashtag text or URL; empty for retweet cascades
+	// Seeds are the external entry users (the cascade sources).
+	Seeds []UserID
+	// ActiveTime maps each user that held the object to its activation
+	// round (the unattributed trace).
+	ActiveTime map[UserID]int
+	// Cascade is the full attributed cascade for retweet objects (nil
+	// for hashtag/URL objects, whose multi-seed generation has no single
+	// cascade).
+	Cascade *core.Cascade
+}
+
+// Dataset is a generated corpus plus its hidden ground truth.
+type Dataset struct {
+	Config Config
+
+	// Flow is the information-flow graph: an edge u -> v means v follows
+	// u, so content flows from u to v. Real users occupy nodes
+	// 0..NumUsers-1 (matching tweet author IDs); the last node is the
+	// omnipotent user representing the outside world, with an edge to
+	// every real user.
+	Flow *graph.DiGraph
+
+	// Omnipotent is the node ID of the outside-world user (NumUsers).
+	Omnipotent UserID
+
+	// TruthICM holds the generating activation probabilities on Flow.
+	TruthICM *core.ICM
+
+	// Tweets is the observable corpus, in posting order (but the
+	// preprocessor does not rely on order).
+	Tweets []Tweet
+
+	// DroppedOriginals counts original tweets removed for sparsity.
+	DroppedOriginals int
+
+	// Retweets, Hashtags, URLs are the ground-truth object records.
+	Retweets []ObjectTruth
+	Hashtags []ObjectTruth
+	URLs     []ObjectTruth
+}
+
+// RealUsers returns the IDs of all non-omnipotent users (0..NumUsers-1).
+func (d *Dataset) RealUsers() []UserID {
+	out := make([]UserID, 0, d.Config.NumUsers)
+	for v := 0; v < d.Config.NumUsers; v++ {
+		out = append(out, UserID(v))
+	}
+	return out
+}
+
+// Generate builds a dataset from the configuration.
+func Generate(cfg Config, r *rng.RNG) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{Config: cfg, Omnipotent: UserID(cfg.NumUsers)}
+	d.buildGraph(r)
+	d.assignProbabilities(r)
+	d.generateRetweets(r)
+	d.generateTagged(r, KindHashtag, cfg.NumHashtags, cfg.HashtagSeeds)
+	d.generateTagged(r, KindURL, cfg.NumURLs, 1)
+	return d, nil
+}
+
+// buildGraph creates the follow graph and derives the flow graph. The
+// preferential-attachment generator produces edges "new user -> followed
+// hub"; information flows the other way, so edges are reversed. The
+// omnipotent user is appended as the final node with an edge to every
+// real user, so real-user node IDs equal tweet author IDs.
+func (d *Dataset) buildGraph(r *rng.RNG) {
+	follows := graph.PreferentialAttachment(r, d.Config.NumUsers, d.Config.FollowsPerUser, d.Config.Reciprocity)
+	flow := graph.New(d.Config.NumUsers + 1)
+	for _, e := range follows.Edges() {
+		// e.From follows e.To: content flows To -> From.
+		flow.MustAddEdge(e.To, e.From)
+	}
+	for v := 0; v < d.Config.NumUsers; v++ {
+		flow.MustAddEdge(d.Omnipotent, graph.NodeID(v))
+	}
+	d.Flow = flow
+}
+
+// assignProbabilities draws the ground-truth ICM: the §V-C skewed
+// mixture on real edges, and a small constant on omnipotent edges (the
+// outside world occasionally hands anyone anything).
+func (d *Dataset) assignProbabilities(r *rng.RNG) {
+	p := make([]float64, d.Flow.NumEdges())
+	for id := 0; id < d.Flow.NumEdges(); id++ {
+		if d.Flow.Edge(graph.EdgeID(id)).From == d.Omnipotent {
+			p[id] = 0.002
+			continue
+		}
+		if r.Bernoulli(d.Config.SkewFrac) {
+			p[id] = d.Config.High.Sample(r)
+		} else {
+			p[id] = d.Config.Low.Sample(r)
+		}
+	}
+	d.TruthICM = core.MustNewICM(d.Flow, p)
+}
+
+// pickAuthor draws a tweet author with Zipf-skewed activity. The
+// omnipotent user never authors retweetable originals directly.
+func (d *Dataset) pickAuthor(r *rng.RNG) UserID {
+	return UserID(r.Zipf(d.Config.NumUsers, d.Config.AuthorZipf))
+}
+
+// generateRetweets simulates NumTweets cascades over the real-user part
+// of the graph and emits original + retweet messages.
+func (d *Dataset) generateRetweets(r *rng.RNG) {
+	clock := len(d.Tweets)
+	for i := 0; i < d.Config.NumTweets; i++ {
+		author := d.pickAuthor(r)
+		cascade := d.cascadeFrom(r, author)
+		body := fmt.Sprintf("message %d from %s", i, FormatUser(author))
+		truth := ObjectTruth{
+			Kind:       KindRetweet,
+			Seeds:      []UserID{author},
+			ActiveTime: map[UserID]int{},
+			Cascade:    cascade,
+		}
+		// Emit tweets in cascade-round order so retweets follow their
+		// parents in time. Text is reconstructed along the parent chain.
+		texts := make(map[UserID]string)
+		texts[author] = FormatOriginal(body, nil, nil)
+		order := usersByRound(cascade)
+		for _, u := range order {
+			truth.ActiveTime[u] = cascade.Round[u]
+			var text string
+			if u == author {
+				text = texts[u]
+			} else {
+				parent := cascade.Parent[u]
+				text = FormatRetweet(parent, texts[parent])
+				texts[u] = text
+			}
+			drop := u == author && r.Bernoulli(d.Config.DropOriginalFrac) && cascade.NumActive() > 1
+			if drop {
+				d.DroppedOriginals++
+			} else {
+				d.Tweets = append(d.Tweets, Tweet{
+					ID:     TweetID(len(d.Tweets)),
+					Author: u,
+					Time:   clock,
+					Text:   text,
+				})
+			}
+			clock++
+		}
+		d.Retweets = append(d.Retweets, truth)
+	}
+}
+
+// cascadeFrom simulates an ICM cascade among real users only (the
+// omnipotent user neither retweets nor is retweeted in retweet cascades).
+func (d *Dataset) cascadeFrom(r *rng.RNG, source UserID) *core.Cascade {
+	// Mask out omnipotent edges by sampling the cascade on the full model
+	// but starting from a real source: node 0 has no incoming edges, so
+	// it can never activate, and its outgoing edges are never tried.
+	return d.TruthICM.SampleCascade(r, []UserID{source})
+}
+
+// usersByRound returns the cascade's active users ordered by activation
+// round (sources first).
+func usersByRound(c *core.Cascade) []UserID {
+	var out []UserID
+	maxRound := 0
+	for _, r := range c.Round {
+		if r > maxRound {
+			maxRound = r
+		}
+	}
+	for round := 0; round <= maxRound; round++ {
+		for v, rv := range c.Round {
+			if rv == round {
+				out = append(out, UserID(v))
+			}
+		}
+	}
+	return out
+}
+
+// generateTagged simulates hashtag or URL objects: each object enters the
+// network at `seeds` independent users (hashtags arrive via offline
+// coordination at many points; URLs once, via the omnipotent user's edge
+// to a random user), then propagates by the ground-truth ICM. Every
+// active user emits one tweet mentioning the object.
+func (d *Dataset) generateTagged(r *rng.RNG, kind ObjectKind, count, seeds int) {
+	clock := len(d.Tweets)
+	for i := 0; i < count; i++ {
+		var label string
+		if kind == KindHashtag {
+			label = fmt.Sprintf("tag%d", i)
+		} else {
+			// The index prefix guarantees uniqueness; the random suffix
+			// models shortener output.
+			label = fmt.Sprintf("http://sho.rt/%d_%06x", i, r.Uint64()&0xffffff)
+		}
+		seedSet := make([]UserID, 0, seeds)
+		seen := map[UserID]bool{}
+		for len(seedSet) < seeds {
+			u := d.pickAuthor(r)
+			if !seen[u] {
+				seen[u] = true
+				seedSet = append(seedSet, u)
+			}
+		}
+		cascade := d.TruthICM.SampleCascade(r, seedSet)
+		truth := ObjectTruth{
+			Kind:       kind,
+			Label:      label,
+			Seeds:      seedSet,
+			ActiveTime: map[UserID]int{},
+		}
+		for _, u := range usersByRound(cascade) {
+			truth.ActiveTime[u] = cascade.Round[u]
+			var text string
+			if kind == KindHashtag {
+				text = FormatOriginal(fmt.Sprintf("about %s", label), []string{label}, nil)
+			} else {
+				text = FormatOriginal("look at this", nil, []string{label})
+			}
+			d.Tweets = append(d.Tweets, Tweet{
+				ID:     TweetID(len(d.Tweets)),
+				Author: u,
+				Time:   clock,
+				Text:   text,
+			})
+			clock++
+		}
+		clock += 10 // objects are temporally separated
+		if kind == KindHashtag {
+			d.Hashtags = append(d.Hashtags, truth)
+		} else {
+			d.URLs = append(d.URLs, truth)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package twitter
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"infoflow/internal/rng"
+)
+
+// smallConfig keeps generation fast in tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumUsers = 200
+	cfg.NumTweets = 300
+	cfg.NumHashtags = 20
+	cfg.NumURLs = 20
+	return cfg
+}
+
+func TestGenerateStructure(t *testing.T) {
+	r := rng.New(1)
+	d, err := Generate(smallConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Flow.NumNodes() != 201 {
+		t.Fatalf("nodes = %d", d.Flow.NumNodes())
+	}
+	// Omnipotent user reaches everyone.
+	if d.Flow.OutDegree(d.Omnipotent) != 200 {
+		t.Fatalf("omnipotent out-degree = %d", d.Flow.OutDegree(d.Omnipotent))
+	}
+	if d.Flow.InDegree(d.Omnipotent) != 0 {
+		t.Fatal("omnipotent has in-edges")
+	}
+	if len(d.Tweets) == 0 {
+		t.Fatal("no tweets generated")
+	}
+	if len(d.Retweets) != 300 || len(d.Hashtags) != 20 || len(d.URLs) != 20 {
+		t.Fatalf("object counts: %d %d %d", len(d.Retweets), len(d.Hashtags), len(d.URLs))
+	}
+	if len(d.RealUsers()) != 200 {
+		t.Fatalf("real users = %d", len(d.RealUsers()))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1, err := Generate(smallConfig(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(smallConfig(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Tweets) != len(d2.Tweets) {
+		t.Fatalf("tweet counts differ: %d vs %d", len(d1.Tweets), len(d2.Tweets))
+	}
+	for i := range d1.Tweets {
+		if d1.Tweets[i] != d2.Tweets[i] {
+			t.Fatalf("tweet %d differs", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rng.New(2)
+	bad := smallConfig()
+	bad.NumUsers = 1
+	if _, err := Generate(bad, r); err == nil {
+		t.Error("1-user config accepted")
+	}
+	bad = smallConfig()
+	bad.SkewFrac = 1.5
+	if _, err := Generate(bad, r); err == nil {
+		t.Error("bad skew accepted")
+	}
+	bad = smallConfig()
+	bad.HashtagSeeds = 0
+	if _, err := Generate(bad, r); err == nil {
+		t.Error("zero hashtag seeds accepted")
+	}
+}
+
+func TestGroundTruthProbabilitiesSkewed(t *testing.T) {
+	r := rng.New(3)
+	d, err := Generate(smallConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, low, omni := 0, 0, 0
+	sum := 0.0
+	for id, p := range d.TruthICM.P {
+		if d.Flow.Edge(int32(id)).From == d.Omnipotent {
+			omni++
+			if p != 0.002 {
+				t.Fatalf("omnipotent edge prob = %v", p)
+			}
+			continue
+		}
+		sum += p
+		if p > 0.15 {
+			high++
+		} else {
+			low++
+		}
+	}
+	if omni != 200 {
+		t.Fatalf("omnipotent edges = %d", omni)
+	}
+	// Subcritical regime: mean real-edge probability near 0.1, with both
+	// strong and weak edges present (the skew the learners must detect).
+	mean := sum / float64(high+low)
+	if math.Abs(mean-0.1) > 0.05 {
+		t.Errorf("mean real-edge probability = %v, want ~0.1", mean)
+	}
+	if high == 0 || low == 0 {
+		t.Errorf("mixture degenerate: high=%d low=%d", high, low)
+	}
+}
+
+func TestRetweetTweetsMatchCascades(t *testing.T) {
+	r := rng.New(4)
+	cfg := smallConfig()
+	cfg.DropOriginalFrac = 0 // keep everything for exact accounting
+	d, err := Generate(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total retweet-cascade tweets = sum of cascade sizes.
+	wantTweets := 0
+	for _, obj := range d.Retweets {
+		wantTweets += obj.Cascade.NumActive()
+	}
+	gotCascadeTweets := 0
+	for _, tw := range d.Tweets {
+		p := ParseTweet(tw.Text)
+		if len(p.Hashtags) == 0 && len(p.URLs) == 0 {
+			gotCascadeTweets++
+		}
+	}
+	if gotCascadeTweets != wantTweets {
+		t.Fatalf("cascade tweets %d, want %d", gotCascadeTweets, wantTweets)
+	}
+	// Every retweet's direct parent must hold an edge to the retweeter in
+	// the flow graph.
+	for _, tw := range d.Tweets {
+		p := ParseTweet(tw.Text)
+		if !p.IsRetweet() || len(p.Hashtags) > 0 || len(p.URLs) > 0 {
+			continue
+		}
+		parent := p.Ancestors[0]
+		if !d.Flow.HasEdge(parent, tw.Author) {
+			t.Fatalf("retweet by %d from %d without flow edge", tw.Author, parent)
+		}
+	}
+}
+
+func TestDropOriginals(t *testing.T) {
+	r := rng.New(5)
+	cfg := smallConfig()
+	cfg.DropOriginalFrac = 1 // drop every original with a retweet
+	d, err := Generate(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DroppedOriginals == 0 {
+		t.Fatal("nothing dropped at frac=1")
+	}
+	// Count original (non-retweet, non-tagged) tweets that survive: only
+	// cascades of size 1 keep their original.
+	for _, tw := range d.Tweets {
+		p := ParseTweet(tw.Text)
+		if p.IsRetweet() || len(p.Hashtags) > 0 || len(p.URLs) > 0 {
+			continue
+		}
+		key := p.Origin(tw.Author)
+		_ = key
+	}
+	stats := d.Stats()
+	if stats.DroppedOriginals != d.DroppedOriginals {
+		t.Fatal("stats dropped mismatch")
+	}
+}
+
+func TestHashtagsMultiSeedURLsSingleSeed(t *testing.T) {
+	r := rng.New(6)
+	d, err := Generate(smallConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range d.Hashtags {
+		if len(h.Seeds) != d.Config.HashtagSeeds {
+			t.Fatalf("hashtag seeds = %d", len(h.Seeds))
+		}
+	}
+	for _, u := range d.URLs {
+		if len(u.Seeds) != 1 {
+			t.Fatalf("url seeds = %d", len(u.Seeds))
+		}
+	}
+	// Labels are unique.
+	seen := map[string]bool{}
+	for _, u := range d.URLs {
+		if seen[u.Label] {
+			t.Fatalf("duplicate url %s", u.Label)
+		}
+		seen[u.Label] = true
+	}
+}
+
+func TestStatsAndInterestingUsers(t *testing.T) {
+	r := rng.New(7)
+	d, err := Generate(smallConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Tweets != len(d.Tweets) || s.Originals+s.Retweets != s.Tweets {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	top := d.InterestingUsers(10)
+	if len(top) != 10 {
+		t.Fatalf("interesting = %d", len(top))
+	}
+	// The most interesting user should be busier than a random one.
+	seen := map[UserID]bool{}
+	for _, u := range top {
+		if seen[u] {
+			t.Fatal("duplicate interesting user")
+		}
+		seen[u] = true
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	r := rng.New(8)
+	d, err := Generate(smallConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow.NumNodes() != d.Flow.NumNodes() || got.Flow.NumEdges() != d.Flow.NumEdges() {
+		t.Fatal("graph changed")
+	}
+	if len(got.Tweets) != len(d.Tweets) {
+		t.Fatal("tweets changed")
+	}
+	for i := range d.TruthICM.P {
+		if got.TruthICM.P[i] != d.TruthICM.P[i] {
+			t.Fatal("probabilities changed")
+		}
+	}
+}
+
+func TestSplitTweets(t *testing.T) {
+	r := rng.New(9)
+	cfg := smallConfig()
+	cfg.NumHashtags = 0
+	cfg.NumURLs = 0
+	cfg.DropOriginalFrac = 0
+	d, err := Generate(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := d.SplitTweets(0.7)
+	if len(train)+len(test) != len(d.Tweets) {
+		t.Fatalf("split loses tweets: %d + %d != %d", len(train), len(test), len(d.Tweets))
+	}
+	if len(test) == 0 || len(train) == 0 {
+		t.Fatal("degenerate split")
+	}
+	// No cascade straddles the split: each (origin, body) appears on one
+	// side only.
+	side := map[string]int{}
+	for _, tw := range train {
+		p := ParseTweet(tw.Text)
+		side[p.Body] = 1
+	}
+	for _, tw := range test {
+		p := ParseTweet(tw.Text)
+		if side[p.Body] == 1 {
+			t.Fatalf("cascade %q in both sides", p.Body)
+		}
+	}
+}

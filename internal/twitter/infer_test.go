@@ -1,0 +1,121 @@
+package twitter
+
+import (
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/rng"
+)
+
+func TestInferGraphSimple(t *testing.T) {
+	tweets := []Tweet{
+		{Author: 0, Text: "hi"},
+		{Author: 1, Text: FormatRetweet(0, "hi")},
+		{Author: 2, Text: FormatRetweet(1, FormatRetweet(0, "hi"))},
+		{Author: 1, Text: FormatRetweet(0, "hi again")},
+		{Author: 3, Text: FormatRetweet(99, "ghost")}, // out of range: ignored
+	}
+	inf := InferGraph(tweets, 4)
+	if inf.Flow.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", inf.Flow.NumNodes())
+	}
+	if !inf.Flow.HasEdge(0, 1) || !inf.Flow.HasEdge(1, 2) {
+		t.Fatalf("missing chain edges")
+	}
+	if inf.Flow.NumEdges() != 2 {
+		t.Fatalf("edges = %d", inf.Flow.NumEdges())
+	}
+	// Edge 0->1 witnessed three times: twice directly, once inside the
+	// nested chain.
+	id, _ := inf.Flow.EdgeID(0, 1)
+	if inf.EdgeObservations[id] != 3 {
+		t.Fatalf("observations(0->1) = %d", inf.EdgeObservations[id])
+	}
+}
+
+// TestInferredEdgesAreTrueEdges: on a generated corpus, every inferred
+// edge must exist in the hidden flow graph (retweets only happen along
+// real follow relationships), and well-exercised true edges should be
+// recovered.
+func TestInferredEdgesAreTrueEdges(t *testing.T) {
+	r := rng.New(200)
+	cfg := smallConfig()
+	cfg.NumHashtags = 0
+	cfg.NumURLs = 0
+	d, err := Generate(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := InferGraph(d.Tweets, cfg.NumUsers)
+	if inf.Flow.NumEdges() == 0 {
+		t.Fatal("nothing inferred")
+	}
+	for _, e := range inf.Flow.Edges() {
+		if !d.Flow.HasEdge(e.From, e.To) {
+			t.Fatalf("inferred edge %v not in true graph", e)
+		}
+	}
+	// Coverage: inferred edges should be a substantial share of the
+	// edges that actually carried at least one retweet.
+	carried := map[[2]UserID]bool{}
+	for _, obj := range d.Retweets {
+		c := obj.Cascade
+		for v, parent := range c.Parent {
+			if parent >= 0 {
+				carried[[2]UserID{parent, UserID(v)}] = true
+			}
+		}
+	}
+	if len(carried) == 0 {
+		t.Fatal("no cascades carried edges")
+	}
+	if inf.Flow.NumEdges() < len(carried)*9/10 {
+		t.Errorf("inferred %d of %d carrying edges", inf.Flow.NumEdges(), len(carried))
+	}
+}
+
+// TestTrainOnInferredTopology: the full paper-faithful pipeline — infer
+// the graph from the data, extract attributed evidence against it, and
+// train — must produce usable estimates on well-observed edges.
+func TestTrainOnInferredTopology(t *testing.T) {
+	r := rng.New(201)
+	cfg := smallConfig()
+	cfg.NumUsers = 300
+	cfg.NumTweets = 2500
+	cfg.NumHashtags = 0
+	cfg.NumURLs = 0
+	d, err := Generate(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := InferGraph(d.Tweets, cfg.NumUsers)
+	res := ExtractAttributed(inf.Flow, d.Tweets)
+	if res.Objects == 0 {
+		t.Fatal("no evidence on inferred graph")
+	}
+	bm := core.NewBetaICM(inf.Flow)
+	if err := bm.TrainAttributedCensored(&res.Evidence); err != nil {
+		t.Fatal(err)
+	}
+	// Compare trained means to ground truth on heavily observed edges.
+	checked := 0
+	for id := 0; id < inf.Flow.NumEdges(); id++ {
+		if inf.EdgeObservations[id] < 20 {
+			continue
+		}
+		e := inf.Flow.Edge(int32(id))
+		trueID, ok := d.Flow.EdgeID(e.From, e.To)
+		if !ok {
+			t.Fatalf("edge %v missing from truth", e)
+		}
+		got := bm.B[id].Mean()
+		want := d.TruthICM.P[trueID]
+		if got < want/4 || got > 4*want+0.2 {
+			t.Errorf("edge %v: trained %v truth %v", e, got, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no heavily observed edges at this scale")
+	}
+}

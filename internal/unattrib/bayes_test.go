@@ -1,0 +1,246 @@
+package unattrib
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// synthSummary generates a summary for one sink with the given true edge
+// probabilities: each observation activates a random non-empty parent
+// subset and the sink leaks with probability 1 - prod(1 - p_j) over that
+// subset.
+func synthSummary(r *rng.RNG, truth []float64, objects int) *Summary {
+	parents := make([]graph.NodeID, len(truth))
+	for j := range parents {
+		parents[j] = graph.NodeID(j)
+	}
+	s, err := NewSummary(graph.NodeID(len(truth)), parents)
+	if err != nil {
+		panic(err)
+	}
+	for o := 0; o < objects; o++ {
+		var set CharBits
+		for set == 0 {
+			for j := range truth {
+				if r.Bernoulli(0.6) {
+					set = set.With(j)
+				}
+			}
+		}
+		s.Observe(set, r.Bernoulli(jointProb(set, truth)))
+	}
+	s.sortRows()
+	return s
+}
+
+func TestUnambiguousPriors(t *testing.T) {
+	s, _ := NewSummary(9, []graph.NodeID{0, 1})
+	s.AddRow(0b01, 10, 4)  // unambiguous for parent 0
+	s.AddRow(0b11, 50, 25) // ambiguous: ignored by priors
+	priors := UnambiguousPriors(s)
+	if priors[0] != (dist.Beta{Alpha: 5, Beta: 7}) {
+		t.Errorf("prior 0 = %v", priors[0])
+	}
+	if priors[1] != dist.Uniform() {
+		t.Errorf("prior 1 = %v", priors[1])
+	}
+}
+
+func TestLogLikelihoodValues(t *testing.T) {
+	s, _ := NewSummary(9, []graph.NodeID{0, 1})
+	s.AddRow(0b01, 2, 1)
+	p := []float64{0.5, 0.9}
+	// pJ for {0} is 0.5: ll = 1*log(.5) + 1*log(.5).
+	want := math.Log(0.5) * 2
+	if got := LogLikelihood(s, p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ll = %v want %v", got, want)
+	}
+	// Impossible evidence: leak with pJ = 0.
+	s2, _ := NewSummary(9, []graph.NodeID{0})
+	s2.AddRow(0b1, 1, 1)
+	if got := LogLikelihood(s2, []float64{0}); !math.IsInf(got, -1) {
+		t.Errorf("impossible ll = %v", got)
+	}
+	// Non-leak with pJ = 1.
+	s3, _ := NewSummary(9, []graph.NodeID{0})
+	s3.AddRow(0b1, 1, 0)
+	if got := LogLikelihood(s3, []float64{1}); !math.IsInf(got, -1) {
+		t.Errorf("impossible ll = %v", got)
+	}
+}
+
+func TestJointBayesRecoverUnambiguous(t *testing.T) {
+	// With only unambiguous evidence, the posterior must match the
+	// analytic beta posterior (prior x likelihood of the same counts —
+	// the paper's construction double-counts unambiguous rows, giving
+	// Beta(1+2s, 1+2f)).
+	r := rng.New(20)
+	s, _ := NewSummary(9, []graph.NodeID{0})
+	s.AddRow(0b1, 100, 30)
+	post, err := JointBayes(s, DefaultBayesOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := dist.NewBeta(1+60, 1+140)
+	if math.Abs(post.Mean[0]-analytic.Mean()) > 0.02 {
+		t.Errorf("posterior mean %v vs analytic %v", post.Mean[0], analytic.Mean())
+	}
+	if math.Abs(post.StdDev[0]-analytic.StdDev()) > 0.01 {
+		t.Errorf("posterior sd %v vs analytic %v", post.StdDev[0], analytic.StdDev())
+	}
+}
+
+func TestJointBayesRecoversTruth(t *testing.T) {
+	r := rng.New(21)
+	truth := []float64{0.8, 0.2, 0.6}
+	s := synthSummary(r, truth, 4000)
+	post, err := JointBayes(s, DefaultBayesOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range truth {
+		if math.Abs(post.Mean[j]-want) > 0.08 {
+			t.Errorf("edge %d: posterior mean %v, truth %v", j, post.Mean[j], want)
+		}
+	}
+	if post.AcceptanceRate <= 0 || post.AcceptanceRate >= 1 {
+		t.Errorf("acceptance rate = %v", post.AcceptanceRate)
+	}
+	if len(post.Samples) != DefaultBayesOptions().Samples {
+		t.Errorf("samples = %d", len(post.Samples))
+	}
+}
+
+func TestJointBayesUncertaintyShrinks(t *testing.T) {
+	r := rng.New(22)
+	truth := []float64{0.7, 0.3}
+	small := synthSummary(r, truth, 30)
+	large := synthSummary(r, truth, 3000)
+	postSmall, err := JointBayes(small, DefaultBayesOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postLarge, err := JointBayes(large, DefaultBayesOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range truth {
+		if postLarge.StdDev[j] >= postSmall.StdDev[j] {
+			t.Errorf("edge %d: sd did not shrink (%v -> %v)",
+				j, postSmall.StdDev[j], postLarge.StdDev[j])
+		}
+	}
+}
+
+func TestJointBayesValidation(t *testing.T) {
+	r := rng.New(23)
+	s, _ := NewSummary(9, []graph.NodeID{0})
+	s.AddRow(0b1, 5, 2)
+	bad := DefaultBayesOptions()
+	bad.Samples = 0
+	if _, err := JointBayes(s, bad, r); err == nil {
+		t.Error("bad options accepted")
+	}
+	empty, _ := NewSummary(9, nil)
+	if _, err := JointBayes(empty, DefaultBayesOptions(), r); err == nil {
+		t.Error("parentless summary accepted")
+	}
+}
+
+func TestPosteriorBetasAndNormals(t *testing.T) {
+	r := rng.New(24)
+	s := synthSummary(r, []float64{0.5, 0.5}, 500)
+	post, err := JointBayes(s, DefaultBayesOptions(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	betas := post.Betas()
+	normals := post.Normals()
+	for j := range post.Mean {
+		if math.Abs(betas[j].Mean()-post.Mean[j]) > 0.01 {
+			t.Errorf("beta mean %v vs posterior mean %v", betas[j].Mean(), post.Mean[j])
+		}
+		if normals[j].Mu != post.Mean[j] || normals[j].Sigma != post.StdDev[j] {
+			t.Errorf("normal approx mismatch at %d", j)
+		}
+	}
+}
+
+// TestJointBayesTableIIBimodal checks the Appendix claim: on Table II the
+// posterior over (A, C) is spread across multiple modes, so the sample
+// standard deviation is large compared to an unambiguous dataset of the
+// same size.
+func TestJointBayesTableIIBimodal(t *testing.T) {
+	r := rng.New(25)
+	opts := DefaultBayesOptions()
+	opts.Samples = 4000
+	post, err := JointBayes(TableII(), opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A and C are interchangeable in Table II's likelihood; their
+	// posterior spread reflects the ridge between modes.
+	if post.StdDev[0] < 0.05 {
+		t.Errorf("A posterior sd = %v, expected broad/multimodal", post.StdDev[0])
+	}
+	if post.StdDev[2] < 0.05 {
+		t.Errorf("C posterior sd = %v, expected broad/multimodal", post.StdDev[2])
+	}
+}
+
+// TestPosteriorCorrelationTableII pins the paper's claim that the joint
+// posterior can reveal edge correlations ("can even indicate if some
+// edges are positively or negatively correlated"): in Table II, A and B
+// must jointly explain the {A,B} row's 50% leak rate, so their posterior
+// mass trades off (negative correlation), likewise B and C via the
+// {B,C} row; A and C are symmetric twins that rise together whenever B
+// falls (positive correlation). No point estimator expresses any of
+// this.
+func TestPosteriorCorrelationTableII(t *testing.T) {
+	r := rng.New(26)
+	opts := DefaultBayesOptions()
+	opts.Samples = 4000
+	post, err := JointBayes(TableII(), opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := post.Correlation()
+	if corr[0][0] != 1 || corr[2][2] != 1 {
+		t.Fatalf("diagonal = %v, %v", corr[0][0], corr[2][2])
+	}
+	if corr[0][2] != corr[2][0] {
+		t.Fatal("correlation matrix not symmetric")
+	}
+	if corr[0][1] > -0.3 {
+		t.Errorf("corr(A, B) = %v, expected clearly negative", corr[0][1])
+	}
+	if corr[1][2] > -0.3 {
+		t.Errorf("corr(B, C) = %v, expected clearly negative", corr[1][2])
+	}
+	if corr[0][2] < 0.2 {
+		t.Errorf("corr(A, C) = %v, expected clearly positive", corr[0][2])
+	}
+}
+
+// TestPosteriorCorrelationIndependentEdges: with purely unambiguous
+// evidence the edges are a posteriori independent.
+func TestPosteriorCorrelationIndependentEdges(t *testing.T) {
+	r := rng.New(27)
+	s, _ := NewSummary(9, []graph.NodeID{0, 1})
+	s.AddRow(0b01, 200, 80)
+	s.AddRow(0b10, 200, 50)
+	opts := DefaultBayesOptions()
+	opts.Samples = 4000
+	post, err := JointBayes(s, opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := post.Correlation()
+	if math.Abs(corr[0][1]) > 0.1 {
+		t.Errorf("independent edges correlate: %v", corr[0][1])
+	}
+}

@@ -1,0 +1,69 @@
+package unattrib
+
+import (
+	"testing"
+
+	"infoflow/internal/graph"
+)
+
+// TestBuildSummariesCapsHubParents: a sink with more than MaxParents
+// ever-active parents keeps the most active ones and reports the drop.
+func TestBuildSummariesCapsHubParents(t *testing.T) {
+	const nParents = MaxParents + 10
+	g := graph.New(nParents + 1)
+	sink := graph.NodeID(nParents)
+	for j := 0; j < nParents; j++ {
+		g.MustAddEdge(graph.NodeID(j), sink)
+	}
+	// Parent j is active in j+1 traces, so low-index parents are the
+	// least active and must be the ones dropped.
+	var traces []Trace
+	for o := 0; o < nParents+1; o++ {
+		tr := Trace{}
+		for j := 0; j < nParents; j++ {
+			if j+1 > o {
+				tr[graph.NodeID(j)] = 0
+			}
+		}
+		if len(tr) > 0 {
+			traces = append(traces, tr)
+		}
+	}
+	sums, err := BuildSummaries(g, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sums[sink]
+	if len(s.Parents) != MaxParents {
+		t.Fatalf("parents = %d, want %d", len(s.Parents), MaxParents)
+	}
+	if s.DroppedParents != 10 {
+		t.Fatalf("dropped = %d, want 10", s.DroppedParents)
+	}
+	// The dropped parents are exactly the 10 least active (lowest j).
+	for _, p := range s.Parents {
+		if int(p) < 10 {
+			t.Fatalf("least-active parent %d retained", p)
+		}
+	}
+}
+
+// TestBuildSummariesDropsInactiveParents: never-active parents vanish
+// from the summary without counting as dropped.
+func TestBuildSummariesDropsInactiveParents(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	traces := []Trace{{0: 0, 2: 1}}
+	sums, err := BuildSummaries(g, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sums[2]
+	if len(s.Parents) != 1 || s.Parents[0] != 0 {
+		t.Fatalf("parents = %v", s.Parents)
+	}
+	if s.DroppedParents != 0 {
+		t.Fatalf("dropped = %d", s.DroppedParents)
+	}
+}

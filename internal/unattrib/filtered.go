@@ -1,0 +1,24 @@
+package unattrib
+
+import "infoflow/internal/dist"
+
+// Filtered is the paper's filtered baseline (§V-C): treat each
+// unambiguous observation (exactly one active incident parent) as
+// attributed evidence for that single edge, and discard every ambiguous
+// observation. The result is a beta distribution per local parent,
+// starting from the uniform prior — identical to UnambiguousPriors, named
+// separately because it IS the estimator here rather than a prior.
+func Filtered(s *Summary) []dist.Beta {
+	return UnambiguousPriors(s)
+}
+
+// FilteredMeans returns the filtered estimator's point estimates (beta
+// means), convenient for RMSE comparisons against the other methods.
+func FilteredMeans(s *Summary) []float64 {
+	betas := Filtered(s)
+	out := make([]float64, len(betas))
+	for j, b := range betas {
+		out[j] = b.Mean()
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package unattrib
+
+// Goyal estimates edge probabilities by the credit rule of Goyal et al.
+// (§V-B): every observation in which the sink became active distributes
+// one unit of credit equally among the parents active before it
+// (credit = k_o / |J_o|), and each edge's probability is its total credit
+// divided by the number of observations in which its parent was active.
+//
+// The paper characterises this as "only a rule of thumb" that biases
+// probabilities toward the mean of all edges incident on the sink; the
+// Figure 7 experiments quantify that bias. The result is indexed by the
+// summary's local parent order.
+func Goyal(s *Summary) []float64 {
+	n := len(s.Parents)
+	credit := make([]float64, n)
+	activeObs := make([]float64, n) // |{o : j in J_o}|
+	for _, r := range s.Rows {
+		size := float64(r.Set.Size())
+		for j := 0; j < n; j++ {
+			if !r.Set.Has(j) {
+				continue
+			}
+			activeObs[j] += float64(r.Count)
+			credit[j] += float64(r.Leaks) / size
+		}
+	}
+	p := make([]float64, n)
+	for j := range p {
+		if activeObs[j] > 0 {
+			p[j] = credit[j] / activeObs[j]
+		}
+	}
+	return p
+}

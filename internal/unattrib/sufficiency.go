@@ -1,0 +1,51 @@
+package unattrib
+
+import (
+	"math"
+
+	"infoflow/internal/graph"
+)
+
+// LogLikelihoodTraces evaluates the evidence log likelihood for one sink
+// directly from raw traces — one Bernoulli term per object — without
+// summarising. It exists to validate (and benchmark against) the
+// summary path: §V-B claims the summary is a sufficient statistic, so
+// LogLikelihood(summary, p) must equal this value exactly for the same
+// evidence; the test suite asserts that, and the Figure 6 benchmarks
+// quantify what summarisation saves (omega binomial terms instead of m
+// Bernoulli terms).
+func LogLikelihoodTraces(sink graph.NodeID, parents []graph.NodeID, traces []Trace, p []float64) float64 {
+	ll := 0.0
+	for _, tr := range traces {
+		tSink, sinkActive := tr[sink]
+		surv := 1.0
+		any := false
+		for j, parent := range parents {
+			tp, ok := tr[parent]
+			if !ok {
+				continue
+			}
+			if sinkActive && tp >= tSink {
+				continue
+			}
+			any = true
+			surv *= 1 - p[j]
+		}
+		if !any {
+			continue // no potential cause: carries no edge information
+		}
+		pJ := 1 - surv
+		if sinkActive {
+			if pJ <= 0 {
+				return math.Inf(-1)
+			}
+			ll += math.Log(pJ)
+		} else {
+			if pJ >= 1 {
+				return math.Inf(-1)
+			}
+			ll += math.Log1p(-pJ)
+		}
+	}
+	return ll
+}

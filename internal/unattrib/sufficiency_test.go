@@ -1,0 +1,170 @@
+package unattrib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// TestSummaryIsSufficientStatistic is the §V-B sufficiency claim made
+// executable: on random evidence, the summarised binomial likelihood
+// equals the raw per-object Bernoulli likelihood exactly.
+func TestSummaryIsSufficientStatistic(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		nParents := r.Intn(5) + 1
+		g := graph.New(nParents + 1)
+		sink := graph.NodeID(nParents)
+		parents := make([]graph.NodeID, nParents)
+		for j := 0; j < nParents; j++ {
+			g.MustAddEdge(graph.NodeID(j), sink)
+			parents[j] = graph.NodeID(j)
+		}
+		truth := make([]float64, nParents)
+		for j := range truth {
+			truth[j] = r.Float64()
+		}
+		var traces []Trace
+		for o := 0; o < r.Intn(60)+1; o++ {
+			tr := Trace{}
+			leak := false
+			for j := range truth {
+				if r.Bernoulli(0.5) {
+					tr[graph.NodeID(j)] = 0
+					if r.Bernoulli(truth[j]) {
+						leak = true
+					}
+				}
+			}
+			if leak {
+				tr[sink] = 1
+			}
+			if len(tr) > 0 {
+				traces = append(traces, tr)
+			}
+		}
+		sums, err := BuildSummaries(g, traces)
+		if err != nil {
+			return false
+		}
+		// Evaluate at several probability vectors, not just the truth.
+		// The summary restricts itself to ever-active parents, so its p
+		// vector is the projection of the full one (inactive parents
+		// contribute to neither likelihood).
+		s := sums[sink]
+		for trial := 0; trial < 5; trial++ {
+			p := make([]float64, nParents)
+			for j := range p {
+				p[j] = r.Uniform(0.01, 0.99)
+			}
+			pSel := make([]float64, len(s.Parents))
+			for i, parent := range s.Parents {
+				pSel[i] = p[int(parent)]
+			}
+			fromSummary := LogLikelihood(s, pSel)
+			fromTraces := LogLikelihoodTraces(sink, parents, traces, p)
+			if math.Abs(fromSummary-fromTraces) > 1e-9*(1+math.Abs(fromTraces)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummarySpeedup sanity-checks the computational claim behind the
+// summary: with many duplicate observations, evaluating the summarised
+// likelihood is substantially cheaper than the raw one.
+func TestSummarySpeedup(t *testing.T) {
+	r := rng.New(99)
+	const nParents = 4
+	g := graph.New(nParents + 1)
+	sink := graph.NodeID(nParents)
+	parents := make([]graph.NodeID, nParents)
+	for j := 0; j < nParents; j++ {
+		g.MustAddEdge(graph.NodeID(j), sink)
+		parents[j] = graph.NodeID(j)
+	}
+	var traces []Trace
+	for o := 0; o < 30000; o++ {
+		tr := Trace{}
+		for j := 0; j < nParents; j++ {
+			if r.Bernoulli(0.5) {
+				tr[graph.NodeID(j)] = 0
+			}
+		}
+		if len(tr) > 0 && r.Bernoulli(0.3) {
+			tr[sink] = 1
+		}
+		if len(tr) > 0 {
+			traces = append(traces, tr)
+		}
+	}
+	sums, err := BuildSummaries(g, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sums[sink]
+	if len(s.Rows) >= 1<<nParents+1 {
+		t.Fatalf("omega = %d", len(s.Rows))
+	}
+	p := []float64{0.2, 0.4, 0.6, 0.8}
+	// Equality first.
+	if a, b := LogLikelihood(s, p), LogLikelihoodTraces(sink, parents, traces, p); math.Abs(a-b) > 1e-6 {
+		t.Fatalf("likelihoods differ: %v vs %v", a, b)
+	}
+	const reps = 200
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		LogLikelihood(s, p)
+	}
+	summaryTime := time.Since(start)
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		LogLikelihoodTraces(sink, parents, traces, p)
+	}
+	rawTime := time.Since(start)
+	if summaryTime*10 > rawTime {
+		t.Errorf("summary evaluation (%v) not clearly faster than raw (%v) on 30k duplicated objects",
+			summaryTime, rawTime)
+	}
+}
+
+func TestLogLikelihoodTracesEdgeCases(t *testing.T) {
+	parents := []graph.NodeID{0}
+	// Leak with zero-probability edge: impossible.
+	traces := []Trace{{0: 0, 1: 1}}
+	if v := LogLikelihoodTraces(1, parents, traces, []float64{0}); !math.IsInf(v, -1) {
+		t.Errorf("impossible leak ll = %v", v)
+	}
+	// Non-leak with certain edge: impossible.
+	traces = []Trace{{0: 0}}
+	if v := LogLikelihoodTraces(1, parents, traces, []float64{1}); !math.IsInf(v, -1) {
+		t.Errorf("impossible non-leak ll = %v", v)
+	}
+	// Parent active after the sink: no information.
+	traces = []Trace{{0: 5, 1: 1}}
+	if v := LogLikelihoodTraces(1, parents, traces, []float64{0.5}); v != 0 {
+		t.Errorf("late parent ll = %v, want 0", v)
+	}
+	// No traces at all.
+	if v := LogLikelihoodTraces(1, parents, nil, []float64{0.5}); v != 0 {
+		t.Errorf("empty ll = %v", v)
+	}
+}
+
+func BenchmarkLogLikelihoodSummary(b *testing.B) {
+	r := rng.New(1)
+	s := synthSummary(r, []float64{0.2, 0.5, 0.7, 0.3}, 50000)
+	p := []float64{0.3, 0.4, 0.5, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LogLikelihood(s, p)
+	}
+}

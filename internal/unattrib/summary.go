@@ -1,0 +1,299 @@
+// Package unattrib implements §V of the paper: learning ICM activation
+// probabilities from unattributed evidence, where each observation tells
+// us only which nodes held an information object and when — not which
+// edge carried it.
+//
+// Everything operates per sink node k (the ICM factorises that way, §V-B):
+// the evidence for k is summarised as a table of characteristics — sets
+// of k's incident parents that were active before k — with, for each
+// characteristic, the number of times it was observed and the number of
+// times k then became active ("leaked"). The summary is a sufficient
+// statistic: the likelihood is one Binomial per characteristic instead of
+// one Bernoulli per object.
+//
+// Four estimators are provided, matching the paper's comparison:
+//
+//   - JointBayes: the paper's contribution — MCMC over the joint
+//     posterior of all incident edge probabilities (beta priors from the
+//     unambiguous rows times binomial likelihoods).
+//   - Goyal: the credit rule of Goyal et al.
+//   - Saito (original discrete-time) and SaitoRelaxed (the paper's
+//     appendix modification using summaries): EM maximum likelihood.
+//   - Filtered: attributed-style beta counting restricted to unambiguous
+//     observations, discarding the rest.
+package unattrib
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"infoflow/internal/graph"
+)
+
+// MaxParents bounds the number of incident parents per sink; a
+// characteristic is a bitset in a uint64.
+const MaxParents = 64
+
+// CharBits is a characteristic: bit j set means local parent j was active
+// before the sink.
+type CharBits uint64
+
+// Has reports whether local parent j is in the characteristic.
+func (c CharBits) Has(j int) bool { return c&(1<<uint(j)) != 0 }
+
+// With returns the characteristic with local parent j added.
+func (c CharBits) With(j int) CharBits { return c | 1<<uint(j) }
+
+// Size returns the number of parents in the characteristic.
+func (c CharBits) Size() int { return bits.OnesCount64(uint64(c)) }
+
+// Single returns the index of the only parent in an unambiguous
+// characteristic, and whether the characteristic is unambiguous.
+func (c CharBits) Single() (int, bool) {
+	if c.Size() != 1 {
+		return 0, false
+	}
+	return bits.TrailingZeros64(uint64(c)), true
+}
+
+// Row is one line of an evidence summary (the paper's Table I): a
+// characteristic, the number of times it was observed (n_J), and the
+// number of those in which the sink became active (L_J).
+type Row struct {
+	Set   CharBits
+	Count int // n_J
+	Leaks int // L_J
+}
+
+// Summary is the evidence summary for a single sink: its incident
+// parents (in fixed local order) and the observed characteristic rows.
+type Summary struct {
+	Sink    graph.NodeID
+	Parents []graph.NodeID // local index -> graph node
+	Rows    []Row
+	// DroppedParents counts incident parents excluded from the summary
+	// because the sink's ever-active parent set exceeded MaxParents (see
+	// BuildSummaries); only the least active parents are dropped.
+	DroppedParents int
+}
+
+// NewSummary starts an empty summary for a sink with the given parents.
+func NewSummary(sink graph.NodeID, parents []graph.NodeID) (*Summary, error) {
+	if len(parents) > MaxParents {
+		return nil, fmt.Errorf("unattrib: sink %d has %d parents, limit %d", sink, len(parents), MaxParents)
+	}
+	return &Summary{Sink: sink, Parents: append([]graph.NodeID(nil), parents...)}, nil
+}
+
+// Observe records one observation: the characteristic of active parents
+// and whether the sink leaked. Empty characteristics carry no information
+// about k's incident edges and are ignored.
+func (s *Summary) Observe(set CharBits, leaked bool) {
+	if set == 0 {
+		return
+	}
+	for i := range s.Rows {
+		if s.Rows[i].Set == set {
+			s.Rows[i].Count++
+			if leaked {
+				s.Rows[i].Leaks++
+			}
+			return
+		}
+	}
+	r := Row{Set: set, Count: 1}
+	if leaked {
+		r.Leaks = 1
+	}
+	s.Rows = append(s.Rows, r)
+}
+
+// AddRow records a pre-aggregated row (e.g. the paper's Table I and
+// Table II examples), merging with an existing row for the same
+// characteristic.
+func (s *Summary) AddRow(set CharBits, count, leaks int) error {
+	if set == 0 {
+		return fmt.Errorf("unattrib: empty characteristic")
+	}
+	if count < 0 || leaks < 0 || leaks > count {
+		return fmt.Errorf("unattrib: invalid row count=%d leaks=%d", count, leaks)
+	}
+	hi := 64
+	if len(s.Parents) < hi {
+		hi = len(s.Parents)
+	}
+	if uint64(set)>>uint(hi) != 0 {
+		return fmt.Errorf("unattrib: characteristic %b references parent beyond %d", set, len(s.Parents))
+	}
+	for i := range s.Rows {
+		if s.Rows[i].Set == set {
+			s.Rows[i].Count += count
+			s.Rows[i].Leaks += leaks
+			return nil
+		}
+	}
+	s.Rows = append(s.Rows, Row{Set: set, Count: count, Leaks: leaks})
+	return nil
+}
+
+// NumObservations returns the total observation count across rows.
+func (s *Summary) NumObservations() int {
+	n := 0
+	for _, r := range s.Rows {
+		n += r.Count
+	}
+	return n
+}
+
+// ParentIndex returns the local index of a parent node.
+func (s *Summary) ParentIndex(v graph.NodeID) (int, bool) {
+	for i, p := range s.Parents {
+		if p == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// sortRows orders rows by characteristic for deterministic iteration.
+func (s *Summary) sortRows() {
+	sort.Slice(s.Rows, func(i, j int) bool { return s.Rows[i].Set < s.Rows[j].Set })
+}
+
+// Trace is the unattributed observation of one information object: the
+// time (any monotone clock; cascade rounds work) at which each node
+// became active. Nodes absent from the map never activated.
+type Trace map[graph.NodeID]int
+
+// BuildSummaries aggregates traces into one summary per sink that has at
+// least one incident edge in g. Per the paper (§V-B): if the sink became
+// active, the observed characteristic is the set of parents active
+// strictly before it; otherwise it is the set of parents active at the
+// latest time in the data. Sinks that activate with no previously-active
+// parent (external arrivals) contribute nothing for that object.
+//
+// Each summary's parent set is restricted to the parents that are active
+// in at least one trace: a never-active parent appears in no
+// characteristic, so its posterior would equal its prior regardless, and
+// dropping it keeps characteristics within the MaxParents bitset bound
+// on hub sinks. If even the ever-active set exceeds MaxParents, the
+// least-active parents are dropped and counted in DroppedParents.
+func BuildSummaries(g *graph.DiGraph, traces []Trace) (map[graph.NodeID]*Summary, error) {
+	out := make(map[graph.NodeID]*Summary)
+	for v := 0; v < g.NumNodes(); v++ {
+		sink := graph.NodeID(v)
+		if g.InDegree(sink) == 0 {
+			continue
+		}
+		all := g.Parents(sink)
+		// First pass: how often is each incident parent active at all?
+		activity := make([]int, len(all))
+		for _, tr := range traces {
+			for j, p := range all {
+				if _, ok := tr[p]; ok {
+					activity[j]++
+				}
+			}
+		}
+		idx := make([]int, 0, len(all))
+		for j, c := range activity {
+			if c > 0 {
+				idx = append(idx, j)
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if activity[idx[a]] != activity[idx[b]] {
+				return activity[idx[a]] > activity[idx[b]]
+			}
+			return all[idx[a]] < all[idx[b]]
+		})
+		dropped := 0
+		if len(idx) > MaxParents {
+			dropped = len(idx) - MaxParents
+			idx = idx[:MaxParents]
+		}
+		parents := make([]graph.NodeID, len(idx))
+		for i, j := range idx {
+			parents[i] = all[j]
+		}
+		// Deterministic local order.
+		sort.Slice(parents, func(a, b int) bool { return parents[a] < parents[b] })
+		sum, err := NewSummary(sink, parents)
+		if err != nil {
+			return nil, err
+		}
+		sum.DroppedParents = dropped
+		out[sink] = sum
+	}
+	for _, tr := range traces {
+		for sink, sum := range out {
+			tSink, sinkActive := tr[sink]
+			var set CharBits
+			for j, p := range sum.Parents {
+				tp, ok := tr[p]
+				if !ok {
+					continue
+				}
+				if sinkActive {
+					if tp < tSink {
+						set = set.With(j)
+					}
+				} else {
+					set = set.With(j)
+				}
+			}
+			sum.Observe(set, sinkActive)
+		}
+	}
+	for _, sum := range out {
+		sum.sortRows()
+	}
+	return out, nil
+}
+
+// TableI returns the paper's Table I example summary: sink k with
+// incident nodes A, B, C (local indices 0, 1, 2) and rows
+//
+//	A B C  count leaks
+//	1 1 0     5     1
+//	0 1 1    50    15
+//	1 0 1    10     2
+func TableI() *Summary {
+	s, err := NewSummary(3, []graph.NodeID{0, 1, 2})
+	if err != nil {
+		panic(err)
+	}
+	must := func(e error) {
+		if e != nil {
+			panic(e)
+		}
+	}
+	must(s.AddRow(CharBits(0b011), 5, 1))
+	must(s.AddRow(CharBits(0b110), 50, 15))
+	must(s.AddRow(CharBits(0b101), 10, 2))
+	return s
+}
+
+// TableII returns the paper's Table II example, whose likelihood surface
+// is multimodal (the Appendix's EM-vs-Bayes illustration):
+//
+//	A B C  count leaks
+//	1 1 0   100    50
+//	0 1 1   100    50
+//	1 1 1   100    75
+func TableII() *Summary {
+	s, err := NewSummary(3, []graph.NodeID{0, 1, 2})
+	if err != nil {
+		panic(err)
+	}
+	must := func(e error) {
+		if e != nil {
+			panic(e)
+		}
+	}
+	must(s.AddRow(CharBits(0b011), 100, 50))
+	must(s.AddRow(CharBits(0b110), 100, 50))
+	must(s.AddRow(CharBits(0b111), 100, 75))
+	return s
+}

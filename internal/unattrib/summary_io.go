@@ -1,0 +1,72 @@
+package unattrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"infoflow/internal/graph"
+)
+
+// jsonSummary is the wire form of one sink's evidence summary.
+type jsonSummary struct {
+	Sink           graph.NodeID   `json:"sink"`
+	Parents        []graph.NodeID `json:"parents"`
+	DroppedParents int            `json:"dropped_parents,omitempty"`
+	Rows           []jsonRow      `json:"rows"`
+}
+
+type jsonRow struct {
+	Set   uint64 `json:"set"`
+	Count int    `json:"count"`
+	Leaks int    `json:"leaks"`
+}
+
+// WriteSummaries serialises a per-sink summary map as JSON (sorted by
+// sink for determinism).
+func WriteSummaries(w io.Writer, sums map[graph.NodeID]*Summary) error {
+	sinks := make([]graph.NodeID, 0, len(sums))
+	for sink := range sums {
+		sinks = append(sinks, sink)
+	}
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+	out := make([]jsonSummary, 0, len(sinks))
+	for _, sink := range sinks {
+		s := sums[sink]
+		js := jsonSummary{Sink: s.Sink, Parents: s.Parents, DroppedParents: s.DroppedParents}
+		for _, row := range s.Rows {
+			js.Rows = append(js.Rows, jsonRow{Set: uint64(row.Set), Count: row.Count, Leaks: row.Leaks})
+		}
+		out = append(out, js)
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// ReadSummaries deserialises summaries written by WriteSummaries,
+// revalidating every row.
+func ReadSummaries(r io.Reader) (map[graph.NodeID]*Summary, error) {
+	var in []jsonSummary
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("unattrib: decode summaries: %w", err)
+	}
+	out := make(map[graph.NodeID]*Summary, len(in))
+	for _, js := range in {
+		if _, dup := out[js.Sink]; dup {
+			return nil, fmt.Errorf("unattrib: duplicate sink %d", js.Sink)
+		}
+		s, err := NewSummary(js.Sink, js.Parents)
+		if err != nil {
+			return nil, err
+		}
+		s.DroppedParents = js.DroppedParents
+		for _, row := range js.Rows {
+			if err := s.AddRow(CharBits(row.Set), row.Count, row.Leaks); err != nil {
+				return nil, fmt.Errorf("unattrib: sink %d: %w", js.Sink, err)
+			}
+		}
+		s.sortRows()
+		out[js.Sink] = s
+	}
+	return out, nil
+}

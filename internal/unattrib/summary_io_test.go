@@ -1,0 +1,78 @@
+package unattrib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestSummariesRoundTrip(t *testing.T) {
+	r := rng.New(500)
+	g := graph.Random(r, 10, 30)
+	var traces []Trace
+	for o := 0; o < 200; o++ {
+		tr := Trace{}
+		for v := 0; v < 10; v++ {
+			if r.Bernoulli(0.3) {
+				tr[graph.NodeID(v)] = r.Intn(5)
+			}
+		}
+		if len(tr) > 0 {
+			traces = append(traces, tr)
+		}
+	}
+	orig, err := BuildSummaries(g, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaries(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummaries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("sinks: %d vs %d", len(got), len(orig))
+	}
+	for sink, o := range orig {
+		g2 := got[sink]
+		if g2 == nil {
+			t.Fatalf("missing sink %d", sink)
+		}
+		if len(g2.Parents) != len(o.Parents) || len(g2.Rows) != len(o.Rows) {
+			t.Fatalf("sink %d shape changed", sink)
+		}
+		for i := range o.Rows {
+			if g2.Rows[i] != o.Rows[i] {
+				t.Fatalf("sink %d row %d: %+v vs %+v", sink, i, g2.Rows[i], o.Rows[i])
+			}
+		}
+		// The likelihood — the thing that matters — must be identical.
+		p := make([]float64, len(o.Parents))
+		for j := range p {
+			p[j] = r.Uniform(0.05, 0.95)
+		}
+		if LogLikelihood(o, p) != LogLikelihood(g2, p) {
+			t.Fatalf("sink %d likelihood changed", sink)
+		}
+	}
+}
+
+func TestReadSummariesRejectsInvalid(t *testing.T) {
+	for _, s := range []string{
+		`[{"sink":1,"parents":[0],"rows":[{"set":0,"count":1,"leaks":0}]}]`,       // empty set
+		`[{"sink":1,"parents":[0],"rows":[{"set":1,"count":1,"leaks":5}]}]`,       // leaks>count
+		`[{"sink":1,"parents":[0],"rows":[{"set":4,"count":1,"leaks":0}]}]`,       // out-of-range parent
+		`[{"sink":1,"parents":[0],"rows":[]},{"sink":1,"parents":[0],"rows":[]}]`, // duplicate sink
+		`not json`,
+	} {
+		if _, err := ReadSummaries(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted %s", s)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package unattrib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestCharBits(t *testing.T) {
+	c := CharBits(0).With(0).With(3)
+	if !c.Has(0) || !c.Has(3) || c.Has(1) {
+		t.Fatalf("bits wrong: %b", c)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if _, ok := c.Single(); ok {
+		t.Fatal("two-bit set reported single")
+	}
+	j, ok := CharBits(0).With(5).Single()
+	if !ok || j != 5 {
+		t.Fatalf("single = (%d, %v)", j, ok)
+	}
+}
+
+func TestObserveAggregates(t *testing.T) {
+	s, err := NewSummary(9, []graph.NodeID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(CharBits(0b01), true)
+	s.Observe(CharBits(0b01), false)
+	s.Observe(CharBits(0b01), true)
+	s.Observe(CharBits(0b10), false)
+	s.Observe(CharBits(0), true) // empty: ignored
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %+v", s.Rows)
+	}
+	if s.NumObservations() != 4 {
+		t.Fatalf("observations = %d", s.NumObservations())
+	}
+	for _, r := range s.Rows {
+		switch r.Set {
+		case 0b01:
+			if r.Count != 3 || r.Leaks != 2 {
+				t.Fatalf("row 01 = %+v", r)
+			}
+		case 0b10:
+			if r.Count != 1 || r.Leaks != 0 {
+				t.Fatalf("row 10 = %+v", r)
+			}
+		default:
+			t.Fatalf("unexpected row %+v", r)
+		}
+	}
+}
+
+func TestAddRowValidation(t *testing.T) {
+	s, _ := NewSummary(9, []graph.NodeID{1, 2})
+	if err := s.AddRow(0, 1, 0); err == nil {
+		t.Error("empty characteristic accepted")
+	}
+	if err := s.AddRow(0b01, 1, 2); err == nil {
+		t.Error("leaks > count accepted")
+	}
+	if err := s.AddRow(0b100, 1, 0); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	if err := s.AddRow(0b01, 2, 1); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.AddRow(0b01, 3, 1); err != nil {
+		t.Errorf("merge rejected: %v", err)
+	}
+	if s.Rows[0].Count != 5 || s.Rows[0].Leaks != 2 {
+		t.Fatalf("merged row = %+v", s.Rows[0])
+	}
+}
+
+func TestNewSummaryTooManyParents(t *testing.T) {
+	parents := make([]graph.NodeID, MaxParents+1)
+	for i := range parents {
+		parents[i] = graph.NodeID(i)
+	}
+	if _, err := NewSummary(99, parents); err == nil {
+		t.Fatal("oversized parent set accepted")
+	}
+}
+
+func TestBuildSummariesFromTraces(t *testing.T) {
+	// Graph: A(0)->K(2), B(1)->K(2).
+	g := graph.New(3)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	traces := []Trace{
+		{0: 0, 2: 1},       // A then K leaks: characteristic {A}, leak
+		{0: 0, 1: 0, 2: 1}, // A,B then K: {A,B}, leak
+		{0: 0},             // A active, K never: {A}, no leak
+		{2: 0},             // K active with no prior parent: ignored
+		{1: 5, 2: 3},       // B active AFTER K: K active, no parent before it: ignored
+	}
+	sums, err := BuildSummaries(g, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sums[2]
+	if s == nil {
+		t.Fatal("no summary for sink 2")
+	}
+	if len(s.Parents) != 2 || s.Parents[0] != 0 || s.Parents[1] != 1 {
+		t.Fatalf("parents = %v", s.Parents)
+	}
+	if s.NumObservations() != 3 {
+		t.Fatalf("observations = %d; rows %+v", s.NumObservations(), s.Rows)
+	}
+	byBits := map[CharBits]Row{}
+	for _, r := range s.Rows {
+		byBits[r.Set] = r
+	}
+	if r := byBits[0b01]; r.Count != 2 || r.Leaks != 1 {
+		t.Fatalf("{A} row = %+v", r)
+	}
+	if r := byBits[0b11]; r.Count != 1 || r.Leaks != 1 {
+		t.Fatalf("{A,B} row = %+v", r)
+	}
+}
+
+func TestBuildSummariesSkipsSourceOnlyNodes(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	sums, err := BuildSummaries(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sums[0]; ok {
+		t.Fatal("summary created for node with no in-edges")
+	}
+	if _, ok := sums[1]; !ok {
+		t.Fatal("missing summary for sink")
+	}
+}
+
+func TestTableExamples(t *testing.T) {
+	t1 := TableI()
+	if t1.NumObservations() != 65 {
+		t.Fatalf("Table I observations = %d", t1.NumObservations())
+	}
+	t2 := TableII()
+	if t2.NumObservations() != 300 {
+		t.Fatalf("Table II observations = %d", t2.NumObservations())
+	}
+	totalLeaks := 0
+	for _, r := range t2.Rows {
+		totalLeaks += r.Leaks
+	}
+	if totalLeaks != 175 {
+		t.Fatalf("Table II leaks = %d", totalLeaks)
+	}
+}
+
+func TestSummaryCountsConsistentProperty(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		s, _ := NewSummary(0, []graph.NodeID{1, 2, 3})
+		obs := r.Intn(50)
+		leaks := 0
+		for i := 0; i < obs; i++ {
+			set := CharBits(r.Intn(7) + 1)
+			leaked := r.Bernoulli(0.5)
+			if leaked {
+				leaks++
+			}
+			s.Observe(set, leaked)
+		}
+		gotLeaks := 0
+		for _, row := range s.Rows {
+			if row.Leaks > row.Count {
+				return false
+			}
+			gotLeaks += row.Leaks
+		}
+		return s.NumObservations() == obs && gotLeaks == leaks
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentIndex(t *testing.T) {
+	s, _ := NewSummary(9, []graph.NodeID{4, 7})
+	if j, ok := s.ParentIndex(7); !ok || j != 1 {
+		t.Fatalf("index = (%d, %v)", j, ok)
+	}
+	if _, ok := s.ParentIndex(5); ok {
+		t.Fatal("missing parent found")
+	}
+}
