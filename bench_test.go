@@ -19,6 +19,7 @@ func benchExperiment(b *testing.B, name string) {
 	if !ok {
 		b.Fatalf("unknown experiment %s", name)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := runner.Run(true); err != nil {
 			b.Fatal(err)
@@ -60,6 +61,7 @@ func BenchmarkChainUpdate6K(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
@@ -75,6 +77,7 @@ func BenchmarkOutputSample6K(b *testing.B) {
 		b.Fatal(err)
 	}
 	const thin = 200 // the paper's 27ms / 0.13ms ratio
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for k := 0; k < thin; k++ {
@@ -84,11 +87,52 @@ func BenchmarkOutputSample6K(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowProbSteadyState6K is BenchmarkOutputSample6K on the
+// allocation-free scratch path the estimators run internally: the flow
+// test reuses the sampler's owned traversal scratch, so steady-state
+// sampling reports 0 allocs/op.
+func BenchmarkFlowProbSteadyState6K(b *testing.B) {
+	m, r := paperScaleModel(b)
+	s, err := infoflow.NewSampler(m, nil, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const thin = 200
+	for k := 0; k < thin; k++ { // warm the chain and scratch
+		s.Step()
+	}
+	m.HasFlowScratch(0, 5999, s.State(), s.Scratch())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < thin; k++ {
+			s.Step()
+		}
+		_ = m.HasFlowScratch(0, 5999, s.State(), s.Scratch())
+	}
+}
+
+// BenchmarkFlowProbChains6K measures the multi-chain estimator end to
+// end (4 chains, including per-chain construction and burn-in) against
+// the same query shape as BenchmarkFlowProbEndToEnd.
+func BenchmarkFlowProbChains6K(b *testing.B) {
+	m, _ := paperScaleModel(b)
+	opts := infoflow.MHOptions{BurnIn: 200, Thin: 50, Samples: 400}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := infoflow.FlowProbChains(m, 0, 5999, nil, opts, 4, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDirectSample6K is the naive alternative the paper motivates
 // against: one independent pseudo-state sample plus a flow test costs
 // O(m) draws rather than O(thin log m) updates.
 func BenchmarkDirectSample6K(b *testing.B) {
 	m, r := paperScaleModel(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x := m.SamplePseudoState(r)
@@ -103,6 +147,7 @@ func BenchmarkFlowProbEndToEnd(b *testing.B) {
 	bm := infoflow.GenerateBetaICM(r, 50, 200, 1, 20, 1, 20)
 	m := bm.ExpectedICM()
 	opts := infoflow.MHOptions{BurnIn: 500, Thin: 50, Samples: 500}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := infoflow.FlowProb(m, 0, 49, nil, opts, r); err != nil {

@@ -122,6 +122,61 @@ func TestParallelFacade(t *testing.T) {
 	}
 }
 
+func TestScratchAndChainsFacade(t *testing.T) {
+	r := infoflow.NewRNG(16)
+	g := infoflow.RandomGraph(r, 12, 40)
+	p := make([]float64, 40)
+	for i := range p {
+		p[i] = 0.4
+	}
+	m := infoflow.MustNewICM(g, p)
+
+	// Allocation-free traversal engine through the facade.
+	sc := infoflow.NewScratch(m.NumNodes())
+	x := m.SamplePseudoState(r)
+	active := m.ActiveNodesInto([]infoflow.NodeID{0}, x, sc, nil)
+	want := m.ActiveNodes([]infoflow.NodeID{0}, x)
+	for v := range want {
+		if active[v] != want[v] {
+			t.Fatalf("node %d: ActiveNodesInto %v vs ActiveNodes %v", v, active[v], want[v])
+		}
+	}
+	if m.HasFlowScratch(0, 11, x, sc) != m.HasFlow(0, 11, x) {
+		t.Fatal("HasFlowScratch disagrees with HasFlow")
+	}
+
+	// Multi-chain estimator: deterministic and in agreement with the
+	// single-chain estimator at matched sample budgets.
+	opts := infoflow.MHOptions{BurnIn: 200, Thin: 10, Samples: 2000}
+	a, err := infoflow.FlowProbChains(m, 0, 11, nil, opts, 4, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := infoflow.FlowProbChains(m, 0, 11, nil, opts, 4, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("FlowProbChains not deterministic: %v vs %v", a, b)
+	}
+	single, err := infoflow.FlowProb(m, 0, 11, nil, opts, infoflow.NewRNG(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a - single; diff > 0.05 || diff < -0.05 {
+		t.Errorf("multi-chain %v vs single-chain %v estimates diverge", a, single)
+	}
+
+	// The sampler exposes its owned scratch for custom estimators.
+	s, err := infoflow.NewSampler(m, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scratch() == nil {
+		t.Fatal("Sampler.Scratch returned nil")
+	}
+}
+
 func TestMetricsAndInferenceFacade(t *testing.T) {
 	r := infoflow.NewRNG(15)
 	var e infoflow.CalibrationExperiment

@@ -40,6 +40,16 @@ type (
 // NewGraph returns a graph with n isolated nodes.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
+// Scratch is reusable traversal state for the allocation-free
+// reachability variants (Graph.ReachableInto, Graph.HasPathScratch,
+// ICM.ActiveNodesInto, ICM.HasFlowScratch, ICM.SatisfiesScratch, and
+// Sampler.Scratch). One Scratch per goroutine; see DESIGN.md §6.
+type Scratch = graph.Scratch
+
+// NewScratch returns traversal scratch sized for graphs of up to n
+// nodes; it grows transparently if used with a larger graph.
+func NewScratch(n int) *Scratch { return graph.NewScratch(n) }
+
 // RandomGraph returns a graph with n nodes and m uniformly random edges.
 func RandomGraph(r *RNG, n, m int) *Graph { return graph.Random(r, n, m) }
 
@@ -118,6 +128,16 @@ func NewSampler(m *ICM, conds []FlowCondition, r *RNG) (*Sampler, error) {
 // FlowProb estimates Pr[source ~> sink | conds] by MH sampling.
 func FlowProb(m *ICM, source, sink NodeID, conds []FlowCondition, opts MHOptions, r *RNG) (float64, error) {
 	return mh.FlowProb(m, source, sink, conds, opts, r)
+}
+
+// FlowProbChains estimates one flow probability by splitting the sample
+// budget across `chains` concurrent Metropolis-Hastings chains with
+// deterministically forked RNGs and merged hit counts — parallel speedup
+// for a single large query (ParallelFlowProbs is the per-query
+// throughput shape). Results are bit-identical for a fixed seed
+// regardless of GOMAXPROCS.
+func FlowProbChains(m *ICM, source, sink NodeID, conds []FlowCondition, opts MHOptions, chains int, seed uint64) (float64, error) {
+	return mh.FlowProbChains(m, source, sink, conds, opts, chains, seed)
 }
 
 // CommunityFlowProbs estimates Pr[source ~> v | conds] for every node v

@@ -117,11 +117,11 @@ func (m *ICM) LogProbPseudoState(x PseudoState) float64 {
 // reachable from a source across active edges (the active-state
 // derivation of §III-A).
 func (m *ICM) ActiveNodes(sources []graph.NodeID, x PseudoState) []bool {
-	return m.G.Reachable(sources, func(id graph.EdgeID) bool { return x[id] })
+	return m.ActiveNodesInto(sources, x, nil, nil)
 }
 
 // HasFlow reports whether pseudo-state x gives rise to the end-to-end
 // flow u ~> v, the indicator I(u, v; x) of Equation (5).
 func (m *ICM) HasFlow(u, v graph.NodeID, x PseudoState) bool {
-	return m.G.HasPath(u, v, func(id graph.EdgeID) bool { return x[id] })
+	return m.HasFlowScratch(u, v, x, nil)
 }

@@ -1,0 +1,40 @@
+package core
+
+import "infoflow/internal/graph"
+
+// This file is the model-level face of the allocation-free traversal
+// engine in internal/graph: the same active-state derivation, flow
+// indicator and condition indicator as ActiveNodes, HasFlow and
+// Satisfies, but running on caller-owned scratch state so the
+// Metropolis-Hastings hot path performs no allocations per sample. A
+// pseudo-state is already the dense []bool edge mask the engine wants,
+// so these are thin adapters, and the closure-based APIs remain as thin
+// wrappers over them for callers off the hot path.
+
+// ActiveNodesInto is ActiveNodes writing into dst using sc for traversal
+// state. Either may be nil, in which case it is allocated; the result is
+// dst (or its replacement). dst must not alias x.
+func (m *ICM) ActiveNodesInto(sources []graph.NodeID, x PseudoState, sc *graph.Scratch, dst []bool) []bool {
+	return m.G.ReachableInto(sources, x, sc, dst)
+}
+
+// HasFlowScratch is HasFlow using sc for traversal state (nil allocates
+// a temporary). It additionally searches bidirectionally, so it is the
+// faster choice even one-shot.
+func (m *ICM) HasFlowScratch(u, v graph.NodeID, x PseudoState, sc *graph.Scratch) bool {
+	return m.G.HasPathScratch(u, v, x, sc)
+}
+
+// SatisfiesScratch is Satisfies using sc for traversal state: one
+// bidirectional early-exit search per condition, no allocation. Unlike
+// Satisfies it does not batch conditions sharing a source into one
+// sweep; with the handful of conditions real queries carry, per-condition
+// early exit is cheaper than a full reachability sweep.
+func (m *ICM) SatisfiesScratch(x PseudoState, conds []FlowCondition, sc *graph.Scratch) bool {
+	for _, c := range conds {
+		if m.G.HasPathScratch(c.Source, c.Sink, x, sc) != c.Require {
+			return false
+		}
+	}
+	return true
+}

@@ -21,9 +21,11 @@ func (g *DiGraph) Reachable(sources []NodeID, active func(EdgeID) bool) []bool {
 			queue = append(queue, s)
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	// Pop via an index head: re-slicing (queue = queue[1:]) walks the
+	// backing array forward so append can never reuse the freed prefix,
+	// forcing reallocations mid-traversal.
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, id := range g.out[v] {
 			if !active(id) {
 				continue
@@ -48,9 +50,8 @@ func (g *DiGraph) HasPath(source, sink NodeID, active func(EdgeID) bool) bool {
 	seen := make([]bool, g.NumNodes())
 	seen[source] = true
 	queue := []NodeID{source}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, id := range g.out[v] {
 			if !active(id) {
 				continue
@@ -99,9 +100,8 @@ func (g *DiGraph) bfsWithin(focus NodeID, radius int, undirected bool) []NodeID 
 			queue = append(queue, item{w, d})
 		}
 	}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
 		if it.d == radius {
 			continue
 		}
@@ -132,9 +132,8 @@ func (g *DiGraph) TopoSort() (order []NodeID, ok bool) {
 		}
 	}
 	order = make([]NodeID, 0, g.NumNodes())
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		order = append(order, v)
 		for _, id := range g.out[v] {
 			w := g.edges[id].To

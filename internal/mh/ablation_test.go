@@ -114,6 +114,7 @@ func benchProposal(b *testing.B, uniform bool) {
 		b.Fatal(err)
 	}
 	s.SetUniformProposal(uniform)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()

@@ -1,0 +1,108 @@
+package mh
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// TestFlowProbChainsMatchesExact checks the merged multi-chain estimate
+// against exact enumeration, unconditioned and conditioned.
+func TestFlowProbChainsMatchesExact(t *testing.T) {
+	r := rng.New(500)
+	m := randomICM(r, 7, 16)
+	opts := Options{BurnIn: 800, Thin: 2 * m.NumEdges(), Samples: 6000}
+	for sink := graph.NodeID(1); int(sink) < m.NumNodes(); sink++ {
+		got, err := FlowProbChains(m, 0, sink, nil, opts, 4, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := m.EnumFlowProb([]graph.NodeID{0}, sink)
+		if math.Abs(got-exact) > 0.035 {
+			t.Errorf("0~>%d: chains %v vs exact %v", sink, got, exact)
+		}
+	}
+}
+
+// TestFlowProbChainsConditioned checks the conditioned estimate against
+// exact conditional enumeration.
+func TestFlowProbChainsConditioned(t *testing.T) {
+	r := rng.New(501)
+	var m *core.ICM
+	var conds []core.FlowCondition
+	// Find a model where the condition is satisfiable but not certain.
+	for {
+		m = randomICM(r, 6, 12)
+		p01 := m.EnumFlowProb([]graph.NodeID{0}, 1)
+		if p01 > 0.1 && p01 < 0.9 {
+			conds = []core.FlowCondition{{Source: 0, Sink: 1, Require: true}}
+			break
+		}
+	}
+	sink := graph.NodeID(m.NumNodes() - 1)
+	exact, err := m.EnumConditionalFlowProb([]graph.NodeID{0}, sink, conds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{BurnIn: 1000, Thin: 2 * m.NumEdges(), Samples: 8000}
+	got, err := FlowProbChains(m, 0, sink, conds, opts, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-exact) > 0.04 {
+		t.Errorf("conditioned: chains %v vs exact %v", got, exact)
+	}
+}
+
+// TestFlowProbChainsDeterministic pins the forked-RNG contract: a fixed
+// seed yields bit-identical estimates regardless of GOMAXPROCS and
+// across repeated runs.
+func TestFlowProbChainsDeterministic(t *testing.T) {
+	r := rng.New(502)
+	m := randomICM(r, 10, 30)
+	sink := graph.NodeID(m.NumNodes() - 1)
+	opts := Options{BurnIn: 200, Thin: 10, Samples: 1501} // odd: uneven split
+	run := func() float64 {
+		p, err := FlowProbChains(m, 0, sink, nil, opts, 8, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(old)
+	for i := 0; i < 3; i++ {
+		if got := run(); got != serial {
+			t.Fatalf("run %d with GOMAXPROCS=%d: %v differs from GOMAXPROCS=1 result %v",
+				i, old, got, serial)
+		}
+	}
+}
+
+// TestFlowProbChainsValidation covers parameter errors and error
+// propagation from unsatisfiable conditions.
+func TestFlowProbChainsValidation(t *testing.T) {
+	r := rng.New(503)
+	m := randomICM(r, 5, 8)
+	opts := Options{BurnIn: 10, Thin: 1, Samples: 10}
+	if _, err := FlowProbChains(m, 0, 1, nil, opts, 0, 1); err == nil {
+		t.Error("zero chains accepted")
+	}
+	if _, err := FlowProbChains(m, 0, 1, nil, Options{}, 2, 1); err == nil {
+		t.Error("bad options accepted")
+	}
+	// More chains than samples: clamped, still valid.
+	if _, err := FlowProbChains(m, 0, 1, nil, Options{BurnIn: 5, Thin: 1, Samples: 3}, 8, 1); err != nil {
+		t.Errorf("chains>samples rejected: %v", err)
+	}
+	bad := core.MustNewICM(graph.Path(2), []float64{0})
+	conds := []core.FlowCondition{{Source: 0, Sink: 1, Require: true}}
+	if _, err := FlowProbChains(bad, 0, 1, conds, opts, 2, 1); err == nil {
+		t.Error("unsatisfiable conditions produced no error")
+	}
+}

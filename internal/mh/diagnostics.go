@@ -189,7 +189,7 @@ func DiagnoseFlowProb(m *core.ICM, source, sink graph.NodeID, conds []core.FlowC
 		series := make([]float64, 0, opts.Samples)
 		err = s.Run(opts, func(x core.PseudoState) {
 			v := 0.0
-			if m.HasFlow(source, sink, x) {
+			if m.HasFlowScratch(source, sink, x, s.scratch) {
 				v = 1
 			}
 			series = append(series, v)

@@ -18,7 +18,7 @@ func FlowProb(m *core.ICM, source, sink graph.NodeID, conds []core.FlowCondition
 	}
 	hits := 0
 	err = s.Run(opts, func(x core.PseudoState) {
-		if m.HasFlow(source, sink, x) {
+		if m.HasFlowScratch(source, sink, x, s.scratch) {
 			hits++
 		}
 	})
@@ -39,8 +39,10 @@ func CommunityFlowProbs(m *core.ICM, source graph.NodeID, conds []core.FlowCondi
 		return nil, err
 	}
 	counts := make([]int, m.NumNodes())
+	srcs := []graph.NodeID{source}
+	active := make([]bool, m.NumNodes())
 	err = s.Run(opts, func(x core.PseudoState) {
-		active := m.ActiveNodes([]graph.NodeID{source}, x)
+		m.ActiveNodesInto(srcs, x, s.scratch, active)
 		for v, a := range active {
 			if a {
 				counts[v]++
@@ -77,7 +79,7 @@ func JointFlowProb(m *core.ICM, flows []FlowPair, conds []core.FlowCondition, op
 	hits := 0
 	err = s.Run(opts, func(x core.PseudoState) {
 		for _, f := range flows {
-			if !m.HasFlow(f.Source, f.Sink, x) {
+			if !m.HasFlowScratch(f.Source, f.Sink, x, s.scratch) {
 				return
 			}
 		}
@@ -107,8 +109,9 @@ func ImpactDistribution(m *core.ICM, sources []graph.NodeID, conds []core.FlowCo
 		}
 	}
 	impacts := make([]int, 0, opts.Samples)
+	active := make([]bool, m.NumNodes())
 	err = s.Run(opts, func(x core.PseudoState) {
-		active := m.ActiveNodes(sources, x)
+		m.ActiveNodesInto(sources, x, s.scratch, active)
 		n := 0
 		for _, a := range active {
 			if a {

@@ -205,6 +205,7 @@ func BenchmarkChainUpdate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
@@ -227,6 +228,7 @@ func BenchmarkOutputSample(b *testing.B) {
 		b.Fatal(err)
 	}
 	thin := 200 // the paper's ratio: 27 ms/sample over .13 ms/update ~ 200
+	b.ReportAllocs()
 	b.ResetTimer()
 	hits := 0
 	for i := 0; i < b.N; i++ {

@@ -30,11 +30,11 @@ func MarginalConditionalFlowProb(m *core.ICM, source, sink graph.NodeID, conds [
 	}
 	flowAndCond := 0
 	err = s.Run(opts, func(x core.PseudoState) {
-		if !m.Satisfies(x, conds) {
+		if !m.SatisfiesScratch(x, conds, s.scratch) {
 			return
 		}
 		satisfied++
-		if m.HasFlow(source, sink, x) {
+		if m.HasFlowScratch(source, sink, x, s.scratch) {
 			flowAndCond++
 		}
 	})

@@ -49,6 +49,42 @@ func TestParallelFlowProbsDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelFlowProbsDeterministicConditioned repeats the determinism
+// guard with flow conditions, exercising the per-sampler traversal
+// scratch under concurrency: results must stay bit-identical for
+// workers=1 vs workers=8.
+func TestParallelFlowProbsDeterministicConditioned(t *testing.T) {
+	r := rng.New(405)
+	var m *core.ICM
+	var conds []core.FlowCondition
+	for {
+		m = randomICM(r, 8, 20)
+		x := core.NewPseudoState(m.NumEdges())
+		for i := range x {
+			x[i] = m.P[i] > 0
+		}
+		if m.NumNodes() >= 4 && m.HasFlow(0, 1, x) {
+			conds = []core.FlowCondition{{Source: 0, Sink: 1, Require: true}}
+			break
+		}
+	}
+	queries := []FlowPair{{0, 2}, {0, 3}, {1, 2}, {2, 3}}
+	opts := Options{BurnIn: 200, Thin: 10, Samples: 800}
+	a, err := ParallelFlowProbs(m, queries, conds, opts, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelFlowProbs(m, queries, conds, opts, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("conditioned query %d differs across worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestParallelValidation(t *testing.T) {
 	r := rng.New(402)
 	m := randomICM(r, 4, 6)

@@ -72,9 +72,21 @@ type Sampler struct {
 	tree    *fenwick.Tree
 	uniform bool
 
+	// scratch is the chain's owned traversal state: every condition
+	// check in Step and every estimator built on this sampler reuses it,
+	// so steady-state sampling performs zero allocations. Owning it per
+	// chain (rather than sharing) is what keeps multi-chain estimators
+	// race-free without locks.
+	scratch *graph.Scratch
+
 	steps    int64
 	accepted int64
 }
+
+// Scratch returns the sampler's owned traversal scratch, for custom
+// estimators that want allocation-free flow tests against State(). It
+// must only be used from the goroutine driving the chain.
+func (s *Sampler) Scratch() *graph.Scratch { return s.scratch }
 
 // SetUniformProposal switches the chain to a uniform flip-one-edge
 // proposal instead of the paper's weighted multinomial (§III-C). The
@@ -88,7 +100,7 @@ func (s *Sampler) SetUniformProposal(uniform bool) { s.uniform = uniform }
 // marginal sampling), seeded from r. It returns ErrUnsatisfiable if it
 // cannot construct an initial state consistent with the conditions.
 func NewSampler(m *core.ICM, conds []core.FlowCondition, r *rng.RNG) (*Sampler, error) {
-	s := &Sampler{m: m, conds: conds, r: r}
+	s := &Sampler{m: m, conds: conds, r: r, scratch: graph.NewScratch(m.NumNodes())}
 	x, err := s.initialState()
 	if err != nil {
 		return nil, err
@@ -121,7 +133,7 @@ func (s *Sampler) initialState() (core.PseudoState, error) {
 	const rejectionTries = 200
 	for t := 0; t < rejectionTries; t++ {
 		x := s.m.SamplePseudoState(s.r)
-		if s.m.Satisfies(x, s.conds) {
+		if s.m.SatisfiesScratch(x, s.conds, s.scratch) {
 			return x, nil
 		}
 	}
@@ -144,7 +156,7 @@ func (s *Sampler) constructInitialState() (core.PseudoState, error) {
 	for round := 0; round <= m.NumEdges(); round++ {
 		violated := false
 		for _, c := range s.conds {
-			if m.HasFlow(c.Source, c.Sink, x) == c.Require {
+			if m.HasFlowScratch(c.Source, c.Sink, x, s.scratch) == c.Require {
 				continue
 			}
 			violated = true
@@ -185,9 +197,8 @@ func (s *Sampler) cuttableEdgeOnPath(x core.PseudoState, source, sink graph.Node
 	seen[source] = true
 	queue := []graph.NodeID{source}
 	found := false
-	for len(queue) > 0 && !found {
-		v := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue) && !found; head++ {
+		v := queue[head]
 		for _, id := range g.OutEdges(v) {
 			if !x[id] {
 				continue
@@ -281,7 +292,7 @@ func (s *Sampler) Step() bool {
 	}
 	if len(s.conds) > 0 {
 		s.x[i] = !s.x[i]
-		ok := s.m.Satisfies(s.x, s.conds)
+		ok := s.m.SatisfiesScratch(s.x, s.conds, s.scratch)
 		if !ok {
 			s.x[i] = !s.x[i] // reject: candidate violates C
 			return false
