@@ -1,0 +1,82 @@
+package bucket
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestComputeHandValues checks the Table III measures against values
+// worked by hand over a mixed-outcome triple.
+func TestComputeHandValues(t *testing.T) {
+	e := &Experiment{}
+	e.MustAdd(0.8, true)
+	e.MustAdd(0.4, false)
+	e.MustAdd(0.5, true)
+	m, err := e.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 3 {
+		t.Errorf("count = %d", m.Count)
+	}
+	// Geometric mean of the probabilities assigned to the realised
+	// outcomes: (0.8, 0.6, 0.5).
+	wantNL := math.Pow(0.8*0.6*0.5, 1.0/3.0)
+	if !almostEqual(m.NormalisedLikelihood, wantNL, 1e-12) {
+		t.Errorf("normalised likelihood = %v, want %v", m.NormalisedLikelihood, wantNL)
+	}
+	// Mean of (0.2^2, 0.4^2, 0.5^2).
+	wantBrier := (0.04 + 0.16 + 0.25) / 3
+	if !almostEqual(m.Brier, wantBrier, 1e-12) {
+		t.Errorf("brier = %v, want %v", m.Brier, wantBrier)
+	}
+}
+
+// TestComputeClampExactValue pins the clamp to its documented constant
+// at both ends: certain-and-wrong predictions contribute exactly
+// ClampEps (resp. 1-ClampEps) to the geometric mean.
+func TestComputeClampExactValue(t *testing.T) {
+	e := &Experiment{}
+	e.MustAdd(1, false) // assigned probability 0 to the outcome
+	e.MustAdd(0, false) // assigned probability 1 to the outcome
+	m, err := e.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNL := math.Sqrt(ClampEps * (1 - ClampEps))
+	if !almostEqual(m.NormalisedLikelihood, wantNL, 1e-12) {
+		t.Errorf("clamped likelihood = %v, want %v", m.NormalisedLikelihood, wantNL)
+	}
+	// Brier uses the raw estimates: ((1-0)^2 + 0^2)/2.
+	if !almostEqual(m.Brier, 0.5, 1e-12) {
+		t.Errorf("brier = %v, want 0.5", m.Brier)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	e := &Experiment{}
+	if _, err := e.Compute(); err == nil {
+		t.Error("metrics over zero pairs accepted")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	e := &Experiment{}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic on bad estimate")
+		}
+		if e.Len() != 0 {
+			t.Errorf("rejected estimate recorded: len=%d", e.Len())
+		}
+	}()
+	e.MustAdd(2, true)
+}
+
+func TestRMSEIdenticalVectors(t *testing.T) {
+	if v, err := RMSE([]float64{0.3, 0.7}, []float64{0.3, 0.7}); err != nil || v != 0 {
+		t.Errorf("identical vectors: %v, %v", v, err)
+	}
+}

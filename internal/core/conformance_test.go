@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+	"infoflow/internal/testkit"
+)
+
+// The metamorphic layer of the testkit harness, driven against core's
+// exact evaluators across all three graph families. These live in
+// core_test (not core) because testkit imports core.
+
+func TestExactEvaluatorsMonotone(t *testing.T) {
+	for _, c := range testkit.UnconditionedCases(71) {
+		if err := testkit.CheckMonotonicity(c.Model, c.Source, c.Sink, 0.05); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestConditionalEnumerationConsistent(t *testing.T) {
+	for _, c := range testkit.Cases(73) {
+		if len(c.Conds) == 0 {
+			continue
+		}
+		if err := testkit.CheckConditioningConsistency(c.Model, c.Source, c.Sink, c.Conds[0]); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestRecursionNeverUndershootsEnumeration(t *testing.T) {
+	for _, c := range testkit.UnconditionedCases(79) {
+		if err := testkit.CheckRecursionUpperBound(c.Model, c.Source); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// TestSampleCascadeMatchesLiveEdgeLaw ties the round-based cascade
+// simulator to the pseudo-state enumeration that EnumFlowProb and the
+// MH samplers are defined over.
+func TestSampleCascadeMatchesLiveEdgeLaw(t *testing.T) {
+	r := rng.New(83)
+	for _, c := range testkit.UnconditionedCases(83) {
+		if err := testkit.CheckCascadeSizes(c.Model, []graph.NodeID{c.Source}, 15000, 1e-6, r.Fork()); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"infoflow/internal/graph"
+	"infoflow/internal/jsonx"
 )
 
 // jsonObject is the wire form of one attributed object.
@@ -35,7 +36,7 @@ func (d *AttributedEvidence) WriteEvidence(w io.Writer) error {
 func ReadEvidence(r io.Reader, g *graph.DiGraph) (*AttributedEvidence, error) {
 	var objs []jsonObject
 	if err := json.NewDecoder(r).Decode(&objs); err != nil {
-		return nil, fmt.Errorf("core: decode evidence: %w", err)
+		return nil, jsonx.Wrap("core: decode evidence", err)
 	}
 	out := &AttributedEvidence{}
 	for i, jo := range objs {

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+)
+
+// fuzzGraph is the fixed 4-node diamond (0→1, 0→2, 1→3, 2→3) every
+// fuzzed evidence object is validated against.
+func fuzzGraph() *graph.DiGraph {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+// FuzzReadEvidenceRoundTrip asserts that core.ReadEvidence never panics
+// and that accepted evidence reaches an encode/decode fixed point
+// against the diamond graph.
+func FuzzReadEvidenceRoundTrip(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"sources":[0],"active_nodes":[0,1,3],"active_edges":[0,2]}]`))
+	f.Add([]byte(`[{"sources":[0],"active_nodes":[0]}]`))
+	f.Add([]byte(`[{"sources":[9],"active_nodes":[9]}]`))
+	f.Add([]byte(`[{"sources":[0],"active_nodes":[0,0]}]`))
+	f.Add([]byte(`[{`))
+
+	g := fuzzGraph()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := core.ReadEvidence(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := d.WriteEvidence(&enc1); err != nil {
+			t.Fatalf("encode accepted evidence: %v", err)
+		}
+		d2, err := core.ReadEvidence(bytes.NewReader(enc1.Bytes()), g)
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v\nencoding: %s", err, enc1.Bytes())
+		}
+		var enc2 bytes.Buffer
+		if err := d2.WriteEvidence(&enc2); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encode/decode not a fixed point:\nfirst:  %s\nsecond: %s", enc1.Bytes(), enc2.Bytes())
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("object count drift: %d vs %d", d.Len(), d2.Len())
+		}
+	})
+}

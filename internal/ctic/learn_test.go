@@ -1,0 +1,166 @@
+package ctic
+
+import (
+	"math"
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// learnFixture simulates episodes from a known 2-parent model and runs
+// the learner with a pinned seed.
+func learnFixture(t *testing.T, episodes int, seed uint64, opts LearnOptions) (*Posterior, []float64, []float64) {
+	t.Helper()
+	g, sink, parents := fanIn(2)
+	truthK := []float64{0.8, 0.3}
+	truthR := []float64{2, 1}
+	m, err := New(g, truthK, truthR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	var eps []Episode
+	sourceSets := [][]graph.NodeID{{parents[0]}, {parents[1]}, parents}
+	for i := 0; i < episodes; i++ {
+		eps = append(eps, m.Simulate(r, sourceSets[i%len(sourceSets)], 4))
+	}
+	post, err := Learn(sink, parents, eps, opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return post, truthK, truthR
+}
+
+func quickOpts() LearnOptions {
+	o := DefaultLearnOptions()
+	o.BurnIn = 200
+	o.Thin = 2
+	o.Samples = 400
+	return o
+}
+
+// TestLearnSummariesMatchSamples: the reported means and standard
+// deviations must be exactly the statistics of the retained sample
+// matrix — the summaries are derived data, not a second estimate.
+func TestLearnSummariesMatchSamples(t *testing.T) {
+	post, _, _ := learnFixture(t, 200, 31, quickOpts())
+	n := float64(len(post.KSamples))
+	for j := range post.Parents {
+		var kSum, rSum float64
+		for i := range post.KSamples {
+			kSum += post.KSamples[i][j]
+			rSum += post.RSamples[i][j]
+		}
+		kMean, rMean := kSum/n, rSum/n
+		var kVar, rVar float64
+		for i := range post.KSamples {
+			kVar += (post.KSamples[i][j] - kMean) * (post.KSamples[i][j] - kMean)
+			rVar += (post.RSamples[i][j] - rMean) * (post.RSamples[i][j] - rMean)
+		}
+		if math.Abs(post.KMean[j]-kMean) > 1e-9 || math.Abs(post.RMean[j]-rMean) > 1e-9 {
+			t.Errorf("parent %d: reported means (%v,%v) vs sample means (%v,%v)",
+				j, post.KMean[j], post.RMean[j], kMean, rMean)
+		}
+		if math.Abs(post.KStd[j]-math.Sqrt(kVar/n)) > 1e-6 {
+			t.Errorf("parent %d: KStd %v vs sample std %v", j, post.KStd[j], math.Sqrt(kVar/n))
+		}
+		if math.Abs(post.RStd[j]-math.Sqrt(rVar/n)) > 1e-6 {
+			t.Errorf("parent %d: RStd %v vs sample std %v", j, post.RStd[j], math.Sqrt(rVar/n))
+		}
+	}
+}
+
+// TestLearnPriorOnly: with no episodes the likelihood is flat, so the
+// chain samples the prior — uniform on k (mean 1/2) and gamma on r
+// (mean shape*scale).
+func TestLearnPriorOnly(t *testing.T) {
+	_, sink, parents := fanIn(1)
+	opts := DefaultLearnOptions()
+	opts.BurnIn = 500
+	opts.Thin = 3
+	opts.Samples = 3000
+	opts.StepK = 0.3
+	opts.StepR = 0.8
+	post, err := Learn(sink, parents, nil, opts, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post.KMean[0]-0.5) > 0.04 {
+		t.Errorf("prior-only k mean = %v, want ~0.5", post.KMean[0])
+	}
+	// Uniform std = 1/sqrt(12) ~ 0.2887.
+	if math.Abs(post.KStd[0]-1/math.Sqrt(12)) > 0.04 {
+		t.Errorf("prior-only k std = %v, want ~%v", post.KStd[0], 1/math.Sqrt(12))
+	}
+	wantR := opts.PriorRShape * opts.PriorRScale
+	if math.Abs(post.RMean[0]-wantR) > 0.45 {
+		t.Errorf("prior-only r mean = %v, want ~%v", post.RMean[0], wantR)
+	}
+}
+
+// TestLearnPosteriorContracts: quadrupling the data must shrink the
+// posterior spread on the transmission probabilities.
+func TestLearnPosteriorContracts(t *testing.T) {
+	small, _, _ := learnFixture(t, 60, 13, quickOpts())
+	large, _, _ := learnFixture(t, 960, 13, quickOpts())
+	for j := range small.Parents {
+		if large.KStd[j] >= small.KStd[j] {
+			t.Errorf("parent %d: KStd %v (n=960) not below %v (n=60)",
+				j, large.KStd[j], small.KStd[j])
+		}
+	}
+}
+
+// TestLearnConvergesOnSyntheticData is the pinned-seed convergence
+// gate for the learner at the reduced option set the golden corpus and
+// conformance suite run under.
+func TestLearnConvergesOnSyntheticData(t *testing.T) {
+	post, truthK, truthR := learnFixture(t, 600, 909, quickOpts())
+	for j := range truthK {
+		if math.Abs(post.KMean[j]-truthK[j]) > 0.12 {
+			t.Errorf("k[%d] = %v, want %v +- 0.12", j, post.KMean[j], truthK[j])
+		}
+		if math.Abs(post.RMean[j]-truthR[j]) > 0.3*truthR[j]+0.25 {
+			t.Errorf("r[%d] = %v, want %v", j, post.RMean[j], truthR[j])
+		}
+	}
+	if post.AcceptanceRate < 0.1 || post.AcceptanceRate > 0.9 {
+		t.Errorf("acceptance rate %v outside mixing range", post.AcceptanceRate)
+	}
+}
+
+// TestLearnDeterministic: a pinned seed reproduces the posterior
+// bit for bit.
+func TestLearnDeterministic(t *testing.T) {
+	a, _, _ := learnFixture(t, 120, 55, quickOpts())
+	b, _, _ := learnFixture(t, 120, 55, quickOpts())
+	for j := range a.Parents {
+		if a.KMean[j] != b.KMean[j] || a.RMean[j] != b.RMean[j] {
+			t.Fatalf("parent %d drifted across identical seeds: (%v,%v) vs (%v,%v)",
+				j, a.KMean[j], a.RMean[j], b.KMean[j], b.RMean[j])
+		}
+	}
+	if a.AcceptanceRate != b.AcceptanceRate {
+		t.Fatalf("acceptance drifted: %v vs %v", a.AcceptanceRate, b.AcceptanceRate)
+	}
+}
+
+// TestLearnRejectsBadPriors covers the rate-prior guard missing from
+// the option validation test.
+func TestLearnRejectsBadPriors(t *testing.T) {
+	_, sink, parents := fanIn(1)
+	for _, mod := range []func(*LearnOptions){
+		func(o *LearnOptions) { o.PriorRShape = 0 },
+		func(o *LearnOptions) { o.PriorRScale = -1 },
+		func(o *LearnOptions) { o.StepK = 0 },
+		func(o *LearnOptions) { o.StepR = -0.1 },
+		func(o *LearnOptions) { o.Thin = 0 },
+	} {
+		opts := DefaultLearnOptions()
+		mod(&opts)
+		if _, err := Learn(sink, parents, nil, opts, rng.New(1)); err == nil {
+			t.Errorf("invalid options %+v accepted", opts)
+		}
+	}
+}

@@ -74,6 +74,22 @@ func (d Binomial) CDF(k int) float64 {
 	return RegIncBeta(1-d.P, float64(d.N-k), float64(k+1))
 }
 
+// TwoSidedPValue returns the exact two-sided tail probability of
+// observing a count at least as extreme as k under d: 2·min(P(X≤k),
+// P(X≥k)), capped at 1. Small values are evidence that the observed
+// count was not drawn from d; the statistical tolerance bands in
+// internal/testkit are built on this measure, so sampler conformance
+// failures mean significant disagreement rather than a tripped epsilon.
+func (d Binomial) TwoSidedPValue(k int) float64 {
+	lo := d.CDF(k)
+	hi := 1 - d.CDF(k-1)
+	p := 2 * math.Min(lo, hi)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
 // Sample draws one variate. For small N it sums Bernoulli trials; for
 // large N it uses CDF inversion from a uniform via sequential search
 // starting at the mode, which is O(sqrt(N*P*(1-P))) expected steps.

@@ -112,3 +112,47 @@ func TestBinomialValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestBinomialTwoSidedPValue(t *testing.T) {
+	d := NewBinomial(1000, 0.5)
+	// At the mean the test must not reject.
+	if p := d.TwoSidedPValue(500); p < 0.9 {
+		t.Errorf("p-value at mean = %v, want ~1", p)
+	}
+	// Far tails are decisively rejected.
+	if p := d.TwoSidedPValue(400); p > 1e-8 {
+		t.Errorf("p-value at 400 = %v, want < 1e-8", p)
+	}
+	if p := d.TwoSidedPValue(600); p > 1e-8 {
+		t.Errorf("p-value at 600 = %v, want < 1e-8", p)
+	}
+	// Symmetric distribution: symmetric counts get equal p-values.
+	if a, b := d.TwoSidedPValue(470), d.TwoSidedPValue(530); math.Abs(a-b) > 1e-9 {
+		t.Errorf("asymmetric p-values %v vs %v", a, b)
+	}
+	// Monotone decreasing away from the mean.
+	prev := 1.1
+	for _, k := range []int{500, 490, 480, 470, 460, 450} {
+		p := d.TwoSidedPValue(k)
+		if p > prev {
+			t.Errorf("p-value not monotone at k=%d: %v > %v", k, p, prev)
+		}
+		prev = p
+	}
+	// Boundary counts stay within [0, 1].
+	for _, k := range []int{-1, 0, 1000, 1001} {
+		if p := d.TwoSidedPValue(k); p < 0 || p > 1 {
+			t.Errorf("p-value at k=%d out of range: %v", k, p)
+		}
+	}
+	// Degenerate distributions: the certain outcome has p-value 1.
+	if p := NewBinomial(10, 0).TwoSidedPValue(0); p != 1 {
+		t.Errorf("Binomial(10,0) p-value at 0 = %v", p)
+	}
+	if p := NewBinomial(10, 1).TwoSidedPValue(10); p != 1 {
+		t.Errorf("Binomial(10,1) p-value at 10 = %v", p)
+	}
+	if p := NewBinomial(10, 0).TwoSidedPValue(1); p != 0 {
+		t.Errorf("Binomial(10,0) p-value at 1 = %v", p)
+	}
+}

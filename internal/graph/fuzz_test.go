@@ -1,0 +1,78 @@
+package graph_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"infoflow/internal/graph"
+)
+
+// fuzzNodeLimit skips inputs whose declared node count would make the
+// decoder allocate adjacency structures wildly out of proportion to the
+// input size — a memory-amplification hazard, not a parsing bug.
+const fuzzNodeLimit = 1 << 16
+
+// declaredNodes probes data for a "nodes" field without building the
+// graph. A probe error means the real decoder fails before allocating,
+// so the input is safe to hand over either way.
+func declaredNodes(data []byte) (int64, bool) {
+	var probe struct {
+		Nodes int64 `json:"nodes"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&probe); err != nil {
+		return 0, false
+	}
+	return probe.Nodes, true
+}
+
+// FuzzReadRoundTrip asserts that graph.Read never panics and that every
+// accepted input reaches an encode/decode fixed point: the first
+// re-encoding is canonical, so decoding and encoding it again must
+// reproduce it byte for byte.
+func FuzzReadRoundTrip(f *testing.F) {
+	seed := func(g *graph.DiGraph) {
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(graph.New(0))
+	seed(graph.Path(4))
+	seed(graph.Complete(3))
+	f.Add([]byte(`{"nodes":3,"edges":[[0,1],[1,2],[2,0]]}`))
+	f.Add([]byte(`{"nodes":-1}`))
+	f.Add([]byte(`{"nodes":2,"edges":[[0,5]]}`))
+	f.Add([]byte(`{"nodes":1e99}`))
+	f.Add([]byte(`{"nodes":`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if n, ok := declaredNodes(data); ok && (n < 0 || n > fuzzNodeLimit) {
+			t.Skip("node count out of fuzzing bounds")
+		}
+		g, err := graph.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := g.Write(&enc1); err != nil {
+			t.Fatalf("encode accepted graph: %v", err)
+		}
+		g2, err := graph.Read(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v\nencoding: %s", err, enc1.Bytes())
+		}
+		var enc2 bytes.Buffer
+		if err := g2.Write(&enc2); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encode/decode not a fixed point:\nfirst:  %s\nsecond: %s", enc1.Bytes(), enc2.Bytes())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("shape drift: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"infoflow/internal/jsonx"
 )
 
 // jsonGraph is the serialised wire form: node count plus a flat edge
@@ -27,7 +29,7 @@ func (g *DiGraph) MarshalJSON() ([]byte, error) {
 func (g *DiGraph) UnmarshalJSON(data []byte) error {
 	var jg jsonGraph
 	if err := json.Unmarshal(data, &jg); err != nil {
-		return fmt.Errorf("graph: decode: %w", err)
+		return jsonx.Wrap("graph: decode", err)
 	}
 	if jg.Nodes < 0 {
 		return fmt.Errorf("graph: negative node count %d", jg.Nodes)
@@ -51,7 +53,7 @@ func (g *DiGraph) Write(w io.Writer) error {
 func Read(r io.Reader) (*DiGraph, error) {
 	g := New(0)
 	if err := json.NewDecoder(r).Decode(g); err != nil {
-		return nil, err
+		return nil, jsonx.Wrap("graph: decode", err)
 	}
 	return g, nil
 }

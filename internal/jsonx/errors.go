@@ -1,0 +1,60 @@
+// Package jsonx provides shared error annotation for the library's JSON
+// decode surfaces. Every codec (graph, evidence, summaries, datasets)
+// wraps decoder failures with the operation it was performing and, when
+// the underlying error carries one, the byte offset at which decoding
+// stopped — so a failure found by a fuzzer or a corrupt production file
+// is diagnosable from the error string alone.
+package jsonx
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Error is an annotated decode error: the failing operation plus the
+// underlying decoder error, with position info baked into the message.
+type Error struct {
+	Op  string // the operation that failed, e.g. "graph: decode"
+	Err error  // the underlying decoder error
+	msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.msg }
+
+// Unwrap exposes the underlying error to errors.Is/errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Wrap annotates a decode error with the operation name and any position
+// information the error carries. Wrapping is idempotent: layered codecs
+// (a Read calling an UnmarshalJSON that both annotate) produce a single
+// prefix, the innermost one. Wrap returns nil for a nil error.
+func Wrap(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var prior *Error
+	if errors.As(err, &prior) {
+		return err
+	}
+	e := &Error{Op: op, Err: err}
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		e.msg = fmt.Sprintf("%s: syntax error at byte %d: %v", op, syn.Offset, err)
+	case errors.As(err, &typ):
+		field := typ.Field
+		if field == "" {
+			field = "(root)"
+		}
+		e.msg = fmt.Sprintf("%s: bad value for %s at byte %d: %v", op, field, typ.Offset, err)
+	case errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF):
+		e.msg = fmt.Sprintf("%s: truncated input: %v", op, err)
+	default:
+		e.msg = fmt.Sprintf("%s: %v", op, err)
+	}
+	return e
+}

@@ -1,0 +1,106 @@
+package jsonx_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"infoflow/internal/graph"
+	"infoflow/internal/jsonx"
+)
+
+func TestWrapNil(t *testing.T) {
+	if err := jsonx.Wrap("op", nil); err != nil {
+		t.Fatalf("Wrap(nil) = %v", err)
+	}
+}
+
+func TestWrapSyntaxErrorCarriesOffset(t *testing.T) {
+	var v map[string]int
+	err := json.Unmarshal([]byte(`{"a": 1,}`), &v)
+	if err == nil {
+		t.Fatal("expected syntax error")
+	}
+	wrapped := jsonx.Wrap("test: decode", err)
+	if !strings.Contains(wrapped.Error(), "syntax error at byte") {
+		t.Errorf("no offset in %q", wrapped)
+	}
+	var syn *json.SyntaxError
+	if !errors.As(wrapped, &syn) {
+		t.Errorf("original *json.SyntaxError not reachable through %q", wrapped)
+	}
+}
+
+func TestWrapTypeErrorCarriesFieldAndOffset(t *testing.T) {
+	var v struct {
+		Nodes int `json:"nodes"`
+	}
+	err := json.Unmarshal([]byte(`{"nodes": "seven"}`), &v)
+	if err == nil {
+		t.Fatal("expected type error")
+	}
+	wrapped := jsonx.Wrap("test: decode", err)
+	msg := wrapped.Error()
+	if !strings.Contains(msg, "nodes") || !strings.Contains(msg, "at byte") {
+		t.Errorf("missing field/offset in %q", msg)
+	}
+}
+
+func TestWrapTruncatedInput(t *testing.T) {
+	wrapped := jsonx.Wrap("test: decode", io.ErrUnexpectedEOF)
+	if !strings.Contains(wrapped.Error(), "truncated input") {
+		t.Errorf("missing truncation note in %q", wrapped)
+	}
+	if !errors.Is(wrapped, io.ErrUnexpectedEOF) {
+		t.Errorf("io.ErrUnexpectedEOF not reachable through %q", wrapped)
+	}
+}
+
+func TestWrapIsIdempotent(t *testing.T) {
+	inner := jsonx.Wrap("inner: decode", io.ErrUnexpectedEOF)
+	outer := jsonx.Wrap("outer: read", inner)
+	if outer != inner {
+		t.Errorf("re-wrapping produced a new error: %q", outer)
+	}
+	deep := jsonx.Wrap("outer: read", fmt.Errorf("object 3: %w", inner))
+	if deep.Error() != "object 3: "+inner.Error() {
+		t.Errorf("wrapping an error containing an annotated one changed it: %q", deep)
+	}
+}
+
+func TestWrapPlainError(t *testing.T) {
+	base := fmt.Errorf("boom")
+	wrapped := jsonx.Wrap("test: decode", base)
+	if got := wrapped.Error(); got != "test: decode: boom" {
+		t.Errorf("got %q", got)
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("base error not reachable")
+	}
+}
+
+// TestGraphReadErrorsAreAnnotated pins the integration: the graph codec's
+// errors now carry operation and position context.
+func TestGraphReadErrorsAreAnnotated(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{`{"nodes": 2, "edges": [[0,1],]}`, "graph: decode"},
+		{`{"nodes": "two"}`, "at byte"},
+		{`{"nodes": 2, "edges"`, "graph: decode"},
+	} {
+		_, err := graph.Read(bytes.NewReader([]byte(tc.in)))
+		if err == nil {
+			t.Errorf("Read(%q): no error", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Read(%q) = %q, want substring %q", tc.in, err, tc.want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"infoflow/internal/core"
 	"infoflow/internal/graph"
 	"infoflow/internal/rng"
+	"infoflow/internal/testkit"
 )
 
 // TestFlowProbChainsMatchesExact checks the merged multi-chain estimate
@@ -81,6 +82,25 @@ func TestFlowProbChainsDeterministic(t *testing.T) {
 			t.Fatalf("run %d with GOMAXPROCS=%d: %v differs from GOMAXPROCS=1 result %v",
 				i, old, got, serial)
 		}
+	}
+}
+
+// TestFlowProbChainsConformance runs the merged multi-chain estimator
+// through the statistical conformance harness: on every seeded family
+// the estimate must sit inside the binomial confidence band around the
+// exact enumeration value, so disagreement is a statistically
+// significant failure rather than a hand-tuned epsilon.
+func TestFlowProbChainsConformance(t *testing.T) {
+	est := func(m *core.ICM, source, sink graph.NodeID, conds []core.FlowCondition, samples int, seed uint64) (float64, error) {
+		opts := Options{BurnIn: 800, Thin: 2 * m.NumEdges(), Samples: samples}
+		return FlowProbChains(m, source, sink, conds, opts, 4, seed)
+	}
+	rep, err := testkit.RunConformance(testkit.Cases(5), est, testkit.DefaultTolerance(6000), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("FlowProbChains failed conformance:\n%s", rep)
 	}
 }
 

@@ -1,0 +1,218 @@
+package testkit
+
+import (
+	"strings"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+)
+
+// binomialEstimator simulates a sampler whose per-sample hit probability
+// is the enumeration truth shifted by bias: the cleanest way to hand the
+// harness a sampler with a precisely known defect.
+func binomialEstimator(bias float64) Estimator {
+	return func(m *core.ICM, source, sink graph.NodeID, conds []core.FlowCondition, samples int, seed uint64) (float64, error) {
+		var p float64
+		var err error
+		if len(conds) == 0 {
+			p = m.EnumFlowProb([]graph.NodeID{source}, sink)
+		} else {
+			p, err = m.EnumConditionalFlowProb([]graph.NodeID{source}, sink, conds)
+			if err != nil {
+				return 0, err
+			}
+		}
+		p += bias
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		r := rng.New(seed)
+		hits := 0
+		for i := 0; i < samples; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(samples), nil
+	}
+}
+
+func TestCasesAreWellFormed(t *testing.T) {
+	cases := Cases(1)
+	if len(cases) != 2*len(Families) {
+		t.Fatalf("got %d cases, want %d", len(cases), 2*len(Families))
+	}
+	for _, c := range cases {
+		if c.Model.NumEdges() > core.MaxEnumEdges {
+			t.Errorf("%s: %d edges exceeds enumeration limit", c.Name, c.Model.NumEdges())
+		}
+		if c.Exact <= 0.05 || c.Exact >= 0.95 {
+			t.Errorf("%s: ground truth %v outside (0.05, 0.95)", c.Name, c.Exact)
+		}
+		if c.Source == c.Sink {
+			t.Errorf("%s: source == sink", c.Name)
+		}
+		if len(c.Conds) == 0 {
+			// The FKG relationship: the recursion never undershoots.
+			if c.Recursive < c.Exact-1e-9 {
+				t.Errorf("%s: recursion %v undershoots enumeration %v", c.Name, c.Recursive, c.Exact)
+			}
+		} else if c.Recursive != -1 {
+			t.Errorf("%s: conditioned case carries recursion value %v", c.Name, c.Recursive)
+		}
+	}
+}
+
+func TestCasesDeterministic(t *testing.T) {
+	a, b := Cases(7), Cases(7)
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Exact != b[i].Exact ||
+			a[i].Source != b[i].Source || a[i].Sink != b[i].Sink {
+			t.Fatalf("case %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Cases(8)
+	same := true
+	for i := range a {
+		if a[i].Exact != c[i].Exact {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 generated identical ground truths")
+	}
+}
+
+// TestConformanceAcceptsCalibratedSampler: a sampler drawing from the
+// true distribution must pass the whole suite. Its estimate noise comes
+// from the full sample count while the band is built on the
+// ESS-discounted count, so this holds with wide margin.
+func TestConformanceAcceptsCalibratedSampler(t *testing.T) {
+	rep, err := RunConformance(Cases(3), binomialEstimator(0), DefaultTolerance(20000), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("calibrated sampler rejected:\n%s", rep)
+	}
+}
+
+// TestConformanceDetectsBiasedSampler is the harness's power self-test:
+// a sampler with a +0.05 bias (and its negative twin) must be flagged on
+// every case — the acceptance criterion that makes the suite a real gate
+// against silently biased future optimisations.
+func TestConformanceDetectsBiasedSampler(t *testing.T) {
+	for _, bias := range []float64{+0.05, -0.05} {
+		rep, err := RunConformance(Cases(3), binomialEstimator(bias), DefaultTolerance(20000), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK() {
+			t.Fatalf("bias %+.2f not detected:\n%s", bias, rep)
+		}
+		if got := len(rep.Failures()); got != len(rep.Results) {
+			t.Errorf("bias %+.2f: only %d/%d cases failed:\n%s", bias, got, len(rep.Results), rep)
+		}
+	}
+}
+
+// TestConformanceMHFlowProb drives the real single-chain MH estimator
+// through the harness: the paper's §III claim as an automated gate.
+func TestConformanceMHFlowProb(t *testing.T) {
+	est := func(m *core.ICM, source, sink graph.NodeID, conds []core.FlowCondition, samples int, seed uint64) (float64, error) {
+		opts := mh.Options{BurnIn: 800, Thin: 2 * m.NumEdges(), Samples: samples}
+		return mh.FlowProb(m, source, sink, conds, opts, rng.New(seed))
+	}
+	rep, err := RunConformance(Cases(5), est, DefaultTolerance(6000), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("mh.FlowProb failed conformance:\n%s", rep)
+	}
+}
+
+// TestConformanceUniformProposalAblation: the ablation chain (uniform
+// flip proposal) has the same stationary distribution, so it must also
+// pass — a cross-check that the harness gates on correctness, not on the
+// specific proposal.
+func TestConformanceUniformProposalAblation(t *testing.T) {
+	est := func(m *core.ICM, source, sink graph.NodeID, conds []core.FlowCondition, samples int, seed uint64) (float64, error) {
+		s, err := mh.NewSampler(m, conds, rng.New(seed))
+		if err != nil {
+			return 0, err
+		}
+		s.SetUniformProposal(true)
+		opts := mh.Options{BurnIn: 800, Thin: 3 * m.NumEdges(), Samples: samples}
+		hits := 0
+		err = s.Run(opts, func(x core.PseudoState) {
+			if m.HasFlow(source, sink, x) {
+				hits++
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(hits) / float64(opts.Samples), nil
+	}
+	rep, err := RunConformance(UnconditionedCases(5), est, DefaultTolerance(6000), 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("uniform-proposal ablation failed conformance:\n%s", rep)
+	}
+}
+
+func TestToleranceBandAndPValueAgree(t *testing.T) {
+	tol := DefaultTolerance(4000)
+	for _, exact := range []float64{0.1, 0.33, 0.5, 0.77} {
+		lo, hi := tol.Band(exact)
+		if !(lo < exact && exact < hi) {
+			t.Errorf("band [%v,%v] does not contain exact %v", lo, hi, exact)
+		}
+		// Just inside the band is accepted, well outside is rejected.
+		if !tol.Accept(exact, exact) {
+			t.Errorf("exact value rejected at %v", exact)
+		}
+		if tol.Accept(exact, hi+0.02) || tol.Accept(exact, lo-0.02) {
+			t.Errorf("estimates outside band [%v,%v] accepted at %v", lo, hi, exact)
+		}
+	}
+}
+
+func TestRunConformanceValidation(t *testing.T) {
+	cases := UnconditionedCases(1)
+	if _, err := RunConformance(cases, binomialEstimator(0), Tolerance{}, 1); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := RunConformance(nil, binomialEstimator(0), DefaultTolerance(100), 1); err == nil {
+		t.Error("empty case list accepted")
+	}
+	// An estimator error fails its case and is carried in the report.
+	bad := func(*core.ICM, graph.NodeID, graph.NodeID, []core.FlowCondition, int, uint64) (float64, error) {
+		return 0, errTest
+	}
+	rep, err := RunConformance(cases, bad, DefaultTolerance(100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("erroring estimator passed")
+	}
+	if !strings.Contains(rep.String(), "error:") {
+		t.Errorf("report does not surface the error:\n%s", rep)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "estimator exploded" }

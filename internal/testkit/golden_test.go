@@ -1,0 +1,155 @@
+package testkit
+
+import (
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/ctic"
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+	"infoflow/internal/unattrib"
+)
+
+// The golden regression corpus: pinned seeds through the estimators and
+// learners, serialised under testdata/golden. Any behavioural drift in
+// core/mh/unattrib/ctic — an RNG consumption change, a reordered loop, a
+// tweaked proposal — shows up as a corpus diff. Regenerate intentionally
+// with:
+//
+//	go test ./internal/testkit -run TestGolden -update-golden
+//
+// and review the diff like any other code change.
+
+const goldenDigits = 9
+
+type goldenEstimate struct {
+	Name           string  `json:"name"`
+	Exact          float64 `json:"exact"`
+	Recursive      float64 `json:"recursive"`
+	FlowProb       float64 `json:"flow_prob"`
+	FlowProbChains float64 `json:"flow_prob_chains"`
+}
+
+func TestGoldenFlowEstimates(t *testing.T) {
+	var out []goldenEstimate
+	for _, c := range Cases(2026) {
+		opts := mh.Options{BurnIn: 500, Thin: 2 * c.Model.NumEdges(), Samples: 3000}
+		single, err := mh.FlowProb(c.Model, c.Source, c.Sink, c.Conds, opts, rng.New(41))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		chains, err := mh.FlowProbChains(c.Model, c.Source, c.Sink, c.Conds, opts, 4, 43)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		out = append(out, goldenEstimate{
+			Name:           c.Name,
+			Exact:          Round(c.Exact, goldenDigits),
+			Recursive:      Round(c.Recursive, goldenDigits),
+			FlowProb:       Round(single, goldenDigits),
+			FlowProbChains: Round(chains, goldenDigits),
+		})
+	}
+	Golden(t, "flow_estimates", out)
+}
+
+type goldenBetaEdge struct {
+	From  graph.NodeID `json:"from"`
+	To    graph.NodeID `json:"to"`
+	Alpha float64      `json:"alpha"`
+	Beta  float64      `json:"beta"`
+}
+
+func TestGoldenBetaICMPosterior(t *testing.T) {
+	r := rng.New(707)
+	m := NewModel(Uniform, r)
+	bm := core.NewBetaICM(m.G)
+	// 60 attributed cascades from rotating single sources.
+	d := &core.AttributedEvidence{}
+	for i := 0; i < 60; i++ {
+		src := graph.NodeID(i % m.NumNodes())
+		d.Add(core.FromCascade(m.SampleCascade(r, []graph.NodeID{src})))
+	}
+	if err := bm.TrainAttributed(d); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]goldenBetaEdge, bm.NumEdges())
+	for id, b := range bm.B {
+		e := bm.G.Edge(graph.EdgeID(id))
+		out[id] = goldenBetaEdge{From: e.From, To: e.To, Alpha: b.Alpha, Beta: b.Beta}
+	}
+	Golden(t, "betaicm_posterior", out)
+}
+
+type goldenCTIC struct {
+	Parents        []graph.NodeID `json:"parents"`
+	KTruth         []float64      `json:"k_truth"`
+	RTruth         []float64      `json:"r_truth"`
+	KMean          []float64      `json:"k_mean"`
+	KStd           []float64      `json:"k_std"`
+	RMean          []float64      `json:"r_mean"`
+	RStd           []float64      `json:"r_std"`
+	AcceptanceRate float64        `json:"acceptance_rate"`
+}
+
+func TestGoldenCTICLearner(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	kTruth := []float64{0.8, 0.3}
+	rTruth := []float64{2, 1}
+	model, err := ctic.New(g, kTruth, rTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(909)
+	var eps []ctic.Episode
+	sourceSets := [][]graph.NodeID{{0}, {1}, {0, 1}}
+	for i := 0; i < 240; i++ {
+		eps = append(eps, model.Simulate(r, sourceSets[i%len(sourceSets)], 4))
+	}
+	opts := ctic.LearnOptions{
+		BurnIn: 200, Thin: 2, Samples: 400,
+		StepK: 0.1, StepR: 0.3,
+		PriorK:      dist.Uniform(),
+		PriorRShape: 1.5, PriorRScale: 2,
+	}
+	post, err := ctic.Learn(2, []graph.NodeID{0, 1}, eps, opts, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Golden(t, "ctic_learner", goldenCTIC{
+		Parents:        post.Parents,
+		KTruth:         kTruth,
+		RTruth:         rTruth,
+		KMean:          RoundSlice(post.KMean, goldenDigits),
+		KStd:           RoundSlice(post.KStd, goldenDigits),
+		RMean:          RoundSlice(post.RMean, goldenDigits),
+		RStd:           RoundSlice(post.RStd, goldenDigits),
+		AcceptanceRate: Round(post.AcceptanceRate, goldenDigits),
+	})
+}
+
+type goldenUnattrib struct {
+	Sink           graph.NodeID `json:"sink"`
+	Mean           []float64    `json:"mean"`
+	StdDev         []float64    `json:"std_dev"`
+	AcceptanceRate float64      `json:"acceptance_rate"`
+}
+
+func TestGoldenUnattribPosterior(t *testing.T) {
+	s := unattrib.TableI()
+	opts := unattrib.BayesOptions{BurnIn: 400, Thin: 3, Samples: 800, Step: 0.08}
+	post, err := unattrib.JointBayes(s, opts, rng.New(313))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Golden(t, "unattrib_posterior", goldenUnattrib{
+		Sink:           s.Sink,
+		Mean:           RoundSlice(post.Mean, goldenDigits),
+		StdDev:         RoundSlice(post.StdDev, goldenDigits),
+		AcceptanceRate: Round(post.AcceptanceRate, goldenDigits),
+	})
+}

@@ -1,0 +1,127 @@
+package testkit
+
+import (
+	"strings"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+func TestMonotonicityAcrossFamilies(t *testing.T) {
+	for _, c := range UnconditionedCases(2) {
+		if err := CheckMonotonicity(c.Model, c.Source, c.Sink, 0.1); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestMonotonicityRejectsBadDelta(t *testing.T) {
+	c := UnconditionedCase(Uniform, 2)
+	if err := CheckMonotonicity(c.Model, c.Source, c.Sink, 0); err == nil {
+		t.Error("zero delta accepted")
+	}
+}
+
+func TestConditioningConsistencyAcrossFamilies(t *testing.T) {
+	for _, c := range Cases(4) {
+		if len(c.Conds) == 0 {
+			continue
+		}
+		if err := CheckConditioningConsistency(c.Model, c.Source, c.Sink, c.Conds[0]); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		// The negated condition must satisfy the identity too.
+		neg := c.Conds[0]
+		neg.Require = !neg.Require
+		if err := CheckConditioningConsistency(c.Model, c.Source, c.Sink, neg); err != nil {
+			t.Errorf("%s (negated): %v", c.Name, err)
+		}
+	}
+}
+
+func TestRecursionUpperBoundAcrossFamilies(t *testing.T) {
+	for _, c := range UnconditionedCases(6) {
+		if err := CheckRecursionUpperBound(c.Model, c.Source); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCascadeSizePMFIsADistribution(t *testing.T) {
+	for _, c := range UnconditionedCases(8) {
+		pmf := CascadeSizePMF(c.Model, []graph.NodeID{c.Source})
+		sum := 0.0
+		for k, p := range pmf {
+			if p < 0 || p > 1 {
+				t.Errorf("%s: pmf[%d] = %v", c.Name, k, p)
+			}
+			sum += p
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			t.Errorf("%s: pmf sums to %v", c.Name, sum)
+		}
+		// The source is always active, so size 0 has zero mass.
+		if pmf[0] != 0 {
+			t.Errorf("%s: P(size=0) = %v", c.Name, pmf[0])
+		}
+	}
+}
+
+// TestCascadeSizesMatchEnumeration ties the round-based cascade sampler
+// to the live-edge pseudo-state law on every family.
+func TestCascadeSizesMatchEnumeration(t *testing.T) {
+	r := rng.New(99)
+	for _, c := range UnconditionedCases(8) {
+		if err := CheckCascadeSizes(c.Model, []graph.NodeID{c.Source}, 20000, 1e-6, r.Fork()); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// TestCascadeSizesDetectWrongModel is the distributional power
+// self-test: sampling from a perturbed model against the original PMF
+// must be flagged.
+func TestCascadeSizesDetectWrongModel(t *testing.T) {
+	c := UnconditionedCase(Uniform, 8)
+	m := c.Model
+	p := append([]float64(nil), m.P...)
+	for i := range p {
+		p[i] += 0.14 // within [0.15, 0.85] + 0.14 <= 0.99
+	}
+	perturbed := core.MustNewICM(m.G, p)
+	// The law of the ORIGINAL model, tested against counts drawn from
+	// the perturbed one.
+	pmf := CascadeSizePMF(m, []graph.NodeID{c.Source})
+	r := rng.New(100)
+	const samples = 20000
+	counts := make([]int, len(pmf))
+	for i := 0; i < samples; i++ {
+		counts[perturbed.SampleCascade(r, []graph.NodeID{c.Source}).NumActive()]++
+	}
+	if err := CheckSizeCounts(pmf, counts, samples, 1e-6); err == nil {
+		t.Error("cascade-size check failed to flag a +0.14 probability perturbation")
+	}
+	// Counts drawn from the correct model pass the same rule.
+	correct := make([]int, len(pmf))
+	for i := 0; i < samples; i++ {
+		correct[m.SampleCascade(r, []graph.NodeID{c.Source}).NumActive()]++
+	}
+	if err := CheckSizeCounts(pmf, correct, samples, 1e-6); err != nil {
+		t.Errorf("correct model flagged: %v", err)
+	}
+}
+
+// TestCheckCascadeSizesValidation covers the parameter guard rails.
+func TestCheckCascadeSizesValidation(t *testing.T) {
+	c := UnconditionedCase(Uniform, 8)
+	r := rng.New(1)
+	if err := CheckCascadeSizes(c.Model, []graph.NodeID{c.Source}, 0, 0.01, r); err == nil ||
+		!strings.Contains(err.Error(), "invalid") {
+		t.Errorf("bad samples accepted: %v", err)
+	}
+	if err := CheckCascadeSizes(c.Model, []graph.NodeID{c.Source}, 100, 0, r); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}

@@ -1,0 +1,35 @@
+// Package testkit is the statistical verification subsystem for the
+// infoflow samplers and learners. The paper's central claim (§III, §IV)
+// is that Metropolis-Hastings pseudo-state estimates converge to the
+// exact recursive flow probability of Eq. 2; this package turns that
+// claim into an automated gate so a silent bias introduced by a future
+// change is caught, not shipped.
+//
+// It provides three layers, all reusable from any package's tests:
+//
+//   - A conformance harness (conformance.go): seeded families of small
+//     random graphs (uniform, preferential-attachment, DAG) whose flow
+//     probabilities are known exactly by brute-force pseudo-state
+//     enumeration, plus acceptance bands derived from exact binomial
+//     confidence intervals — an estimate fails only when it is
+//     statistically significant evidence of bias, never because a fixed
+//     epsilon was tripped by sampling noise.
+//
+//   - Metamorphic property checks (metamorphic.go): monotonicity of flow
+//     probability under edge-probability increase, the law of total
+//     probability linking the conditioned estimators of Eqs. 6–8 to the
+//     marginal, the FKG upper-bound relation between Eq. 2's recursion
+//     and the enumeration truth, and agreement of the cascade-size
+//     distribution between the round-based cascade sampler and the
+//     live-edge (pseudo-state) law.
+//
+//   - A golden-corpus helper (golden.go): pinned-seed regression files
+//     under testdata/golden with a -update-golden regeneration flag, so
+//     any behavioural drift in estimators or learners shows up as a
+//     reviewable diff.
+//
+// testkit deliberately imports only core, graph, dist and rng — not the
+// sampler packages — so sampler packages' own internal tests can import
+// it without a cycle and plug their estimators in via the Estimator
+// adapter type.
+package testkit

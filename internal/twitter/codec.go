@@ -5,6 +5,7 @@ import (
 
 	"infoflow/internal/core"
 	"infoflow/internal/graph"
+	"infoflow/internal/jsonx"
 )
 
 // decodeGraph and newICM isolate the deserialisation glue so dataset.go
@@ -12,7 +13,7 @@ import (
 func decodeGraph(raw json.RawMessage) (*graph.DiGraph, error) {
 	g := graph.New(0)
 	if err := json.Unmarshal(raw, g); err != nil {
-		return nil, err
+		return nil, jsonx.Wrap("twitter: decode flow graph", err)
 	}
 	return g, nil
 }

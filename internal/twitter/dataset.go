@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"infoflow/internal/jsonx"
 )
 
 // Stats summarises a dataset, mirroring the corpus-level numbers the
@@ -158,7 +160,7 @@ func (d *Dataset) Write(w io.Writer) error {
 func Read(r io.Reader) (*Dataset, error) {
 	var jd jsonDataset
 	if err := json.NewDecoder(r).Decode(&jd); err != nil {
-		return nil, fmt.Errorf("twitter: decode dataset: %w", err)
+		return nil, jsonx.Wrap("twitter: decode dataset", err)
 	}
 	d := &Dataset{
 		Config:           jd.Config,

@@ -1,0 +1,52 @@
+package twitter
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// fuzzNodeLimit mirrors the graph fuzzer's memory-amplification guard:
+// a tiny input declaring millions of nodes is an allocation hazard, not
+// a decoder bug.
+const fuzzNodeLimit = 1 << 16
+
+// FuzzDecodeGraphRoundTrip asserts that decodeGraph never panics and
+// that accepted graphs reach an encode/decode fixed point.
+func FuzzDecodeGraphRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"nodes":3,"edges":[[0,1],[1,2]]}`))
+	f.Add([]byte(`{"nodes":0,"edges":[]}`))
+	f.Add([]byte(`{"nodes":2,"edges":[[0,1],[0,1]]}`))
+	f.Add([]byte(`{"nodes":1,"edges":[[0,0]]}`))
+	f.Add([]byte(`{"nodes":"two"}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var probe struct {
+			Nodes int64 `json:"nodes"`
+		}
+		if err := json.Unmarshal(data, &probe); err == nil &&
+			(probe.Nodes < 0 || probe.Nodes > fuzzNodeLimit) {
+			t.Skip("node count out of fuzzing bounds")
+		}
+		g, err := decodeGraph(json.RawMessage(data))
+		if err != nil {
+			return
+		}
+		enc1, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("encode accepted graph: %v", err)
+		}
+		g2, err := decodeGraph(enc1)
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v\nencoding: %s", err, enc1)
+		}
+		enc2, err := json.Marshal(g2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode/decode not a fixed point:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+	})
+}

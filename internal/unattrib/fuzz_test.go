@@ -1,0 +1,44 @@
+package unattrib_test
+
+import (
+	"bytes"
+	"testing"
+
+	"infoflow/internal/unattrib"
+)
+
+// FuzzReadSummariesRoundTrip asserts that unattrib.ReadSummaries never
+// panics and that every accepted input reaches an encode/decode fixed
+// point. ReadSummaries canonicalises on the way in (rows sorted, merged
+// by characteristic, sinks sorted on encode), so the first re-encoding
+// must survive another decode/encode cycle byte for byte.
+func FuzzReadSummariesRoundTrip(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"sink":3,"parents":[0,1],"rows":[{"set":0,"count":5,"leaks":0},{"set":3,"count":7,"leaks":6}]}]`))
+	f.Add([]byte(`[{"sink":1,"parents":[0],"rows":[{"set":1,"count":2,"leaks":3}]}]`))
+	f.Add([]byte(`[{"sink":1,"parents":[0],"rows":[]},{"sink":1,"parents":[0],"rows":[]}]`))
+	f.Add([]byte(`[{"sink":2,"parents":[0,1],"rows":[{"set":9,"count":1,"leaks":0}]}]`))
+	f.Add([]byte(`[{"sink":`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sums, err := unattrib.ReadSummaries(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := unattrib.WriteSummaries(&enc1, sums); err != nil {
+			t.Fatalf("encode accepted summaries: %v", err)
+		}
+		sums2, err := unattrib.ReadSummaries(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v\nencoding: %s", err, enc1.Bytes())
+		}
+		var enc2 bytes.Buffer
+		if err := unattrib.WriteSummaries(&enc2, sums2); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encode/decode not a fixed point:\nfirst:  %s\nsecond: %s", enc1.Bytes(), enc2.Bytes())
+		}
+	})
+}

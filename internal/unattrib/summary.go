@@ -25,6 +25,7 @@ package unattrib
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 
@@ -128,6 +129,9 @@ func (s *Summary) AddRow(set CharBits, count, leaks int) error {
 	}
 	for i := range s.Rows {
 		if s.Rows[i].Set == set {
+			if s.Rows[i].Count > math.MaxInt-count {
+				return fmt.Errorf("unattrib: row count overflow for characteristic %b", set)
+			}
 			s.Rows[i].Count += count
 			s.Rows[i].Leaks += leaks
 			return nil

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"infoflow/internal/graph"
+	"infoflow/internal/jsonx"
 )
 
 // jsonSummary is the wire form of one sink's evidence summary.
@@ -48,7 +49,7 @@ func WriteSummaries(w io.Writer, sums map[graph.NodeID]*Summary) error {
 func ReadSummaries(r io.Reader) (map[graph.NodeID]*Summary, error) {
 	var in []jsonSummary
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("unattrib: decode summaries: %w", err)
+		return nil, jsonx.Wrap("unattrib: decode summaries", err)
 	}
 	out := make(map[graph.NodeID]*Summary, len(in))
 	for _, js := range in {
