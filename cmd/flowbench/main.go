@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,23 +23,43 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list available experiments and exit")
-	small := flag.Bool("small", false, "run reduced configurations (seconds, not minutes)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flowbench [-small] [-list] <experiment>... | all\n\n")
-		flag.PrintDefaults()
+	err := run(os.Args[1:], os.Stdout, os.Stderr, time.Now)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "flowbench: %v\n", err)
+		os.Exit(1)
 	}
-	flag.Parse()
+}
+
+// run drives the experiment registry. The clock only decorates the
+// progress output with elapsed wall time, so it is injected rather than
+// read ambiently: experiment results themselves stay functions of the
+// seed alone.
+func run(args []string, stdout, stderr io.Writer, clock func() time.Time) error {
+	fs := flag.NewFlagSet("flowbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available experiments and exit")
+	small := fs.Bool("small", false, "run reduced configurations (seconds, not minutes)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: flowbench [-small] [-list] <experiment>... | all\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *list {
 		for _, r := range experiments.Registry() {
-			fmt.Printf("%-8s %s\n", r.Name, r.Description)
+			fmt.Fprintf(stdout, "%-8s %s\n", r.Name, r.Description)
 		}
-		return
+		return nil
 	}
-	names := flag.Args()
+	names := fs.Args()
 	if len(names) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errors.New("no experiments named")
 	}
 	if len(names) == 1 && names[0] == "all" {
 		names = nil
@@ -45,23 +67,26 @@ func main() {
 			names = append(names, r.Name)
 		}
 	}
-	exit := 0
+	var failed []string
 	for _, name := range names {
 		runner, ok := experiments.Lookup(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "flowbench: unknown experiment %q (try -list)\n", name)
-			exit = 1
+			fmt.Fprintf(stderr, "flowbench: unknown experiment %q (try -list)\n", name)
+			failed = append(failed, name)
 			continue
 		}
-		start := time.Now()
+		start := clock()
 		res, err := runner.Run(*small)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "flowbench: %s: %v\n", name, err)
-			exit = 1
+			fmt.Fprintf(stderr, "flowbench: %s: %v\n", name, err)
+			failed = append(failed, name)
 			continue
 		}
-		fmt.Printf("=== %s (%s) [%v]\n%s\n", runner.Name, runner.Description,
-			time.Since(start).Round(time.Millisecond), res)
+		fmt.Fprintf(stdout, "=== %s (%s) [%v]\n%s\n", runner.Name, runner.Description,
+			clock().Sub(start).Round(time.Millisecond), res)
 	}
-	os.Exit(exit)
+	if len(failed) > 0 {
+		return fmt.Errorf("%d experiment(s) failed: %v", len(failed), failed)
+	}
+	return nil
 }

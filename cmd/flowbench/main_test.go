@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per read.
+func fakeClock() func() time.Time {
+	var ticks int64
+	return func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Second))
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr, fakeClock()); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, name := range []string{"fig1", "fig6"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-small", "fig6"}, &stdout, &stderr, fakeClock()); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "=== fig6") {
+		t.Errorf("missing experiment header:\n%s", out)
+	}
+	// The injected clock is read exactly twice around the experiment, so
+	// the reported elapsed time is exactly one fake second.
+	if !strings.Contains(out, "[1s]") {
+		t.Errorf("injected clock not used for elapsed time:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"definitely-not-an-experiment"}, &stdout, &stderr, fakeClock())
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnosis: %q", stderr.String())
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr, fakeClock()); err == nil {
+		t.Fatal("empty invocation accepted")
+	}
+}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"infoflow/internal/rng"
@@ -18,37 +20,52 @@ import (
 )
 
 func main() {
-	cfg := twitter.DefaultConfig()
-	seed := flag.Uint64("seed", 1, "generator seed")
-	out := flag.String("o", "-", "output path (- for stdout)")
-	flag.IntVar(&cfg.NumUsers, "users", cfg.NumUsers, "number of users")
-	flag.IntVar(&cfg.NumTweets, "tweets", cfg.NumTweets, "original tweet cascades")
-	flag.IntVar(&cfg.NumHashtags, "hashtags", cfg.NumHashtags, "hashtag objects")
-	flag.IntVar(&cfg.NumURLs, "urls", cfg.NumURLs, "url objects")
-	flag.IntVar(&cfg.FollowsPerUser, "follows", cfg.FollowsPerUser, "follows per arriving user")
-	flag.Float64Var(&cfg.Reciprocity, "reciprocity", cfg.Reciprocity, "follow reciprocity")
-	flag.Float64Var(&cfg.DropOriginalFrac, "drop", cfg.DropOriginalFrac, "fraction of originals dropped (sparsity)")
-	flag.IntVar(&cfg.HashtagSeeds, "hashtag-seeds", cfg.HashtagSeeds, "independent entry points per hashtag")
-	flag.Parse()
-
-	d, err := twitter.Generate(cfg, rng.New(*seed))
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "flowgen: %v\n", err)
 		os.Exit(1)
 	}
-	w := os.Stdout
+}
+
+// run generates one corpus. The dataset JSON goes to the -o path (or
+// stdout for "-"); the human-readable corpus stats go to stderr so a
+// piped corpus stays parseable.
+func run(args []string, stdout, stderr io.Writer) error {
+	cfg := twitter.DefaultConfig()
+	fs := flag.NewFlagSet("flowgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "-", "output path (- for stdout)")
+	fs.IntVar(&cfg.NumUsers, "users", cfg.NumUsers, "number of users")
+	fs.IntVar(&cfg.NumTweets, "tweets", cfg.NumTweets, "original tweet cascades")
+	fs.IntVar(&cfg.NumHashtags, "hashtags", cfg.NumHashtags, "hashtag objects")
+	fs.IntVar(&cfg.NumURLs, "urls", cfg.NumURLs, "url objects")
+	fs.IntVar(&cfg.FollowsPerUser, "follows", cfg.FollowsPerUser, "follows per arriving user")
+	fs.Float64Var(&cfg.Reciprocity, "reciprocity", cfg.Reciprocity, "follow reciprocity")
+	fs.Float64Var(&cfg.DropOriginalFrac, "drop", cfg.DropOriginalFrac, "fraction of originals dropped (sparsity)")
+	fs.IntVar(&cfg.HashtagSeeds, "hashtag-seeds", cfg.HashtagSeeds, "independent entry points per hashtag")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := twitter.Generate(cfg, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	w := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "flowgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := d.Write(w); err != nil {
-		fmt.Fprintf(os.Stderr, "flowgen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprint(os.Stderr, d.Stats())
+	_, err = fmt.Fprint(stderr, d.Stats())
+	return err
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"infoflow/internal/twitter"
+)
+
+func TestRunWritesParseableCorpus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "corpus.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-users", "40", "-tweets", "30", "-hashtags", "5", "-urls", "5", "-seed", "7", "-o", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty with -o file: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "users") {
+		t.Errorf("stats missing from stderr: %q", stderr.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := twitter.Read(f)
+	if err != nil {
+		t.Fatalf("corpus does not round-trip: %v", err)
+	}
+	if got := len(d.RealUsers()); got != 40 {
+		t.Errorf("real users = %d, want 40", got)
+	}
+}
+
+func TestRunStdoutCorpus(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-users", "25", "-tweets", "10", "-hashtags", "2", "-urls", "2"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := twitter.Read(bytes.NewReader(stdout.Bytes())); err != nil {
+		t.Fatalf("piped corpus does not parse: %v", err)
+	}
+}
+
+func TestRunSeedReproducible(t *testing.T) {
+	gen := func() []byte {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-users", "25", "-tweets", "10", "-seed", "3"}, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		return stdout.Bytes()
+	}
+	if !bytes.Equal(gen(), gen()) {
+		t.Fatal("same seed produced different corpora")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-nosuchflag"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"infoflow/internal/graph"
@@ -22,21 +24,28 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "flowlearn: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	data := flag.String("data", "", "corpus JSON written by flowgen (required)")
-	kindArg := flag.String("kind", "url", "object kind to learn from: url or hashtag")
-	sinkArg := flag.Int("sink", -1, "sink user (-1 selects the most-observed sink)")
-	seed := flag.Uint64("seed", 1, "MCMC seed")
-	samples := flag.Int("samples", 2000, "posterior samples")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flowlearn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	data := fs.String("data", "", "corpus JSON written by flowgen (required)")
+	kindArg := fs.String("kind", "url", "object kind to learn from: url or hashtag")
+	sinkArg := fs.Int("sink", -1, "sink user (-1 selects the most-observed sink)")
+	seed := fs.Uint64("seed", 1, "MCMC seed")
+	samples := fs.Int("samples", 2000, "posterior samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *data == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("-data is required")
 	}
 	f, err := os.Open(*data)
@@ -88,7 +97,7 @@ func run() error {
 			return fmt.Errorf("no summaries built")
 		}
 	}
-	fmt.Printf("sink user %d: %d parents (%d dropped), %d observations, %d characteristics over %d traces\n",
+	fmt.Fprintf(stdout, "sink user %d: %d parents (%d dropped), %d observations, %d characteristics over %d traces\n",
 		s.Sink, len(s.Parents), s.DroppedParents, s.NumObservations(), len(s.Rows), len(traceList))
 
 	r := rng.New(*seed)
@@ -109,16 +118,16 @@ func run() error {
 	}
 	filtered := unattrib.FilteredMeans(s)
 
-	fmt.Printf("\n%8s %8s %14s %8s %8s %8s\n", "parent", "truth", "bayes(+/-sd)", "goyal", "saito", "filtered")
+	fmt.Fprintf(stdout, "\n%8s %8s %14s %8s %8s %8s\n", "parent", "truth", "bayes(+/-sd)", "goyal", "saito", "filtered")
 	for j, parent := range s.Parents {
 		truth := float64(-1)
 		if id, ok := d.Flow.EdgeID(parent, s.Sink); ok {
 			truth = d.TruthICM.P[id]
 		}
-		fmt.Printf("%8d %8.3f %7.3f+/-%.3f %8.3f %8.3f %8.3f\n",
+		fmt.Fprintf(stdout, "%8d %8.3f %7.3f+/-%.3f %8.3f %8.3f %8.3f\n",
 			parent, truth, post.Mean[j], post.StdDev[j], goyal[j], saito[j], filtered[j])
 	}
-	fmt.Printf("(EM converged in %d iterations; MCMC acceptance %.2f)\n", iters, post.AcceptanceRate)
+	fmt.Fprintf(stdout, "(EM converged in %d iterations; MCMC acceptance %.2f)\n", iters, post.AcceptanceRate)
 
 	// Strongest posterior correlations: the joint structure point
 	// estimators cannot express.
@@ -136,7 +145,7 @@ func run() error {
 		}
 	}
 	if len(s.Parents) > 1 {
-		fmt.Printf("strongest posterior correlation: parents %d and %d at %+.3f\n",
+		fmt.Fprintf(stdout, "strongest posterior correlation: parents %d and %d at %+.3f\n",
 			s.Parents[best.i], s.Parents[best.j], best.c)
 	}
 	return nil

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"infoflow/internal/rng"
+	"infoflow/internal/twitter"
+)
+
+// tinyCorpus writes a small generated corpus to a temp file and returns
+// its path.
+func tinyCorpus(t *testing.T) string {
+	t.Helper()
+	cfg := twitter.DefaultConfig()
+	cfg.NumUsers = 40
+	cfg.NumTweets = 60
+	cfg.NumHashtags = 5
+	cfg.NumURLs = 8
+	d, err := twitter.Generate(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLearnsBusiestSink(t *testing.T) {
+	corpus := tinyCorpus(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-data", corpus, "-kind", "url", "-samples", "200"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "sink user") {
+		t.Errorf("missing summary header:\n%s", out)
+	}
+	if !strings.Contains(out, "bayes(+/-sd)") {
+		t.Errorf("missing estimator table:\n%s", out)
+	}
+	if !strings.Contains(out, "EM converged") {
+		t.Errorf("missing convergence footer:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	corpus := tinyCorpus(t)
+	if err := run([]string{"-data", corpus, "-kind", "carrier-pigeon"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Command flowlint runs the module's domain static analyzer (see
+// internal/lint and DESIGN.md §8): it loads every package from source
+// on the pure stdlib toolchain and enforces the repo's machine-checked
+// invariants — determinism of the sampling core, zero-alloc hot paths,
+// float comparison hygiene, codec error annotation, and panic-free
+// library code.
+//
+//	go run ./cmd/flowlint ./...          # analyze the whole module
+//	go run ./cmd/flowlint ./internal/mh  # one package directory
+//	go run ./cmd/flowlint -list          # describe the checks
+//
+// Exit status is 0 when clean, 1 when findings were reported, 2 on
+// usage or load errors. Findings are suppressible only with
+// //flowlint:ignore <check> -- <reason> on the offending line.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"infoflow/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flowlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered checks and exit")
+	moduleDir := fs.String("C", ".", "module root directory")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: flowlint [-C dir] [-list] [./... | dir ...]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Desc)
+		}
+		return 0
+	}
+	mod, err := lint.LoadModule(*moduleDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "flowlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := selectPackages(mod, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "flowlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, lint.Checks())
+	for _, d := range diags {
+		fmt.Fprintln(stdout, relativize(mod.Dir, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "flowlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters the module's units by the command-line
+// patterns: no patterns or "./..." selects everything, "./dir/..."
+// selects a subtree, and a plain directory selects that package (plus
+// its external test unit).
+func selectPackages(mod *lint.Module, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return mod.Pkgs, nil
+	}
+	var out []*lint.Package
+	seen := make(map[*lint.Package]bool)
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			return mod.Pkgs, nil
+		}
+		subtree := strings.HasSuffix(pat, "/...")
+		pat = strings.TrimSuffix(pat, "/...")
+		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(pat, "./")))
+		want := mod.Path
+		if rel != "." {
+			want = mod.Path + "/" + rel
+		}
+		matched := false
+		for _, p := range mod.Pkgs {
+			base := strings.TrimSuffix(p.Path, "_test")
+			ok := base == want || (subtree && strings.HasPrefix(base, want+"/"))
+			if ok && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// relativize shortens absolute finding paths to module-relative ones.
+func relativize(dir string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(dir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+		d.File = rel
+	}
+	return d.String()
+}

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -29,28 +31,35 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "flowquery: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	data := flag.String("data", "", "corpus JSON written by flowgen (required)")
-	seed := flag.Uint64("seed", 1, "sampler seed")
-	source := flag.Int("source", -1, "source user (required)")
-	sink := flag.Int("sink", -1, "sink user (for end-to-end queries)")
-	condsArg := flag.String("cond", "", "flow conditions, e.g. \"3>7=1,3>9=0\"")
-	community := flag.Bool("community", false, "report source-to-community flow")
-	top := flag.Int("top", 10, "community nodes to print")
-	impact := flag.Bool("impact", false, "report the impact distribution")
-	nested := flag.Int("nested", 0, "if > 0, sample this many models for an uncertainty estimate")
-	samples := flag.Int("samples", 2000, "MH output samples")
-	censored := flag.Bool("censored", true, "use censored attributed training (recommended for chain-recovered evidence)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flowquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	data := fs.String("data", "", "corpus JSON written by flowgen (required)")
+	seed := fs.Uint64("seed", 1, "sampler seed")
+	source := fs.Int("source", -1, "source user (required)")
+	sink := fs.Int("sink", -1, "sink user (for end-to-end queries)")
+	condsArg := fs.String("cond", "", "flow conditions, e.g. \"3>7=1,3>9=0\"")
+	community := fs.Bool("community", false, "report source-to-community flow")
+	top := fs.Int("top", 10, "community nodes to print")
+	impact := fs.Bool("impact", false, "report the impact distribution")
+	nested := fs.Int("nested", 0, "if > 0, sample this many models for an uncertainty estimate")
+	samples := fs.Int("samples", 2000, "MH output samples")
+	censored := fs.Bool("censored", true, "use censored attributed training (recommended for chain-recovered evidence)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *data == "" || *source < 0 {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("-data and -source are required")
 	}
 	f, err := os.Open(*data)
@@ -72,7 +81,7 @@ func run() error {
 	if err := train(&res.Evidence); err != nil {
 		return err
 	}
-	fmt.Printf("trained on %d objects (%d originals recovered, %d edges skipped)\n",
+	fmt.Fprintf(stdout, "trained on %d objects (%d originals recovered, %d edges skipped)\n",
 		res.Objects, res.RecoveredOriginals, res.SkippedEdges)
 
 	conds, err := parseConds(*condsArg)
@@ -95,10 +104,10 @@ func run() error {
 			return err
 		}
 		hist := dist.IntHistogram(impacts)
-		fmt.Printf("impact distribution for user %d (over %d samples):\n", src, len(impacts))
+		fmt.Fprintf(stdout, "impact distribution for user %d (over %d samples):\n", src, len(impacts))
 		for k, c := range hist {
 			if c > 0 {
-				fmt.Printf("  %3d reached: %6d (%.4f)\n", k, c, float64(c)/float64(len(impacts)))
+				fmt.Fprintf(stdout, "  %3d reached: %6d (%.4f)\n", k, c, float64(c)/float64(len(impacts)))
 			}
 		}
 	case *community:
@@ -120,9 +129,9 @@ func run() error {
 		if len(nf) > *top {
 			nf = nf[:*top]
 		}
-		fmt.Printf("top community flows from user %d:\n", src)
+		fmt.Fprintf(stdout, "top community flows from user %d:\n", src)
 		for _, x := range nf {
-			fmt.Printf("  -> %6d  %.4f\n", x.v, x.p)
+			fmt.Fprintf(stdout, "  -> %6d  %.4f\n", x.v, x.p)
 		}
 	case *nested > 0:
 		if *sink < 0 {
@@ -134,7 +143,7 @@ func run() error {
 		}
 		s := dist.Summarize(ps)
 		fit := dist.FitBetaToSamples(ps)
-		fmt.Printf("flow %d ~> %d: mean %.4f sd %.4f over %d sampled models (fit %v)\n",
+		fmt.Fprintf(stdout, "flow %d ~> %d: mean %.4f sd %.4f over %d sampled models (fit %v)\n",
 			src, *sink, s.Mean, s.StdDev(), s.N, fit)
 	default:
 		if *sink < 0 {
@@ -144,11 +153,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Pr[%d ~> %d", src, *sink)
+		fmt.Fprintf(stdout, "Pr[%d ~> %d", src, *sink)
 		if len(conds) > 0 {
-			fmt.Printf(" | %d conditions", len(conds))
+			fmt.Fprintf(stdout, " | %d conditions", len(conds))
 		}
-		fmt.Printf("] = %.4f\n", p)
+		fmt.Fprintf(stdout, "] = %.4f\n", p)
 	}
 	return nil
 }

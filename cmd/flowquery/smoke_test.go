@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"infoflow/internal/rng"
+	"infoflow/internal/twitter"
+)
+
+// tinyCorpus writes a small generated corpus to a temp file and returns
+// its path.
+func tinyCorpus(t *testing.T) string {
+	t.Helper()
+	cfg := twitter.DefaultConfig()
+	cfg.NumUsers = 40
+	cfg.NumTweets = 60
+	cfg.NumHashtags = 5
+	cfg.NumURLs = 5
+	d, err := twitter.Generate(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var flowProbLine = regexp.MustCompile(`Pr\[0 ~> 1\] = [01]\.\d{4}`)
+
+func TestRunEndToEndQuery(t *testing.T) {
+	corpus := tinyCorpus(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-data", corpus, "-source", "0", "-sink", "1", "-samples", "100"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flowProbLine.MatchString(stdout.String()) {
+		t.Errorf("output missing flow probability line:\n%s", stdout.String())
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-source", "0"}, &stdout, &stderr); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if err := run([]string{"-data", "nope.json", "-source", "0", "-sink", "1"}, &stdout, &stderr); err == nil {
+		t.Fatal("nonexistent corpus accepted")
+	}
+}

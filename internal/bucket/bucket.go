@@ -46,6 +46,7 @@ func (e *Experiment) Add(estimate float64, outcome bool) error {
 // whose estimates are probabilities by construction.
 func (e *Experiment) MustAdd(estimate float64, outcome bool) {
 	if err := e.Add(estimate, outcome); err != nil {
+		//flowlint:invariant Must* wrapper: the caller asserts the estimate is a probability
 		panic(err)
 	}
 }

@@ -36,6 +36,7 @@ func (e *Experiment) Compute() (Metrics, error) {
 func (e *Experiment) ComputeMiddle() (Metrics, error) {
 	middle := make([]Pair, 0, len(e.Pairs))
 	for _, p := range e.Pairs {
+		//flowlint:ignore floatcmp -- 0 and 1 are exact sentinel estimates from degenerate pairs, never rounded values
 		if p.Estimate != 0 && p.Estimate != 1 {
 			middle = append(middle, p)
 		}

@@ -36,6 +36,7 @@ const MaxExactNodes = 62
 // graphs and panics if the graph exceeds MaxExactNodes nodes.
 func (m *ICM) RecursiveFlowProb(source, sink graph.NodeID) float64 {
 	if m.NumNodes() > MaxExactNodes {
+		//flowlint:invariant documented size limit: exact recursion is exponential beyond MaxExactNodes
 		panic(fmt.Sprintf("core: RecursiveFlowProb on %d nodes exceeds limit %d", m.NumNodes(), MaxExactNodes))
 	}
 	memo := make(map[exactKey]float64)
@@ -96,6 +97,7 @@ func (m *ICM) EnumFlowProb(sources []graph.NodeID, sink graph.NodeID) float64 {
 // the conditions have probability zero.
 func (m *ICM) EnumConditionalFlowProb(sources []graph.NodeID, sink graph.NodeID, conds []FlowCondition) (float64, error) {
 	joint, condMass := m.enumerate(sources, sink, conds)
+	//flowlint:ignore floatcmp -- condMass is exactly zero only when no enumerated state satisfied the conditions
 	if condMass == 0 {
 		return 0, fmt.Errorf("core: conditions have zero probability")
 	}
@@ -108,6 +110,7 @@ func (m *ICM) EnumConditionalFlowProb(sources []graph.NodeID, sink graph.NodeID,
 func (m *ICM) enumerate(sources []graph.NodeID, sink graph.NodeID, conds []FlowCondition) (flowMass, condMass float64) {
 	me := m.NumEdges()
 	if me > MaxEnumEdges {
+		//flowlint:invariant documented size limit: enumeration is exponential beyond MaxEnumEdges
 		panic(fmt.Sprintf("core: EnumFlowProb on %d edges exceeds limit %d", me, MaxEnumEdges))
 	}
 	x := NewPseudoState(me)

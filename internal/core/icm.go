@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"infoflow/internal/graph"
 	"infoflow/internal/rng"
@@ -28,7 +29,7 @@ func NewICM(g *graph.DiGraph, p []float64) (*ICM, error) {
 		return nil, fmt.Errorf("core: %d probabilities for %d edges", len(p), g.NumEdges())
 	}
 	for id, v := range p {
-		if v < 0 || v > 1 || v != v {
+		if v < 0 || v > 1 || math.IsNaN(v) {
 			return nil, fmt.Errorf("core: activation probability %v on edge %d outside [0,1]", v, id)
 		}
 	}
@@ -39,6 +40,7 @@ func NewICM(g *graph.DiGraph, p []float64) (*ICM, error) {
 func MustNewICM(g *graph.DiGraph, p []float64) *ICM {
 	m, err := NewICM(g, p)
 	if err != nil {
+		//flowlint:invariant Must* constructor: the caller asserts the inputs are valid
 		panic(err)
 	}
 	return m
@@ -98,6 +100,7 @@ func (m *ICM) SamplePseudoState(r *rng.RNG) PseudoState {
 // LogProbPseudoState returns ln Pr[x | M] per Equation (3).
 func (m *ICM) LogProbPseudoState(x PseudoState) float64 {
 	if len(x) != m.NumEdges() {
+		//flowlint:invariant documented contract: a pseudo-state has exactly one entry per edge
 		panic("core: pseudo-state size mismatch")
 	}
 	logp := 0.0

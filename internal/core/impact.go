@@ -16,6 +16,7 @@ import (
 func (m *ICM) EnumImpactDistribution(sources []graph.NodeID) []float64 {
 	me := m.NumEdges()
 	if me > MaxEnumEdges {
+		//flowlint:invariant documented size limit: enumeration is exponential beyond MaxEnumEdges
 		panic(fmt.Sprintf("core: EnumImpactDistribution on %d edges exceeds limit %d", me, MaxEnumEdges))
 	}
 	distinct := map[graph.NodeID]bool{}

@@ -14,6 +14,8 @@ import "infoflow/internal/graph"
 // ActiveNodesInto is ActiveNodes writing into dst using sc for traversal
 // state. Either may be nil, in which case it is allocated; the result is
 // dst (or its replacement). dst must not alias x.
+//
+//flowlint:hotpath
 func (m *ICM) ActiveNodesInto(sources []graph.NodeID, x PseudoState, sc *graph.Scratch, dst []bool) []bool {
 	return m.G.ReachableInto(sources, x, sc, dst)
 }
@@ -21,6 +23,8 @@ func (m *ICM) ActiveNodesInto(sources []graph.NodeID, x PseudoState, sc *graph.S
 // HasFlowScratch is HasFlow using sc for traversal state (nil allocates
 // a temporary). It additionally searches bidirectionally, so it is the
 // faster choice even one-shot.
+//
+//flowlint:hotpath
 func (m *ICM) HasFlowScratch(u, v graph.NodeID, x PseudoState, sc *graph.Scratch) bool {
 	return m.G.HasPathScratch(u, v, x, sc)
 }
@@ -30,6 +34,8 @@ func (m *ICM) HasFlowScratch(u, v graph.NodeID, x PseudoState, sc *graph.Scratch
 // Satisfies it does not batch conditions sharing a source into one
 // sweep; with the handful of conditions real queries carry, per-condition
 // early exit is cheaper than a full reachability sweep.
+//
+//flowlint:hotpath
 func (m *ICM) SatisfiesScratch(x PseudoState, conds []FlowCondition, sc *graph.Scratch) bool {
 	for _, c := range conds {
 		if m.G.HasPathScratch(c.Source, c.Sink, x, sc) != c.Require {

@@ -15,6 +15,7 @@ func (m *ICM) Subgraph(keep []graph.NodeID) (*ICM, []graph.NodeID, []graph.NodeI
 		e := sub.Edge(graph.EdgeID(id))
 		origID, ok := m.G.EdgeID(toOld[e.From], toOld[e.To])
 		if !ok {
+			//flowlint:invariant unreachable: subgraph edges are copies of parent-graph edges, so the lookup cannot miss
 			panic("core: subgraph edge missing in parent graph")
 		}
 		p[id] = m.P[origID]
@@ -33,6 +34,7 @@ func (m *BetaICM) Subgraph(keep []graph.NodeID) (*BetaICM, []graph.NodeID, []gra
 		e := sub.Edge(graph.EdgeID(id))
 		origID, ok := m.G.EdgeID(toOld[e.From], toOld[e.To])
 		if !ok {
+			//flowlint:invariant unreachable: subgraph edges are copies of parent-graph edges, so the lookup cannot miss
 			panic("core: subgraph edge missing in parent graph")
 		}
 		b[id] = m.B[origID]

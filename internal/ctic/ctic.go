@@ -39,10 +39,10 @@ func New(g *graph.DiGraph, k, r []float64) (*Model, error) {
 		return nil, fmt.Errorf("ctic: %d/%d parameters for %d edges", len(k), len(r), g.NumEdges())
 	}
 	for id := range k {
-		if k[id] < 0 || k[id] > 1 || k[id] != k[id] {
+		if k[id] < 0 || k[id] > 1 || math.IsNaN(k[id]) {
 			return nil, fmt.Errorf("ctic: k[%d]=%v outside [0,1]", id, k[id])
 		}
-		if r[id] <= 0 || math.IsInf(r[id], 0) || r[id] != r[id] {
+		if r[id] <= 0 || math.IsInf(r[id], 0) || math.IsNaN(r[id]) {
 			return nil, fmt.Errorf("ctic: r[%d]=%v not positive and finite", id, r[id])
 		}
 	}

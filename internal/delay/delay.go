@@ -99,6 +99,7 @@ func WithConstantDelay(m *core.ICM, d float64) *DelayICM {
 	}
 	dm, err := New(m, delays)
 	if err != nil {
+		//flowlint:invariant unreachable: lengths match and the constant delay is valid
 		panic(err) // unreachable: lengths match, constant is valid
 	}
 	return dm
@@ -160,6 +161,7 @@ func (d *DelayICM) SampleArrivals(r *rng.RNG, sources []graph.NodeID) []float64 
 // time in each (+Inf when the flow never happens).
 func (d *DelayICM) ArrivalSamples(r *rng.RNG, source, sink graph.NodeID, nSamples int) []float64 {
 	if nSamples <= 0 {
+		//flowlint:invariant documented contract: the sample count must be positive
 		panic("delay: non-positive sample count")
 	}
 	out := make([]float64, nSamples)

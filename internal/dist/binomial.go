@@ -19,9 +19,11 @@ type Binomial struct {
 // NewBinomial returns a Binomial distribution, validating parameters.
 func NewBinomial(n int, p float64) Binomial {
 	if n < 0 {
+		//flowlint:invariant documented contract: the trial count must be non-negative
 		panic(fmt.Sprintf("dist: Binomial with negative n=%d", n))
 	}
 	if p < 0 || p > 1 {
+		//flowlint:invariant documented contract: the success probability must lie in [0,1]
 		panic(fmt.Sprintf("dist: Binomial with p=%v outside [0,1]", p))
 	}
 	return Binomial{N: n, P: p}
@@ -38,12 +40,14 @@ func (d Binomial) LogPMF(k int) float64 {
 	if k < 0 || k > d.N {
 		return math.Inf(-1)
 	}
+	//flowlint:ignore floatcmp -- exact parameter 0 is a degenerate point mass
 	if d.P == 0 {
 		if k == 0 {
 			return 0
 		}
 		return math.Inf(-1)
 	}
+	//flowlint:ignore floatcmp -- exact parameter 1 is a degenerate point mass
 	if d.P == 1 {
 		if k == d.N {
 			return 0
@@ -65,9 +69,11 @@ func (d Binomial) CDF(k int) float64 {
 	if k >= d.N {
 		return 1
 	}
+	//flowlint:ignore floatcmp -- exact parameter 0 is a degenerate point mass
 	if d.P == 0 {
 		return 1
 	}
+	//flowlint:ignore floatcmp -- exact parameter 1 is a degenerate point mass
 	if d.P == 1 {
 		return 0
 	}
@@ -121,6 +127,7 @@ func (d Binomial) Sample(r *rng.RNG) int {
 		pmf *= float64(d.N-k) / float64(k+1) * d.P / (1 - d.P)
 		k++
 		cdf += pmf
+		//flowlint:ignore floatcmp -- exact underflow to zero terminates the tail recurrence
 		if pmf == 0 {
 			// Deep underflow in an extreme tail; remaining mass is
 			// negligible, accept current k.

@@ -10,11 +10,13 @@ import (
 // squeeze method, with the standard boost for shape < 1.
 func SampleGamma(r *rng.RNG, shape float64) float64 {
 	if shape <= 0 {
+		//flowlint:invariant documented contract: the Gamma shape must be positive
 		panic("dist: SampleGamma with non-positive shape")
 	}
 	if shape < 1 {
 		// G(a) = G(a+1) * U^{1/a}
 		u := r.Float64()
+		//flowlint:ignore floatcmp -- redraws the single exact-zero uniform variate before the power transform
 		for u == 0 {
 			u = r.Float64()
 		}

@@ -19,6 +19,7 @@ type Normal struct {
 // NewNormal returns a Normal distribution, validating sigma >= 0.
 func NewNormal(mu, sigma float64) Normal {
 	if sigma < 0 || math.IsNaN(sigma) {
+		//flowlint:invariant documented contract: sigma must be non-negative and finite
 		panic(fmt.Sprintf("dist: Normal with invalid sigma=%v", sigma))
 	}
 	return Normal{Mu: mu, Sigma: sigma}
@@ -32,7 +33,9 @@ func (d Normal) Var() float64 { return d.Sigma * d.Sigma }
 
 // LogPDF returns the log density at x.
 func (d Normal) LogPDF(x float64) float64 {
+	//flowlint:ignore floatcmp -- exact sigma 0 is a degenerate point mass
 	if d.Sigma == 0 {
+		//flowlint:ignore floatcmp -- a point mass has infinite density exactly at its mean
 		if x == d.Mu {
 			return math.Inf(1)
 		}
@@ -47,6 +50,7 @@ func (d Normal) PDF(x float64) float64 { return math.Exp(d.LogPDF(x)) }
 
 // CDF returns P(X <= x).
 func (d Normal) CDF(x float64) float64 {
+	//flowlint:ignore floatcmp -- exact sigma 0 is a degenerate point mass
 	if d.Sigma == 0 {
 		if x < d.Mu {
 			return 0

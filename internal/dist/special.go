@@ -41,6 +41,7 @@ func LogChoose(n, k int) float64 {
 // the symmetry transformation to keep the fraction convergent.
 func RegIncBeta(x, a, b float64) float64 {
 	if a <= 0 || b <= 0 {
+		//flowlint:invariant documented contract: incomplete-beta shape parameters must be positive
 		panic(fmt.Sprintf("dist: RegIncBeta with non-positive shape a=%v b=%v", a, b))
 	}
 	if x <= 0 {

@@ -67,6 +67,7 @@ func (s Summary) String() string {
 // sorted sample. xs is not modified. It panics on an empty slice.
 func Quantile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
+		//flowlint:invariant documented contract: the quantile of an empty sample is undefined
 		panic("dist: Quantile of empty sample")
 	}
 	sorted := make([]float64, len(xs))
@@ -78,6 +79,7 @@ func Quantile(xs []float64, p float64) float64 {
 // Quantiles returns the quantiles of xs at each of ps, sorting once.
 func Quantiles(xs []float64, ps ...float64) []float64 {
 	if len(xs) == 0 {
+		//flowlint:invariant documented contract: the quantile of an empty sample is undefined
 		panic("dist: Quantiles of empty sample")
 	}
 	sorted := make([]float64, len(xs))
@@ -123,9 +125,11 @@ func FitBetaToSamples(xs []float64) Beta {
 // and the bin edges (nBins+1 values).
 func Histogram(xs []float64, lo, hi float64, nBins int) (counts []int, edges []float64) {
 	if nBins <= 0 {
+		//flowlint:invariant documented contract: the bin count must be positive
 		panic("dist: Histogram with non-positive bin count")
 	}
 	if hi <= lo {
+		//flowlint:invariant documented contract: the histogram range must be non-empty
 		panic("dist: Histogram with empty range")
 	}
 	counts = make([]int, nBins)
@@ -153,6 +157,7 @@ func IntHistogram(xs []int) []int {
 	maxV := 0
 	for _, x := range xs {
 		if x < 0 {
+			//flowlint:invariant documented contract: IntHistogram takes non-negative values
 			panic("dist: IntHistogram with negative value")
 		}
 		if x > maxV {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // The experiment tests run every driver at Small scale and assert the
@@ -140,6 +141,35 @@ func TestFig6TimingSane(t *testing.T) {
 		if p.UniqueCharacteristics > maxOmega || p.UniqueCharacteristics > p.Case.Objects {
 			t.Errorf("omega = %d out of bounds", p.UniqueCharacteristics)
 		}
+	}
+}
+
+func TestFig6InjectedClock(t *testing.T) {
+	// With a fake clock ticking a fixed step per read, every duration
+	// column is fully determined: (reads between start and stop) * step
+	// divided by the rep count of that measurement.
+	cfg := Fig6Small()
+	const step = time.Millisecond
+	var ticks int
+	cfg.Clock = func() time.Time {
+		ticks++
+		return time.Unix(0, int64(ticks)*int64(step))
+	}
+	res, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		// Each measurement brackets its loop with exactly two reads.
+		if want := step / time.Duration(cfg.Reps); p.Summarise != want {
+			t.Errorf("summarise = %v, want %v", p.Summarise, want)
+		}
+		if want := step / time.Duration(cfg.Reps*100); p.OursCore != want || p.GoyalCore != want {
+			t.Errorf("cores = %v/%v, want %v", p.OursCore, p.GoyalCore, want)
+		}
+	}
+	if ticks != 6*len(res.Points) {
+		t.Errorf("clock read %d times, want %d", ticks, 6*len(res.Points))
 	}
 }
 

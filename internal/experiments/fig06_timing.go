@@ -21,6 +21,10 @@ type Fig6Config struct {
 	Cases []Fig6Case
 	// Reps repeats each measurement for a stable average.
 	Reps int
+	// Clock supplies the timestamps bracketing each measurement; nil
+	// uses time.Now. Injectable so the timing columns are testable and
+	// the only wall-clock read in the experiment suite is explicit.
+	Clock func() time.Time
 }
 
 // Fig6Case is one problem size.
@@ -95,6 +99,10 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 	if cfg.Reps <= 0 {
 		return nil, fmt.Errorf("fig6: non-positive reps")
 	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
 	r := rng.New(cfg.Seed)
 	res := &Fig6Result{}
 	for _, c := range cfg.Cases {
@@ -131,7 +139,7 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 		point.Case = c
 		// Summarisation cost.
 		var sum *unattrib.Summary
-		start := time.Now()
+		start := now()
 		for rep := 0; rep < cfg.Reps; rep++ {
 			sums, err := unattrib.BuildSummaries(g, traces)
 			if err != nil {
@@ -139,7 +147,7 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 			}
 			sum = sums[sinkID]
 		}
-		point.Summarise = time.Since(start) / time.Duration(cfg.Reps)
+		point.Summarise = now().Sub(start) / time.Duration(cfg.Reps)
 		point.UniqueCharacteristics = len(sum.Rows)
 		// Our core computation: one log-likelihood sweep (the dominant
 		// cost of each MCMC proposal over the summarised evidence).
@@ -147,19 +155,19 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 		for j := range p {
 			p[j] = 0.5
 		}
-		start = time.Now()
+		start = now()
 		acc := 0.0
 		for rep := 0; rep < cfg.Reps*100; rep++ {
 			acc += unattrib.LogLikelihood(sum, p)
 		}
-		point.OursCore = time.Since(start) / time.Duration(cfg.Reps*100)
+		point.OursCore = now().Sub(start) / time.Duration(cfg.Reps*100)
 		_ = acc
 		// Goyal's core computation: the full credit pass.
-		start = time.Now()
+		start = now()
 		for rep := 0; rep < cfg.Reps*100; rep++ {
 			_ = unattrib.Goyal(sum)
 		}
-		point.GoyalCore = time.Since(start) / time.Duration(cfg.Reps*100)
+		point.GoyalCore = now().Sub(start) / time.Duration(cfg.Reps*100)
 		res.Points = append(res.Points, point)
 	}
 	return res, nil

@@ -108,6 +108,7 @@ func fig7Evidence(r *rng.RNG, truth []float64, objects int, activeProb float64) 
 	}
 	s, err := unattrib.NewSummary(graph.NodeID(len(truth)), parents)
 	if err != nil {
+		//flowlint:invariant unreachable: the synthetic parent set is built within MaxParents
 		panic(err)
 	}
 	for o := 0; o < objects; o++ {

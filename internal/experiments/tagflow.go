@@ -237,6 +237,7 @@ func pooledPrior(sums map[graph.NodeID]*unattrib.Summary) dist.Beta {
 			credit += float64(row.Leaks)
 		}
 	}
+	//flowlint:ignore floatcmp -- exposure is a sum of non-negative counts; exact zero means no evidence at all
 	if exposure == 0 {
 		return dist.Uniform()
 	}

@@ -34,6 +34,7 @@ func New(weights []float64) *Tree {
 	}
 	for i, w := range weights {
 		if w < 0 {
+			//flowlint:invariant documented contract: weights must be non-negative
 			panic(fmt.Sprintf("fenwick: negative weight %v at %d", w, i))
 		}
 		t.weights[i] = w
@@ -59,8 +60,11 @@ func (t *Tree) Total() float64 { return t.total }
 func (t *Tree) Weight(i int) float64 { return t.weights[i] }
 
 // Set changes the weight at index i to w.
+//
+//flowlint:hotpath
 func (t *Tree) Set(i int, w float64) {
 	if w < 0 {
+		//flowlint:invariant documented contract: weights must be non-negative
 		panic(fmt.Sprintf("fenwick: negative weight %v at %d", w, i))
 	}
 	delta := w - t.weights[i]
@@ -72,6 +76,8 @@ func (t *Tree) Set(i int, w float64) {
 }
 
 // PrefixSum returns the sum of weights over indices [0, i].
+//
+//flowlint:hotpath
 func (t *Tree) PrefixSum(i int) float64 {
 	s := 0.0
 	for j := i + 1; j > 0; j -= j & -j {
@@ -82,8 +88,11 @@ func (t *Tree) PrefixSum(i int) float64 {
 
 // Sample draws an index with probability proportional to its weight. It
 // panics if the total weight is not positive.
+//
+//flowlint:hotpath
 func (t *Tree) Sample(r *rng.RNG) int {
 	if t.total <= 0 {
+		//flowlint:invariant documented contract: sampling needs a positive total weight
 		panic("fenwick: sampling from empty distribution")
 	}
 	return t.Find(r.Float64() * t.total)
@@ -92,6 +101,8 @@ func (t *Tree) Sample(r *rng.RNG) int {
 // Find returns the smallest index i such that PrefixSum(i) > target,
 // clamped to the last positive-weight index. It runs in O(log n) by
 // descending the implicit tree.
+//
+//flowlint:hotpath
 func (t *Tree) Find(target float64) int {
 	idx := 0 // 1-based position before the answer
 	// Largest power of two <= n.
@@ -114,6 +125,7 @@ func (t *Tree) Find(target float64) int {
 				return i
 			}
 		}
+		//flowlint:invariant unreachable: total > 0 guarantees a positive weight exists
 		panic("fenwick: no positive weights")
 	}
 	return idx

@@ -13,6 +13,7 @@ import (
 func Random(r *rng.RNG, n, m int) *DiGraph {
 	maxEdges := n * (n - 1)
 	if m > maxEdges {
+		//flowlint:invariant documented contract: the requested edge count must fit the graph
 		panic(fmt.Sprintf("graph: cannot place %d edges on %d nodes (max %d)", m, n, maxEdges))
 	}
 	g := New(n)
@@ -53,6 +54,7 @@ func Random(r *rng.RNG, n, m int) *DiGraph {
 func RandomDAG(r *rng.RNG, n, m int) *DiGraph {
 	maxEdges := n * (n - 1) / 2
 	if m > maxEdges {
+		//flowlint:invariant documented contract: the requested edge count must fit a DAG
 		panic(fmt.Sprintf("graph: cannot place %d acyclic edges on %d nodes (max %d)", m, n, maxEdges))
 	}
 	rank := r.Perm(n) // rank[v] = position of v in the hidden topo order
@@ -82,6 +84,7 @@ func RandomDAG(r *rng.RNG, n, m int) *DiGraph {
 // Reciprocal edges are added independently with probability reciprocity.
 func PreferentialAttachment(r *rng.RNG, n, edgesPerNode int, reciprocity float64) *DiGraph {
 	if n < 2 {
+		//flowlint:invariant documented contract: preferential attachment needs at least 2 nodes
 		panic("graph: PreferentialAttachment needs at least 2 nodes")
 	}
 	g := New(n)

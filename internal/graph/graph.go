@@ -88,6 +88,7 @@ func (g *DiGraph) AddEdge(u, v NodeID) (EdgeID, error) {
 func (g *DiGraph) MustAddEdge(u, v NodeID) EdgeID {
 	id, err := g.AddEdge(u, v)
 	if err != nil {
+		//flowlint:invariant Must* wrapper: the caller asserts the edge is valid and new
 		panic(err)
 	}
 	return id
@@ -178,6 +179,7 @@ func (g *DiGraph) Subgraph(keep []NodeID) (sub *DiGraph, toOld []NodeID, toNew [
 	copy(toOld, keep)
 	for newID, oldID := range toOld {
 		if toNew[oldID] != -1 {
+			//flowlint:invariant documented contract: the Subgraph keep set must not repeat nodes
 			panic(fmt.Sprintf("graph: duplicate node %d in Subgraph keep set", oldID))
 		}
 		toNew[oldID] = NodeID(newID)

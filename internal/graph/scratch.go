@@ -67,12 +67,15 @@ func (sc *Scratch) begin(n int) (fwd, bwd uint32) {
 // active. The returned slice is dst (or its replacement), with dst[v]
 // true iff v is a source or reachable from one across active edges —
 // exactly Reachable's contract.
+//
+//flowlint:hotpath
 func (g *DiGraph) ReachableInto(sources []NodeID, active []bool, sc *Scratch, dst []bool) []bool {
 	n := g.NumNodes()
 	if sc == nil {
 		sc = tempScratch(n)
 	}
 	if len(dst) != n {
+		//flowlint:ignore hotpath -- documented cold fallback when the caller passes no dst; steady-state callers reuse theirs
 		dst = make([]bool, n)
 	} else {
 		for i := range dst {
@@ -118,6 +121,8 @@ func (g *DiGraph) ReachableInto(sources []NodeID, active []bool, sc *Scratch, ds
 // after visiting O(√m) edges rather than O(m), which is where most of the
 // per-sample speedup over the closure API comes from. The answer is
 // identical to HasPath's for every input.
+//
+//flowlint:hotpath
 func (g *DiGraph) HasPathScratch(source, sink NodeID, active []bool, sc *Scratch) bool {
 	if source == sink {
 		return true

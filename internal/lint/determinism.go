@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismCheck enforces the PR-1 reproducibility guarantee at the
+// source level: inside the protected packages every random draw must
+// come from internal/rng (whose PCG streams are release-independent),
+// no code may read the wall clock, and no map may be ranged over —
+// Go randomizes map iteration order per run, so any map-range whose
+// effects can reach an RNG draw, sampler output, or serialized bytes
+// silently breaks bit-identical replay. Map ranges that are provably
+// order-insensitive (commutative folds, sorted afterwards) are
+// suppressed case by case with a reasoned //flowlint:ignore.
+//
+// Wall-clock reads are additionally banned in internal/experiments and
+// the cmd/ trees, where timing must flow through an injectable clock so
+// experiment output stays seed-reproducible.
+var determinismCheck = &Check{
+	Name: "determinism",
+	Desc: "forbid math/rand, wall-clock reads and map-range iteration where reproducibility is guaranteed",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	protected := isProtectedPkg(p.Pkg.Path)
+	clockBanned := isClockBannedPkg(p.Pkg.Path)
+	if !protected && !clockBanned {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if protected {
+			// The import ban covers test files too: a math/rand draw in a
+			// test makes the test itself unreproducible.
+			for _, imp := range f.Ast.Imports {
+				switch imp.Path.Value {
+				case `"math/rand"`, `"math/rand/v2"`:
+					p.Reportf(imp.Pos(),
+						"import of %s in determinism-protected package %s: draw from internal/rng (forked streams) instead",
+						imp.Path.Value, p.Pkg.Path)
+				}
+			}
+		}
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !clockBanned {
+					return true
+				}
+				obj := calleeObj(p.Pkg.Info, n)
+				if isPkgFunc(obj, "time", "Now") || isPkgFunc(obj, "time", "Since") {
+					p.Reportf(n.Pos(),
+						"wall-clock read time.%s in %s: inject a clock (func() time.Time field defaulting to time.Now) so runs are reproducible",
+						obj.Name(), p.Pkg.Path)
+				}
+			case *ast.RangeStmt:
+				if !protected {
+					return true
+				}
+				tv, ok := p.Pkg.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					p.Reportf(n.Pos(),
+						"map-range in determinism-protected package %s: iteration order is randomized per run; iterate sorted keys or suppress with a reason if order cannot reach output",
+						p.Pkg.Path)
+				}
+			}
+			return true
+		})
+	}
+}

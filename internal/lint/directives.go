@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //flowlint directive grammar. Three verbs exist:
+//
+//	//flowlint:hotpath
+//	    On a function's doc comment: the function body must stay free
+//	    of allocating constructs (see the hotpath check).
+//
+//	//flowlint:invariant [description]
+//	    On (or immediately above) a statement: marks an unreachable
+//	    guard. The guarded line is exempt from panicfree and hotpath.
+//
+//	//flowlint:ignore <check> -- <reason>
+//	    Suppresses findings of <check> on the annotated line. The
+//	    reason is mandatory and the check name must be registered;
+//	    violations of the grammar are themselves diagnostics (check
+//	    name "directive") and are never suppressible.
+//
+// A directive written as a trailing comment applies to its own line; a
+// directive on a line of its own (or in a doc comment group) applies to
+// the first line after its comment group.
+const directivePrefix = "//flowlint:"
+
+// Directive is one parsed //flowlint comment.
+type Directive struct {
+	Verb   string // "hotpath", "invariant" or "ignore"
+	Check  string // for ignore: the suppressed check
+	Reason string // for ignore (mandatory) and invariant (optional)
+	Pos    token.Pos
+	Target int // source line the directive governs
+}
+
+// FileDirectives indexes the directives of one file.
+type FileDirectives struct {
+	ignores    map[int]map[string]*Directive // target line → check → directive
+	invariants map[int]*Directive            // target line → directive
+	hotpaths   []*Directive
+	diags      []Diagnostic
+}
+
+// ignored reports whether findings of check on line are suppressed.
+func (fd *FileDirectives) ignored(line int, check string) bool {
+	return fd.ignores[line][check] != nil
+}
+
+// invariant reports whether line carries an invariant annotation.
+func (fd *FileDirectives) invariant(line int) bool {
+	return fd.invariants[line] != nil
+}
+
+// parseDirectives scans a parsed file's comments for //flowlint
+// directives. src is the file's source bytes (used to tell trailing
+// comments from whole-line comments); known is the set of registered
+// check names an ignore directive may reference.
+func parseDirectives(fset *token.FileSet, f *ast.File, src []byte, known map[string]bool) *FileDirectives {
+	fd := &FileDirectives{
+		ignores:    make(map[int]map[string]*Directive),
+		invariants: make(map[int]*Directive),
+	}
+	for _, group := range f.Comments {
+		groupEnd := fset.Position(group.End()).Line
+		for _, c := range group.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			target := groupEnd + 1
+			if trailingComment(src, fset, c.Slash) {
+				target = pos.Line
+			}
+			d, problem := parseDirective(text[len(directivePrefix):], known)
+			if problem != "" {
+				fd.diags = append(fd.diags, Diagnostic{
+					File:    pos.Filename,
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Check:   "directive",
+					Message: problem,
+				})
+				continue
+			}
+			d.Pos = c.Slash
+			d.Target = target
+			switch d.Verb {
+			case "hotpath":
+				fd.hotpaths = append(fd.hotpaths, d)
+			case "invariant":
+				fd.invariants[target] = d
+			case "ignore":
+				m := fd.ignores[target]
+				if m == nil {
+					m = make(map[string]*Directive)
+					fd.ignores[target] = m
+				}
+				m[d.Check] = d
+			}
+		}
+	}
+	return fd
+}
+
+// parseDirective parses the text after "//flowlint:". It returns the
+// directive, or a non-empty problem description when the text violates
+// the grammar.
+func parseDirective(rest string, known map[string]bool) (*Directive, string) {
+	verb, args, _ := strings.Cut(rest, " ")
+	verb = strings.TrimSpace(verb)
+	args = strings.TrimSpace(args)
+	switch verb {
+	case "hotpath":
+		if args != "" {
+			return nil, "//flowlint:hotpath takes no arguments"
+		}
+		return &Directive{Verb: verb}, ""
+	case "invariant":
+		return &Directive{Verb: verb, Reason: args}, ""
+	case "ignore":
+		check, reason, ok := strings.Cut(args, "--")
+		check = strings.TrimSpace(check)
+		reason = strings.TrimSpace(reason)
+		if check == "" {
+			return nil, "//flowlint:ignore needs a check name: //flowlint:ignore <check> -- <reason>"
+		}
+		if strings.ContainsAny(check, " \t") {
+			return nil, "//flowlint:ignore suppresses exactly one check: //flowlint:ignore <check> -- <reason>"
+		}
+		if !known[check] {
+			return nil, "//flowlint:ignore of unknown check " + quoted(check)
+		}
+		if !ok || reason == "" {
+			return nil, "//flowlint:ignore requires a reason: //flowlint:ignore " + check + " -- <reason>"
+		}
+		return &Directive{Verb: verb, Check: check, Reason: reason}, ""
+	case "":
+		return nil, "empty //flowlint directive"
+	default:
+		return nil, "unknown //flowlint directive " + quoted(verb)
+	}
+}
+
+// quoted quotes a token for a diagnostic message.
+func quoted(s string) string { return `"` + s + `"` }
+
+// trailingComment reports whether the comment starting at pos has
+// non-whitespace source text before it on its line — i.e. it annotates
+// the code on its own line rather than the line below.
+func trailingComment(src []byte, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	off := p.Offset
+	for off > 0 {
+		ch := src[off-1]
+		if ch == '\n' {
+			return false
+		}
+		if ch != ' ' && ch != '\t' {
+			return true
+		}
+		off--
+	}
+	return false
+}

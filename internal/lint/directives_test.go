@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseDirectiveGrammar(t *testing.T) {
+	known := KnownChecks()
+	cases := []struct {
+		rest    string // text after "//flowlint:"
+		verb    string
+		check   string
+		reason  string
+		problem string // substring of the expected grammar diagnostic
+	}{
+		{rest: "hotpath", verb: "hotpath"},
+		{rest: "hotpath now", problem: "takes no arguments"},
+		{rest: "invariant", verb: "invariant"},
+		{rest: "invariant n is always positive", verb: "invariant", reason: "n is always positive"},
+		{rest: "ignore floatcmp -- exact sentinel", verb: "ignore", check: "floatcmp", reason: "exact sentinel"},
+		{rest: "ignore floatcmp --   padded   ", verb: "ignore", check: "floatcmp", reason: "padded"},
+		{rest: "ignore floatcmp", problem: "requires a reason"},
+		{rest: "ignore floatcmp --", problem: "requires a reason"},
+		{rest: "ignore floatcmp -- ", problem: "requires a reason"},
+		{rest: "ignore", problem: "needs a check name"},
+		{rest: "ignore -- just a reason", problem: "needs a check name"},
+		{rest: "ignore nosuchcheck -- reason", problem: `unknown check "nosuchcheck"`},
+		{rest: "ignore directive -- reason", problem: `unknown check "directive"`},
+		{rest: "ignore floatcmp hotpath -- reason", problem: "exactly one check"},
+		{rest: "", problem: "empty //flowlint directive"},
+		{rest: "frobnicate", problem: `unknown //flowlint directive "frobnicate"`},
+	}
+	for _, tc := range cases {
+		d, problem := parseDirective(tc.rest, known)
+		if tc.problem != "" {
+			if problem == "" || !strings.Contains(problem, tc.problem) {
+				t.Errorf("parseDirective(%q) problem = %q, want containing %q", tc.rest, problem, tc.problem)
+			}
+			continue
+		}
+		if problem != "" {
+			t.Errorf("parseDirective(%q) unexpectedly failed: %s", tc.rest, problem)
+			continue
+		}
+		if d.Verb != tc.verb || d.Check != tc.check || d.Reason != tc.reason {
+			t.Errorf("parseDirective(%q) = {%q %q %q}, want {%q %q %q}",
+				tc.rest, d.Verb, d.Check, d.Reason, tc.verb, tc.check, tc.reason)
+		}
+	}
+}
+
+func TestDirectiveTargeting(t *testing.T) {
+	src := `package p
+
+func f(m map[int]int) int {
+	x := 1 //flowlint:ignore floatcmp -- trailing form annotates its own line
+	//flowlint:ignore determinism -- standalone form annotates the next line
+	for range m {
+	}
+	if x < 0 {
+		//flowlint:invariant x starts at 1 and never decreases
+		panic("unreachable")
+	}
+	return x
+}
+`
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := parseDirectives(fset, af, []byte(src), KnownChecks())
+	if len(fd.diags) != 0 {
+		t.Fatalf("unexpected grammar diagnostics: %v", fd.diags)
+	}
+	if !fd.ignored(4, "floatcmp") {
+		t.Error("trailing ignore does not annotate its own line")
+	}
+	if fd.ignored(4, "determinism") {
+		t.Error("ignore suppresses a check it does not name")
+	}
+	if !fd.ignored(6, "determinism") {
+		t.Error("standalone ignore does not annotate the following line")
+	}
+	if fd.ignored(5, "determinism") {
+		t.Error("standalone ignore annotates its own line")
+	}
+	if !fd.invariant(10) {
+		t.Error("invariant does not annotate the guarded panic line")
+	}
+	if fd.invariant(9) {
+		t.Error("invariant annotates its own comment line")
+	}
+}

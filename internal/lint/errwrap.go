@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// errwrapCheck enforces the PR-2 codec error hygiene: in a package's
+// codec files (codec.go, io.go, *_io.go, *_codec.go) every function
+// that returns an error and performs a JSON decode must route its
+// failures through internal/jsonx, whose Wrap annotates the failing
+// operation and byte offset. A decode function with no jsonx.Wrap call
+// can return a bare decoder error that is undiagnosable in production
+// logs and breaks the fuzzers' offset assertions.
+var errwrapCheck = &Check{
+	Name: "errwrap",
+	Desc: "codec decode functions must annotate errors via internal/jsonx",
+	Run:  runErrwrap,
+}
+
+// isCodecFile reports whether base names a codec surface file.
+func isCodecFile(base string) bool {
+	return base == "codec.go" || base == "io.go" ||
+		strings.HasSuffix(base, "_io.go") || strings.HasSuffix(base, "_codec.go")
+}
+
+func runErrwrap(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Test || !isCodecFile(filepath.Base(f.Name)) {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !returnsError(p, fd) {
+				continue
+			}
+			decodes, wraps := scanDecodeCalls(p, fd.Body)
+			if decodes && !wraps {
+				p.Reportf(fd.Name.Pos(),
+					"%s decodes JSON and returns error without routing it through jsonx.Wrap: failures lose their operation and byte offset",
+					fd.Name.Name)
+			}
+		}
+	}
+}
+
+// returnsError reports whether the function's results include error.
+func returnsError(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		if t := typeOf(p.Pkg.Info, r.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// scanDecodeCalls reports whether the body contains a JSON decode call
+// and whether it contains a jsonx.Wrap call.
+func scanDecodeCalls(p *Pass, body *ast.BlockStmt) (decodes, wraps bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(p.Pkg.Info, call)
+		switch {
+		case isPkgFunc(obj, "encoding/json", "Unmarshal"):
+			decodes = true
+		case isJSONDecoderDecode(obj):
+			decodes = true
+		case isPkgFunc(obj, "internal/jsonx", "Wrap"):
+			wraps = true
+		}
+		return true
+	})
+	return decodes, wraps
+}
+
+// isJSONDecoderDecode reports whether obj is the Decode (or Token)
+// method of *encoding/json.Decoder.
+func isJSONDecoderDecode(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || (fn.Name() != "Decode" && fn.Name() != "Token") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := derefNamed(sig.Recv().Type())
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "encoding/json" && named.Obj().Name() == "Decoder"
+}
+
+// derefNamed unwraps a pointer to its named element type, if any.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

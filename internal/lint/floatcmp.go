@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpCheck forbids exact equality between floating-point
+// expressions in non-test code. The library's estimators agree with
+// exact enumeration only statistically, and rounding differs across
+// evaluation orders, so `a == b` on two computed floats is almost
+// always a latent bug — compare with a tolerance, or compare against
+// an exact sentinel that is assigned (not computed) and annotate the
+// site with a reasoned //flowlint:ignore. Test files are exempt:
+// golden and conformance tests intentionally assert bit-exact replay.
+var floatcmpCheck = &Check{
+	Name: "floatcmp",
+	Desc: "no ==/!= between floating-point expressions outside tests",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Pkg.Info.Types[be.X], p.Pkg.Info.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded at compile time
+			}
+			p.Reportf(be.OpPos,
+				"exact float comparison (%s): computed floats differ by rounding; use a tolerance or justify the sentinel with //flowlint:ignore",
+				be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden harness, in the style of analysistest: every fixture file
+// under testdata/src marks its expected findings with trailing
+//
+//	// want `regex` [`regex` ...]
+//
+// comments, one backquoted regex per expected diagnostic on that line.
+// The test fails on any unmatched want and on any diagnostic no want
+// claims, so fixtures document the checks' exact true-positive and
+// true-negative behavior.
+
+// wantSpec is one expectation parsed from a fixture comment.
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	mod, err := LoadFixtureTree("testdata/src", "../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod.Pkgs, Checks())
+	wants := collectWants(t, mod)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found under testdata/src")
+	}
+
+	claimed := make([]bool, len(diags))
+	matchedChecks := make(map[string]bool)
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if claimed[i] || d.File != w.file || d.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				claimed[i] = true
+				matchedChecks[d.Check] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+
+	// The fixture corpus must hold at least one true positive per check.
+	for _, c := range Checks() {
+		if !matchedChecks[c.Name] {
+			t.Errorf("no fixture exercises a true positive for check %q", c.Name)
+		}
+	}
+}
+
+// TestMisplacedHotpath loads a separate tree whose directive diagnostic
+// lands on the directive's own line, where no want comment can sit.
+func TestMisplacedHotpath(t *testing.T) {
+	mod, err := LoadFixtureTree("testdata/misplaced", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod.Pkgs, Checks())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "hotpath" || !strings.Contains(d.Message, "misplaced //flowlint:hotpath") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestDirectiveDiagnostics checks that grammar violations surface as
+// "directive" findings through Run — including the attempt to suppress
+// the grammar checker itself, which is rejected as an unknown check.
+func TestDirectiveDiagnostics(t *testing.T) {
+	mod, err := LoadFixtureTree("testdata/baddirectives", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod.Pkgs, Checks())
+	expected := []string{
+		"//flowlint:ignore requires a reason",
+		`//flowlint:ignore of unknown check "nosuchcheck"`,
+		`unknown //flowlint directive "frobnicate"`,
+		"//flowlint:ignore needs a check name",
+		"//flowlint:hotpath takes no arguments",
+		`//flowlint:ignore of unknown check "directive"`,
+	}
+	if len(diags) != len(expected) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(expected), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "directive" {
+			t.Errorf("diagnostic carries check %q, want \"directive\": %s", d.Check, d)
+		}
+	}
+	for _, want := range expected {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q in %v", want, diags)
+		}
+	}
+}
+
+// collectWants scans every fixture file for want comments.
+func collectWants(t *testing.T, mod *Module) []wantSpec {
+	t.Helper()
+	var wants []wantSpec
+	seen := make(map[string]bool)
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			if seen[f.Name] {
+				continue
+			}
+			seen[f.Name] = true
+			for _, group := range f.Ast.Comments {
+				for _, c := range group.List {
+					body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(body, "want ")
+					if !ok {
+						continue
+					}
+					line := mod.Fset.Position(c.Slash).Line
+					for _, pat := range splitWantPatterns(t, f.Name, line, rest) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", f.Name, line, pat, err)
+						}
+						wants = append(wants, wantSpec{file: f.Name, line: line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantPatterns parses the backquoted regexes of one want comment.
+func splitWantPatterns(t *testing.T, file string, line int, rest string) []string {
+	t.Helper()
+	var pats []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '`' {
+			t.Fatalf("%s:%d: want patterns must be backquoted, got %q", file, line, rest)
+		}
+		end := strings.IndexByte(rest[1:], '`')
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern %q", file, line, rest)
+		}
+		pats = append(pats, rest[1:1+end])
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return pats
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathCheck machine-enforces the PR-1 zero-alloc guarantee: a
+// function whose doc comment carries //flowlint:hotpath (the MH step,
+// the scratch traversals, the Fenwick ops) must not contain constructs
+// that allocate on the steady-state path — make/new, composite
+// literals, append onto slices that are not derived from caller-owned
+// scratch state, closure literals, defer/go, fmt calls, or conversions
+// of concrete values to interfaces (which box). Cold fallback branches
+// (nil-scratch temporaries) carry a reasoned //flowlint:ignore; guard
+// panics carry //flowlint:invariant, which exempts their line here too.
+//
+// The check is intraprocedural by design: the benchmarks' AllocsPerRun
+// gates remain the end-to-end authority, this catches the regression at
+// review time instead of benchmark time.
+var hotpathCheck = &Check{
+	Name: "hotpath",
+	Desc: "//flowlint:hotpath functions must stay free of allocating constructs",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		// Directives seen inside some function's doc comment; the rest
+		// are misplaced and reported, so an annotation that silently
+		// binds to nothing cannot pass review.
+		attached := make(map[*Directive]bool)
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			hot := false
+			if fd.Doc != nil {
+				for _, d := range f.Directives.hotpaths {
+					if d.Pos >= fd.Doc.Pos() && d.Pos < fd.Doc.End() {
+						attached[d] = true
+						hot = true
+					}
+				}
+			}
+			if hot && fd.Body != nil {
+				checkHotFunc(p, fd)
+			}
+		}
+		for _, d := range f.Directives.hotpaths {
+			if !attached[d] {
+				p.Reportf(d.Pos, "misplaced //flowlint:hotpath: it must appear in a function's doc comment")
+			}
+		}
+	}
+}
+
+// checkHotFunc walks one annotated function body.
+func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
+	owned := ownedVars(p, fn)
+	seeds := make(map[types.Object]bool, len(owned))
+	for obj := range owned {
+		seeds[obj] = true
+	}
+	name := funcDisplayName(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "%s: closure literal allocates on the hot path", name)
+			return false // its body is priced into the closure
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "%s: defer allocates and delays work on the hot path", name)
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "%s: goroutine launch on the hot path", name)
+		case *ast.CompositeLit:
+			p.Reportf(n.Pos(), "%s: composite literal allocates on the hot path", name)
+		case *ast.AssignStmt:
+			trackOwnership(p, n, owned, seeds)
+		case *ast.CallExpr:
+			checkHotCall(p, name, n, owned)
+		}
+		return true
+	})
+}
+
+// checkHotCall vets one call expression inside a hot function.
+func checkHotCall(p *Pass, name string, call *ast.CallExpr, owned map[types.Object]bool) {
+	info := p.Pkg.Info
+	// Builtins and conversions first: they carry no *types.Func object.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				p.Reportf(call.Pos(), "%s: %s allocates on the hot path", name, b.Name())
+			case "append":
+				if len(call.Args) > 0 && !derivedFromOwned(info, call.Args[0], owned) {
+					p.Reportf(call.Pos(), "%s: append to a slice not derived from caller-owned scratch state may grow and allocate", name)
+				}
+			case "panic":
+				// The panic itself is panicfree's concern; here only the
+				// boxing of its argument is priced.
+				if len(call.Args) == 1 && boxes(info, call.Args[0]) {
+					p.Reportf(call.Pos(), "%s: panic argument is boxed into an interface", name)
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			p.Reportf(call.Pos(), "%s: conversion to interface boxes its operand", name)
+		}
+		return
+	}
+	obj := calleeObj(info, call)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "%s: fmt.%s call on the hot path (formats, boxes and allocates)", name, obj.Name())
+		return
+	}
+	// Implicit interface conversions at the call boundary.
+	sig, ok := typeOf(info, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt) && boxes(info, arg) {
+			p.Reportf(arg.Pos(), "%s: argument is implicitly boxed into interface %s", name, pt)
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface-typed slot boxes a
+// concrete value at run time (an untyped nil or an already-interface
+// value does not).
+func boxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// typeOf is info.Types[...].Type with a nil guard.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ownedVars seeds the ownership map: the receiver and every parameter
+// are caller-owned, so slices reached through them (sc.queue, t.sums)
+// are reusable scratch state an append may legitimately grow.
+func ownedVars(p *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				if obj := p.Pkg.Info.Defs[id]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addField(fn.Recv)
+	if fn.Type.Params != nil {
+		addField(fn.Type.Params)
+	}
+	return owned
+}
+
+// trackOwnership propagates ownership through simple assignments, so
+// `queue := sc.queue[:0]` makes queue an owned alias while
+// `tmp := make([]T, n)` leaves tmp fresh. Parameters and the receiver
+// (seeds) keep ownership even when reassigned: the lazy-init fallback
+// `if sc == nil { sc = tempScratch(n) }` replaces the scratch with a
+// fresh one whose appends allocate only within that same cold call.
+func trackOwnership(p *Pass, as *ast.AssignStmt, owned, seeds map[types.Object]bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id]
+		}
+		if obj == nil || seeds[obj] {
+			continue
+		}
+		owned[obj] = derivedFromOwned(p.Pkg.Info, as.Rhs[i], owned)
+	}
+}
+
+// derivedFromOwned reports whether expr is rooted in caller-owned state:
+// a parameter or receiver, a field/index/slice of one, or an append onto
+// one. Everything else — fresh makes, literals, calls — is not.
+func derivedFromOwned(info *types.Info, expr ast.Expr, owned map[types.Object]bool) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			return obj != nil && owned[obj]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+					expr = e.Args[0]
+					continue
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// funcDisplayName renders Recv.Method or Func for messages.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteString(typeText(fd.Recv.List[0].Type))
+	b.WriteByte('.')
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+// typeText renders a receiver type expression compactly.
+func typeText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return typeText(e.X)
+	case *ast.IndexExpr:
+		return typeText(e.X)
+	}
+	return "?"
+}

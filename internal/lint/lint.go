@@ -1,0 +1,126 @@
+// Package lint is a stdlib-only static analyzer for the infoflow
+// module: it loads every package from source with go/parser and
+// go/types (no golang.org/x/tools dependency) and runs a registry of
+// domain checks that machine-enforce the invariants the test suite can
+// only spot-check — deterministic sampling (no math/rand, no wall
+// clocks, no map-iteration order reaching chain output), zero-alloc
+// hot paths (//flowlint:hotpath functions stay free of allocating
+// constructs), float comparison hygiene, codec error annotation via
+// internal/jsonx, and panic-free library code.
+//
+// Findings are suppressible only with an explicit, reasoned directive:
+//
+//	//flowlint:ignore <check> -- <reason>
+//
+// See directives.go for the grammar and DESIGN.md §8 for the catalog.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the check that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	File    string // path as loaded (absolute for module loads)
+	Line    int
+	Col     int
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one registered analysis. Run inspects the pass's package and
+// reports findings through pass.Reportf.
+type Check struct {
+	Name string // the name used in //flowlint:ignore directives
+	Desc string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one check.
+type Pass struct {
+	Pkg   *Package
+	check string
+	diags []Diagnostic
+}
+
+// Reportf records a finding of the current check at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	where := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		File:    where.Filename,
+		Line:    where.Line,
+		Col:     where.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every check over every package and returns the surviving
+// diagnostics: findings on lines carrying a matching //flowlint:ignore
+// directive are dropped, panicfree/hotpath findings on
+// //flowlint:invariant lines are dropped, and directive parse errors are
+// appended (those are never suppressible). The result is sorted by
+// file, line, column, check.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		pass := &Pass{Pkg: pkg}
+		for _, c := range checks {
+			pass.check = c.Name
+			c.Run(pass)
+		}
+		out = append(out, filterSuppressed(pkg, pass.diags)...)
+		for _, f := range pkg.Files {
+			out = append(out, f.Directives.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// filterSuppressed applies the per-line suppression directives of the
+// package's files to the raw findings.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	byFile := make(map[string]*FileDirectives, len(pkg.Files))
+	for _, f := range pkg.Files {
+		byFile[f.Name] = f.Directives
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		fd := byFile[d.File]
+		if fd != nil {
+			if fd.ignored(d.Line, d.Check) {
+				continue
+			}
+			// An invariant annotation marks a guard that only fires when
+			// the program is already broken: the guarded panic is exempt
+			// from panicfree, and the guard line is exempt from hotpath
+			// (a cold unreachable branch cannot cost allocations).
+			if (d.Check == "panicfree" || d.Check == "hotpath") && fd.invariant(d.Line) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a loaded source tree: every package found under its root,
+// parsed and type-checked without any tooling beyond the stdlib.
+type Module struct {
+	Path string // module path from go.mod ("" for fixture trees)
+	Dir  string
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Package is one analysis unit. A package's in-package _test.go files
+// are type-checked together with its compiled files (as `go test`
+// compiles them); an external foo_test package forms its own unit whose
+// Path carries a "_test" suffix.
+type Package struct {
+	Path    string // import path of the unit
+	ModPath string // module path the unit belongs to
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// File is one parsed source file.
+type File struct {
+	Name       string // path as given to the parser
+	Ast        *ast.File
+	Src        []byte
+	Test       bool // a _test.go file
+	Directives *FileDirectives
+}
+
+// LoadModule loads the module rooted at dir: it discovers every
+// package directory (skipping testdata, hidden directories and
+// sub-modules), parses all sources, and type-checks each unit. Stdlib
+// imports are type-checked from $GOROOT/src by the stdlib source
+// importer, so no export data or external tooling is required.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader()
+	ld.addRoot(modPath, abs)
+	return ld.loadAll(modPath, abs)
+}
+
+// LoadFixtureTree loads an analysistest-style fixture tree: every
+// directory under root holding .go files becomes a package whose import
+// path is its path relative to root. moduleDir names a real module the
+// fixtures may import from (resolved by that module's own path), so
+// fixtures can reference e.g. infoflow/internal/jsonx.
+func LoadFixtureTree(root, moduleDir string) (*Module, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader()
+	ld.addRoot("", absRoot)
+	if moduleDir != "" {
+		absMod, err := filepath.Abs(moduleDir)
+		if err != nil {
+			return nil, err
+		}
+		modPath, err := modulePath(filepath.Join(absMod, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		ld.addRoot(modPath, absMod)
+	}
+	return ld.loadAll("", absRoot)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// root maps an import-path prefix to a directory tree.
+type root struct {
+	modPath string // "" matches any path not claimed by another root
+	dir     string
+}
+
+// loader resolves and type-checks packages on demand. Resolution of a
+// module-internal import recursively type-checks the imported package's
+// compiled (non-test) files; anything else is delegated to the stdlib
+// source importer.
+type loader struct {
+	fset     *token.FileSet
+	std      types.Importer
+	roots    []root
+	parsed   map[string]*pkgFiles      // import path → parsed dir
+	compiled map[string]*types.Package // import path → non-test type-check
+	checking map[string]bool           // cycle guard
+}
+
+// pkgFiles is one parsed package directory, files split the way the go
+// tool splits them.
+type pkgFiles struct {
+	path    string
+	modPath string
+	dir     string
+	name    string // package name of the compiled files
+	nonTest []*File
+	inTest  []*File // _test.go files in package <name>
+	extTest []*File // _test.go files in package <name>_test
+}
+
+func newLoader() *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		parsed:   make(map[string]*pkgFiles),
+		compiled: make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+}
+
+func (ld *loader) addRoot(modPath, dir string) {
+	ld.roots = append(ld.roots, root{modPath: modPath, dir: dir})
+}
+
+// loadAll walks the tree of the root identified by modPath/dir, parses
+// every package, and type-checks every analysis unit.
+func (ld *loader) loadAll(modPath, dir string) (*Module, error) {
+	mod := &Module{Path: modPath, Dir: dir, Fset: ld.fset}
+	var pkgDirs []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := d.Name()
+		if path != dir && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+			return filepath.SkipDir
+		}
+		if path != dir {
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				pkgDirs = append(pkgDirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgDirs)
+	for _, pdir := range pkgDirs {
+		rel, err := filepath.Rel(dir, pdir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			sub := filepath.ToSlash(rel)
+			if path == "" {
+				path = sub
+			} else {
+				path += "/" + sub
+			}
+		}
+		pf, err := ld.parseDir(path, modPath, pdir)
+		if err != nil {
+			return nil, err
+		}
+		units, err := ld.checkUnits(pf)
+		if err != nil {
+			return nil, err
+		}
+		mod.Pkgs = append(mod.Pkgs, units...)
+	}
+	return mod, nil
+}
+
+// parseDir parses every .go file of one package directory (memoized).
+func (ld *loader) parseDir(path, modPath, dir string) (*pkgFiles, error) {
+	if pf, ok := ld.parsed[path]; ok {
+		return pf, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pf := &pkgFiles{path: path, modPath: modPath, dir: dir}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		af, err := parser.ParseFile(ld.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", full, err)
+		}
+		f := &File{
+			Name:       full,
+			Ast:        af,
+			Src:        src,
+			Test:       strings.HasSuffix(name, "_test.go"),
+			Directives: parseDirectives(ld.fset, af, src, KnownChecks()),
+		}
+		pkgName := af.Name.Name
+		switch {
+		case f.Test && strings.HasSuffix(pkgName, "_test"):
+			pf.extTest = append(pf.extTest, f)
+		case f.Test:
+			pf.inTest = append(pf.inTest, f)
+		default:
+			if pf.name != "" && pf.name != pkgName {
+				return nil, fmt.Errorf("lint: %s: packages %s and %s in one directory", dir, pf.name, pkgName)
+			}
+			pf.name = pkgName
+			pf.nonTest = append(pf.nonTest, f)
+		}
+	}
+	ld.parsed[path] = pf
+	return pf, nil
+}
+
+// Import resolves an import path for go/types: module-internal paths
+// are type-checked from source through this loader, everything else
+// falls through to the stdlib source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	for _, r := range ld.roots {
+		if r.modPath == "" {
+			continue
+		}
+		if path != r.modPath && !strings.HasPrefix(path, r.modPath+"/") {
+			continue
+		}
+		dir := r.dir
+		if path != r.modPath {
+			dir = filepath.Join(r.dir, filepath.FromSlash(strings.TrimPrefix(path, r.modPath+"/")))
+		}
+		return ld.compile(path, r.modPath, dir)
+	}
+	return ld.std.Import(path)
+}
+
+// compile type-checks the compiled (non-test) files of one package,
+// memoized, for use as an import.
+func (ld *loader) compile(path, modPath, dir string) (*types.Package, error) {
+	if pkg, ok := ld.compiled[path]; ok {
+		return pkg, nil
+	}
+	if ld.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.checking[path] = true
+	defer delete(ld.checking, path)
+	pf, err := ld.parseDir(path, modPath, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pf.nonTest) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, _, err := ld.typecheck(path, pf.nonTest)
+	if err != nil {
+		return nil, err
+	}
+	ld.compiled[path] = pkg
+	return pkg, nil
+}
+
+// checkUnits builds the analysis units of one parsed directory: the
+// package together with its in-package tests, plus the external test
+// package when present.
+func (ld *loader) checkUnits(pf *pkgFiles) ([]*Package, error) {
+	var units []*Package
+	if len(pf.nonTest) > 0 {
+		files := append(append([]*File{}, pf.nonTest...), pf.inTest...)
+		tpkg, info, err := ld.typecheck(pf.path, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			Path: pf.path, ModPath: pf.modPath, Dir: pf.dir,
+			Fset: ld.fset, Files: files, Types: tpkg, Info: info,
+		})
+	}
+	if len(pf.extTest) > 0 {
+		tpkg, info, err := ld.typecheck(pf.path+"_test", pf.extTest)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			Path: pf.path + "_test", ModPath: pf.modPath, Dir: pf.dir,
+			Fset: ld.fset, Files: pf.extTest, Types: tpkg, Info: info,
+		})
+	}
+	return units, nil
+}
+
+// typecheck runs go/types over one set of files.
+func (ld *loader) typecheck(path string, files []*File) (*types.Package, *types.Info, error) {
+	asts := make([]*ast.File, len(files))
+	for i, f := range files {
+		asts[i] = f.Ast
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, asts, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}

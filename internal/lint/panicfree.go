@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// panicfreeCheck keeps library packages panic-disciplined: a panic that
+// escapes the module's internal packages takes down whatever service
+// embeds the library, so every panic site must either be rewritten to
+// return an error or be explicitly claimed as an unreachable invariant
+// guard with //flowlint:invariant (optionally stating the invariant).
+// The annotation is the review contract: it asserts the condition can
+// only fire on memory corruption or a bug in this package, never on
+// caller input.
+var panicfreeCheck = &Check{
+	Name: "panicfree",
+	Desc: "no panic in library packages except //flowlint:invariant guards",
+	Run:  runPanicfree,
+}
+
+func runPanicfree(p *Pass) {
+	if !p.Pkg.isLibraryPkg() {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				p.Reportf(call.Pos(),
+					"panic in library package %s: return an error, or mark the line //flowlint:invariant if it is an unreachable guard",
+					p.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,20 @@
+// Package b exercises the directive grammar diagnostics.
+package b
+
+//flowlint:ignore floatcmp
+func MissingReason() {}
+
+//flowlint:ignore nosuchcheck -- the check name must be registered
+func UnknownCheck() {}
+
+//flowlint:frobnicate
+func UnknownVerb() {}
+
+//flowlint:ignore
+func MissingCheck() {}
+
+//flowlint:hotpath with args
+func HotpathArgs() {}
+
+//flowlint:ignore directive -- grammar findings themselves cannot be silenced
+func SuppressTheSuppressor() {}

@@ -1,0 +1,5 @@
+// Package m hosts a hotpath directive bound to nothing.
+package m
+
+//flowlint:hotpath
+var Limit = 8

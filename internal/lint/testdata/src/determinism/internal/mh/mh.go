@@ -1,0 +1,41 @@
+// Package mh mirrors a determinism-protected import path: the checks
+// match by path suffix, so this fixture inherits internal/mh's rules.
+package mh
+
+import (
+	"math/rand" // want `import of "math/rand" in determinism-protected package`
+	"time"
+)
+
+// Clock declares the injectable default without calling it; referencing
+// time.Now as a value is allowed.
+var Clock func() time.Time = time.Now
+
+// Draw uses the forbidden global RNG.
+func Draw() float64 {
+	return rand.Float64()
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+// Sum folds a map in randomized iteration order.
+func Sum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map-range in determinism-protected package`
+		total += v
+	}
+	return total
+}
+
+// SumIgnored carries a reasoned suppression and stays clean.
+func SumIgnored(m map[int]float64) float64 {
+	total := 0.0
+	//flowlint:ignore determinism -- addition is commutative; order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

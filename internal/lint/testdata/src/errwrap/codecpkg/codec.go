@@ -1,0 +1,30 @@
+// Package codecpkg exercises codec error hygiene.
+package codecpkg
+
+import (
+	"encoding/json"
+
+	"infoflow/internal/jsonx"
+)
+
+type payload struct {
+	N int `json:"n"`
+}
+
+// DecodeBare returns the raw decoder error.
+func DecodeBare(data []byte) (*payload, error) { // want `DecodeBare decodes JSON and returns error without routing it through jsonx\.Wrap`
+	var p payload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DecodeWrapped annotates failures and stays clean.
+func DecodeWrapped(data []byte) (*payload, error) {
+	var p payload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, jsonx.Wrap("codecpkg: decode payload", err)
+	}
+	return &p, nil
+}

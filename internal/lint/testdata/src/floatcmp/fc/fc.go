@@ -1,0 +1,26 @@
+// Package fc exercises exact float comparisons.
+package fc
+
+// Close compares measured floats exactly.
+func Close(a, b float64) bool {
+	return a == b // want `exact float comparison \(==\)`
+}
+
+// Differs uses != between floats.
+func Differs(a, b float32) bool {
+	return a != b // want `exact float comparison \(!=\)`
+}
+
+// Sentinel carries a reasoned suppression and stays clean.
+func Sentinel(p float64) bool {
+	//flowlint:ignore floatcmp -- 1 is an exact sentinel assigned, never computed
+	return p == 1
+}
+
+// Same compares integers, which is fine.
+func Same(a, b int) bool { return a == b }
+
+const eps = 1e-9
+
+// constCmp folds at compile time and is exempt.
+func constCmp() bool { return eps == 1e-9 }

@@ -1,0 +1,74 @@
+// Package hot exercises the hotpath allocation rules.
+package hot
+
+import "fmt"
+
+// Scratch is reusable caller-owned state.
+type Scratch struct {
+	queue []int
+}
+
+func release(sc *Scratch) { sc.queue = sc.queue[:0] }
+
+func sink(v interface{}) { _ = v }
+
+// Grow allocates a fresh slice and appends onto it.
+//
+//flowlint:hotpath
+func Grow(sc *Scratch, n int) []int {
+	buf := make([]int, 0, n) // want `make allocates on the hot path`
+	for i := 0; i < n; i++ {
+		buf = append(buf, i) // want `append to a slice not derived from caller-owned scratch state`
+	}
+	return buf
+}
+
+// Fill reuses caller scratch; appends amortize into its capacity.
+//
+//flowlint:hotpath
+func Fill(sc *Scratch, n int) {
+	q := sc.queue[:0]
+	for i := 0; i < n; i++ {
+		q = append(q, i)
+	}
+	sc.queue = q[:0]
+}
+
+// Literal returns a composite literal.
+//
+//flowlint:hotpath
+func Literal() []int {
+	return []int{1, 2} // want `composite literal allocates on the hot path`
+}
+
+// Visit builds a closure.
+//
+//flowlint:hotpath
+func Visit(f func(int)) {
+	g := func(i int) { f(i) } // want `closure literal allocates on the hot path`
+	g(0)
+}
+
+// Deferred defers cleanup.
+//
+//flowlint:hotpath
+func Deferred(sc *Scratch) {
+	defer release(sc) // want `defer allocates and delays work on the hot path`
+}
+
+// Report formats on the hot path.
+//
+//flowlint:hotpath
+func Report(x int) string {
+	return fmt.Sprintf("x=%d", x) // want `fmt\.Sprintf call on the hot path`
+}
+
+// Box demonstrates both conversion flavors: the explicit conversion is
+// flagged, and re-passing the resulting interface value is not.
+//
+//flowlint:hotpath
+func Box(x int) {
+	v := any(x) // want `conversion to interface boxes its operand`
+	sink(v)
+	sink(x) // want `implicitly boxed into interface`
+}

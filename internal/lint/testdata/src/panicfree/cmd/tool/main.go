@@ -1,0 +1,6 @@
+// Command tool shows that panicfree covers only library packages.
+package main
+
+func main() {
+	panic("tool: commands may crash loudly")
+}

@@ -1,0 +1,19 @@
+// Package plib exercises the panic ban in library packages.
+package plib
+
+import "fmt"
+
+// Explode panics on caller input.
+func Explode(n int) {
+	if n > 0 {
+		panic(fmt.Sprintf("plib: boom %d", n)) // want `panic in library package`
+	}
+}
+
+// Guard carries an invariant annotation and stays clean.
+func Guard(n int) {
+	if n < 0 {
+		//flowlint:invariant documented contract: n is non-negative
+		panic("plib: negative n")
+	}
+}

@@ -43,6 +43,7 @@ func Autocorrelation(xs []float64, maxLag int) []float64 {
 		c0 += d * d
 	}
 	out[0] = 1
+	//flowlint:ignore floatcmp -- exact zero autocovariance means a constant chain, a structural sentinel
 	if c0 == 0 {
 		return out
 	}
@@ -124,9 +125,11 @@ func GelmanRubin(chains [][]float64) (float64, error) {
 	}
 	b *= float64(n) / float64(m-1)
 	w /= float64(m)
+	//flowlint:ignore floatcmp -- exact zero within-chain variance means every chain is constant
 	if w == 0 {
 		// All chains constant: identical constants are perfectly
 		// converged, differing constants are maximally diverged.
+		//flowlint:ignore floatcmp -- exact zero between-chain variance means the constants coincide
 		if b == 0 {
 			return 1, nil
 		}

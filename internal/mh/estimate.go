@@ -133,6 +133,7 @@ func ImpactDistribution(m *core.ICM, sources []graph.NodeID, conds []core.FlowCo
 // oracle: unconditioned MH and direct estimates must agree.
 func DirectFlowProb(m *core.ICM, source, sink graph.NodeID, samples int, r *rng.RNG) float64 {
 	if samples <= 0 {
+		//flowlint:invariant documented contract: the sample count must be positive
 		panic("mh: DirectFlowProb with non-positive samples")
 	}
 	hits := 0

@@ -240,6 +240,8 @@ const lazyProb = 1.0 / 8
 
 // Step performs one Metropolis-Hastings update (Algorithm 1, as a lazy
 // chain) and reports whether the proposal was accepted.
+//
+//flowlint:hotpath
 func (s *Sampler) Step() bool {
 	s.steps++
 	zt := s.tree.Total()

@@ -107,6 +107,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform value in [0,n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//flowlint:invariant documented contract: Intn requires n > 0
 		panic("rng: Intn with non-positive n")
 	}
 	return int(r.boundedUint64(uint64(n)))
@@ -179,6 +180,7 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 // order. It panics if k > n.
 func (r *RNG) Sample(n, k int) []int {
 	if k > n {
+		//flowlint:invariant documented contract: Sample requires k <= n
 		panic("rng: Sample with k > n")
 	}
 	// Partial Fisher-Yates over an index map keeps this O(k) in space for

@@ -63,6 +63,7 @@ func Scores(g *graph.DiGraph, weights []float64, source graph.NodeID, opts Optio
 		}
 		for v := 0; v < n; v++ {
 			mass := cur[v]
+			//flowlint:ignore floatcmp -- exact zero mass or out-degree carries nothing to propagate; any nonzero mass must flow
 			if mass == 0 || outTotal[v] == 0 {
 				continue // dangling mass restarts in full, handled below
 			}

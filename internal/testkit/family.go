@@ -55,6 +55,7 @@ func NewModel(f Family, r *rng.RNG) *core.ICM {
 	case DAG:
 		g = graph.RandomDAG(r, 8, 14)
 	default:
+		//flowlint:invariant unreachable: every Family value is enumerated above
 		panic(fmt.Sprintf("testkit: unknown family %d", int(f)))
 	}
 	p := make([]float64, g.NumEdges())
@@ -133,6 +134,7 @@ func UnconditionedCase(f Family, seed uint64) Case {
 			Recursive: m.RecursiveFlowProb(source, sink),
 		}
 	}
+	//flowlint:invariant test-harness exhaustion: seeds are chosen so an admissible case exists
 	panic(fmt.Sprintf("testkit: no admissible unconditioned case for %s with seed %d", f, seed))
 }
 
@@ -167,6 +169,7 @@ func ConditionedCase(f Family, seed uint64) Case {
 			Recursive: -1,
 		}
 	}
+	//flowlint:invariant test-harness exhaustion: seeds are chosen so an admissible case exists
 	panic(fmt.Sprintf("testkit: no admissible conditioned case for %s with seed %d", f, seed))
 }
 

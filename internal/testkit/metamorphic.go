@@ -107,6 +107,7 @@ const maxSizePMFEdges = 20
 func CascadeSizePMF(m *core.ICM, sources []graph.NodeID) []float64 {
 	me := m.NumEdges()
 	if me > maxSizePMFEdges {
+		//flowlint:invariant documented size limit: PMF enumeration is exponential beyond maxSizePMFEdges
 		panic(fmt.Sprintf("testkit: CascadeSizePMF on %d edges exceeds limit %d", me, maxSizePMFEdges))
 	}
 	pmf := make([]float64, m.NumNodes()+1)

@@ -231,6 +231,7 @@ func BuildSummaries(g *graph.DiGraph, traces []Trace) (map[graph.NodeID]*Summary
 		out[sink] = sum
 	}
 	for _, tr := range traces {
+		//flowlint:ignore determinism -- each sink's summary only accumulates its own commutative counts; visit order cannot reach the result
 		for sink, sum := range out {
 			tSink, sinkActive := tr[sink]
 			var set CharBits
@@ -250,6 +251,7 @@ func BuildSummaries(g *graph.DiGraph, traces []Trace) (map[graph.NodeID]*Summary
 			sum.Observe(set, sinkActive)
 		}
 	}
+	//flowlint:ignore determinism -- sortRows normalizes each summary independently; visit order cannot reach the result
 	for _, sum := range out {
 		sum.sortRows()
 	}
@@ -266,10 +268,12 @@ func BuildSummaries(g *graph.DiGraph, traces []Trace) (map[graph.NodeID]*Summary
 func TableI() *Summary {
 	s, err := NewSummary(3, []graph.NodeID{0, 1, 2})
 	if err != nil {
+		//flowlint:invariant unreachable: the fixed example table is valid by construction
 		panic(err)
 	}
 	must := func(e error) {
 		if e != nil {
+			//flowlint:invariant unreachable: the fixed example table is valid by construction
 			panic(e)
 		}
 	}
@@ -289,10 +293,12 @@ func TableI() *Summary {
 func TableII() *Summary {
 	s, err := NewSummary(3, []graph.NodeID{0, 1, 2})
 	if err != nil {
+		//flowlint:invariant unreachable: the fixed example table is valid by construction
 		panic(err)
 	}
 	must := func(e error) {
 		if e != nil {
+			//flowlint:invariant unreachable: the fixed example table is valid by construction
 			panic(e)
 		}
 	}

@@ -28,6 +28,7 @@ type jsonRow struct {
 // sink for determinism).
 func WriteSummaries(w io.Writer, sums map[graph.NodeID]*Summary) error {
 	sinks := make([]graph.NodeID, 0, len(sums))
+	//flowlint:ignore determinism -- key collection is sorted on the next line, so map order never reaches the serialized bytes
 	for sink := range sums {
 		sinks = append(sinks, sink)
 	}
