@@ -111,6 +111,25 @@ func ParallelCommunityFlows(m *ICM, sources []NodeID, opts MHOptions, workers in
 	return mh.ParallelCommunityFlows(m, sources, opts, workers, seed)
 }
 
+// FlowProbBatch answers many flow queries from ONE shared chain: each
+// thinned sample is interrogated by 64-lane bit-parallel reachability
+// sweeps, so 64 pairs cost about one community sweep per sample. A
+// single-pair batch is bit-identical to FlowProb on the same RNG; the
+// estimates within a batch share samples and are therefore correlated.
+// Contrast ParallelFlowProbs, which buys wall-clock with one
+// independent chain (and burn-in) per query across goroutines.
+func FlowProbBatch(m *ICM, pairs []FlowPair, conds []FlowCondition, opts MHOptions, r *RNG) ([]float64, error) {
+	return mh.FlowProbBatch(m, pairs, conds, opts, r)
+}
+
+// CommunityFlowProbsBatch estimates every listed source's
+// source-to-community flow probabilities from one shared chain, 64
+// sources per lane sweep. A single-source batch is bit-identical to
+// CommunityFlowProbs on the same RNG.
+func CommunityFlowProbsBatch(m *ICM, sources []NodeID, conds []FlowCondition, opts MHOptions, r *RNG) ([][]float64, error) {
+	return mh.CommunityFlowProbsBatch(m, sources, conds, opts, r)
+}
+
 // assertAliases pins the facade types to their internal definitions at
 // compile time (a change in either side fails the build here rather
 // than at a user's call site).

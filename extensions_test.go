@@ -122,6 +122,40 @@ func TestParallelFacade(t *testing.T) {
 	}
 }
 
+func TestBatchFacade(t *testing.T) {
+	r := infoflow.NewRNG(15)
+	g := infoflow.RandomGraph(r, 10, 30)
+	p := make([]float64, 30)
+	for i := range p {
+		p[i] = 0.3
+	}
+	m := infoflow.MustNewICM(g, p)
+	opts := infoflow.MHOptions{BurnIn: 100, Thin: 5, Samples: 400}
+	// A single-pair batch is bit-identical to FlowProb on the same seed.
+	pairs := []infoflow.FlowPair{{Source: 0, Sink: 1}}
+	batch, err := infoflow.FlowProbBatch(m, pairs, nil, opts, infoflow.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := infoflow.FlowProb(m, 0, 1, nil, opts, infoflow.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != single {
+		t.Fatalf("single-pair batch %v != FlowProb %v", batch[0], single)
+	}
+	comm, err := infoflow.CommunityFlowProbsBatch(m, []infoflow.NodeID{0, 1}, nil, opts, infoflow.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comm) != 2 || len(comm[0]) != 10 {
+		t.Fatal("batched community shape wrong")
+	}
+	if comm[0][0] != 1 || comm[1][1] != 1 {
+		t.Fatalf("sources must trivially reach themselves: %v / %v", comm[0][0], comm[1][1])
+	}
+}
+
 func TestScratchAndChainsFacade(t *testing.T) {
 	r := infoflow.NewRNG(16)
 	g := infoflow.RandomGraph(r, 12, 40)

@@ -1,6 +1,9 @@
 package core
 
-import "infoflow/internal/graph"
+import (
+	"infoflow/internal/bitset"
+	"infoflow/internal/graph"
+)
 
 // This file is the model-level face of the allocation-free traversal
 // engine in internal/graph: the same active-state derivation, flow
@@ -43,4 +46,37 @@ func (m *ICM) SatisfiesScratch(x PseudoState, conds []FlowCondition, sc *graph.S
 		}
 	}
 	return true
+}
+
+// The packed tier: the same three indicators over a bit-packed
+// pseudo-state (64 edges per word, as maintained by mh.Sampler's shadow
+// state) plus the 64-lane sweep that answers up to 64 flow queries from
+// one sample. All are thin adapters over internal/graph's bit-parallel
+// kernels; the []bool tier above remains the reference semantics.
+
+// ActiveNodesBitsInto is ActiveNodesInto with the pseudo-state and the
+// destination packed: one word-wise reset plus one BFS per call, no
+// allocation in steady state. The result is dst (or its replacement).
+//
+//flowlint:hotpath
+func (m *ICM) ActiveNodesBitsInto(sources []graph.NodeID, x bitset.Set, sc *graph.Scratch, dst bitset.Set) bitset.Set {
+	return m.G.ReachableBitsInto(sources, x, sc, dst)
+}
+
+// HasFlowBits is HasFlowScratch over a packed pseudo-state.
+//
+//flowlint:hotpath
+func (m *ICM) HasFlowBits(u, v graph.NodeID, x bitset.Set, sc *graph.Scratch) bool {
+	return m.G.HasPathBits(u, v, x, sc)
+}
+
+// FlowLanesInto runs the 64-lane reachability sweep over a packed
+// pseudo-state: seeds[k] is seeded with lane bits seedBits[k], and the
+// returned reach (the grown buffer) has reach[v] lane bit L set iff v
+// carries flow from a node seeded with L. See graph.ReachLanesInto for
+// the full contract.
+//
+//flowlint:hotpath
+func (m *ICM) FlowLanesInto(seeds []graph.NodeID, seedBits []uint64, x bitset.Set, sc *graph.Scratch, reach []uint64) []uint64 {
+	return m.G.ReachLanesInto(seeds, seedBits, x, sc, reach)
 }

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBatchTimingSaneAndAgrees(t *testing.T) {
+	res, err := RunBatch(BatchSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequential <= 0 || res.Batched <= 0 {
+		t.Errorf("non-positive durations: %+v", res)
+	}
+	// Different chains agree only statistically; with 100 samples per
+	// estimate the mean gap stays well inside Monte-Carlo error.
+	if res.MeanAbsDiff > 0.2 {
+		t.Errorf("mean estimate gap %v between sequential and batched paths", res.MeanAbsDiff)
+	}
+	out := res.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "batched") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+}
+
+func TestBatchTimingInjectedClock(t *testing.T) {
+	cfg := BatchSmall()
+	const step = time.Millisecond
+	var ticks int
+	cfg.Clock = func() time.Time {
+		ticks++
+		return time.Unix(0, int64(ticks)*int64(step))
+	}
+	res, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each path brackets its run with exactly two reads.
+	if res.Sequential != step || res.Batched != step {
+		t.Errorf("durations = %v/%v, want %v each", res.Sequential, res.Batched, step)
+	}
+	if ticks != 4 {
+		t.Errorf("clock read %d times, want 4", ticks)
+	}
+}

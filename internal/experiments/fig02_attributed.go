@@ -161,6 +161,31 @@ func fig2Cell(cfg Fig2Config, lab *TwitterLab, focuses []twitter.UserID, radius,
 		if len(cascades) > cfg.TweetsPerUser {
 			cascades = cascades[:cfg.TweetsPerUser]
 		}
+		if known == 0 && len(cascades) > 0 {
+			// Unconditioned cells query one shared sub-model for every
+			// cascade of the focus, so a single batched chain answers them
+			// all — 64 flows per lane sweep instead of one chain per tweet.
+			// Conditioned cells stay on the scalar path: each cascade's
+			// observed flows constrain a different posterior, which cannot
+			// share a chain (see DESIGN.md §9).
+			batch := make([]mh.FlowPair, len(cascades))
+			outcomes := make([]bool, len(cascades))
+			for i, obj := range cascades {
+				sinkIdx := r.Intn(len(nodes)-1) + 1
+				sink := nodes[sinkIdx]
+				_, outcomes[i] = obj.ActiveTime[sink]
+				batch[i] = mh.FlowPair{Source: focusSub, Sink: toNew[sink]}
+			}
+			ps, err := mh.FlowProbBatch(subICM, batch, nil, cfg.MH, r)
+			if err != nil {
+				return nil, 0, err
+			}
+			for i, p := range ps {
+				exp.MustAdd(p, outcomes[i])
+				pairs++
+			}
+			continue
+		}
 		for _, obj := range cascades {
 			// Random sink within the sub-graph, distinct from focus.
 			sinkIdx := r.Intn(len(nodes)-1) + 1 // nodes[0] is the focus (BFS order)

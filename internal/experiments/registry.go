@@ -102,6 +102,13 @@ func Registry() []Runner {
 			},
 		},
 		{
+			Name:        "batch",
+			Description: "batched 64-lane multi-query estimation vs one chain per pair (timing)",
+			Run: func(small bool) (fmt.Stringer, error) {
+				return RunBatch(pick(small, BatchSmall, BatchPaper))
+			},
+		},
+		{
 			Name:        "table1",
 			Description: "example evidence summary",
 			Run:         func(bool) (fmt.Stringer, error) { return TableI(), nil },

@@ -254,13 +254,26 @@ func pooledPrior(sums map[graph.NodeID]*unattrib.Summary) dist.Beta {
 
 // CommunityFlow estimates, by MH on an ICM with the given edge
 // probabilities, the source-to-community flow probabilities over the
-// sub-graph.
+// sub-graph. It rides the batched lane engine; a one-source batch is
+// bit-identical to CommunityFlowProbs on the same RNG.
 func (m *TagFlowModel) CommunityFlow(p []float64, opts mh.Options, r *rng.RNG) ([]float64, error) {
+	probs, err := m.CommunityFlows([]graph.NodeID{m.SourceSub}, p, opts, r)
+	if err != nil {
+		return nil, err
+	}
+	return probs[0], nil
+}
+
+// CommunityFlows is the multi-source form: one chain on the sub-graph
+// ICM answers every listed source's community flows, 64 sources per
+// lane sweep. Sources are sub-graph node IDs; the result is indexed
+// [source][subNode].
+func (m *TagFlowModel) CommunityFlows(sources []graph.NodeID, p []float64, opts mh.Options, r *rng.RNG) ([][]float64, error) {
 	icm, err := core.NewICM(m.Sub, p)
 	if err != nil {
 		return nil, err
 	}
-	return mh.CommunityFlowProbs(icm, m.SourceSub, nil, opts, r)
+	return mh.CommunityFlowProbsBatch(icm, sources, nil, opts, r)
 }
 
 // TestPairsFromSource yields, for each test object originated by the

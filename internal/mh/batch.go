@@ -1,0 +1,132 @@
+package mh
+
+import (
+	"fmt"
+	"math/bits"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// laneWidth is the number of queries one bit-parallel sweep carries:
+// one lane per bit of a machine word.
+const laneWidth = 64
+
+// laneChunks assigns each of k queries a (chunk, lane) slot and returns
+// per-chunk seed-node and seed-bit slices for ReachLanesInto: query q
+// lives in chunk q/64, lane q%64, seeded at node source(q).
+func laneChunks(k int, source func(int) graph.NodeID) (seeds [][]graph.NodeID, seedBits [][]uint64) {
+	nChunks := (k + laneWidth - 1) / laneWidth
+	seeds = make([][]graph.NodeID, nChunks)
+	seedBits = make([][]uint64, nChunks)
+	for c := 0; c < nChunks; c++ {
+		lo := c * laneWidth
+		hi := min(lo+laneWidth, k)
+		seeds[c] = make([]graph.NodeID, hi-lo)
+		seedBits[c] = make([]uint64, hi-lo)
+		for q := lo; q < hi; q++ {
+			seeds[c][q-lo] = source(q)
+			seedBits[c][q-lo] = 1 << uint(q-lo)
+		}
+	}
+	return seeds, seedBits
+}
+
+// FlowProbBatch estimates Pr[source_k ~> sink_k | conds] for every pair
+// from ONE Metropolis-Hastings chain: all queries share the chain's
+// burn-in and thinning steps, and each thinned sample is interrogated by
+// one 64-lane reachability sweep per chunk of 64 pairs instead of one
+// scalar search per pair. For the multi-query workloads the paper's
+// experiments run — hundreds of (source, sink) pairs against the same
+// model — this amortises the dominant cost (chain updates) across the
+// whole batch and answers 64 pairs for roughly the price of one
+// community sweep.
+//
+// The chain consumes exactly the same randomness as FlowProb regardless
+// of the pair count, and the lane sweep is an exact reachability
+// computation, so a single-pair batch is bit-identical to FlowProb on
+// the same RNG, and every pair's estimate equals what per-pair
+// evaluation of the same sample stream would produce. Estimates within
+// a batch are correlated (they share samples), but each is individually
+// the same unbiased estimator FlowProb computes.
+func FlowProbBatch(m *core.ICM, pairs []FlowPair, conds []core.FlowCondition, opts Options, r *rng.RNG) ([]float64, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("mh: FlowProbBatch with no pairs")
+	}
+	s, err := NewSampler(m, conds, r)
+	if err != nil {
+		return nil, err
+	}
+	seeds, seedBits := laneChunks(len(pairs), func(q int) graph.NodeID { return pairs[q].Source })
+	hits := make([]int, len(pairs))
+	reach := make([]uint64, m.NumNodes())
+	err = s.Run(opts, func(core.PseudoState) {
+		for c := range seeds {
+			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
+			lo := c * laneWidth
+			for q := lo; q < lo+len(seeds[c]); q++ {
+				if reach[pairs[q].Sink]>>uint(q-lo)&1 != 0 {
+					hits[q]++
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	probs := make([]float64, len(pairs))
+	for q, h := range hits {
+		probs[q] = float64(h) / float64(opts.Samples)
+	}
+	return probs, nil
+}
+
+// CommunityFlowProbsBatch estimates Pr[source_k ~> v | conds] for every
+// listed source and every node v from one chain: per thinned sample, one
+// 64-lane sweep per chunk of 64 sources replaces one full reachability
+// sweep per source. The result is indexed [source][node]; a single-source
+// batch is bit-identical to CommunityFlowProbs on the same RNG.
+//
+// This is the batched complement of ParallelCommunityFlows: that API
+// buys wall-clock with one chain (and one burn-in) per source across
+// goroutines, this one buys throughput by sharing a single chain's
+// samples across all sources on one core.
+func CommunityFlowProbsBatch(m *core.ICM, sources []graph.NodeID, conds []core.FlowCondition, opts Options, r *rng.RNG) ([][]float64, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("mh: CommunityFlowProbsBatch with no sources")
+	}
+	s, err := NewSampler(m, conds, r)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumNodes()
+	seeds, seedBits := laneChunks(len(sources), func(q int) graph.NodeID { return sources[q] })
+	counts := make([][]int, len(sources))
+	for k := range counts {
+		counts[k] = make([]int, n)
+	}
+	reach := make([]uint64, n)
+	err = s.Run(opts, func(core.PseudoState) {
+		for c := range seeds {
+			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
+			lo := c * laneWidth
+			for v, lanes := range reach {
+				for ; lanes != 0; lanes &= lanes - 1 {
+					counts[lo+bits.TrailingZeros64(lanes)][v]++
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	probs := make([][]float64, len(sources))
+	for k, cs := range counts {
+		probs[k] = make([]float64, n)
+		for v, c := range cs {
+			probs[k][v] = float64(c) / float64(opts.Samples)
+		}
+	}
+	return probs, nil
+}

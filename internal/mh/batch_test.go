@@ -1,0 +1,287 @@
+package mh
+
+import (
+	"testing"
+
+	"infoflow/internal/bitset"
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// batchTestModel builds a small random ICM for the differential tests.
+func batchTestModel(seed uint64, n, m int) *core.ICM {
+	r := rng.New(seed)
+	g := graph.Random(r, n, m)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	return core.MustNewICM(g, p)
+}
+
+// randomPairs draws k (source, sink) pairs with source != sink.
+func randomPairs(r *rng.RNG, n, k int) []FlowPair {
+	pairs := make([]FlowPair, k)
+	for i := range pairs {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		for v == u {
+			v = graph.NodeID(r.Intn(n))
+		}
+		pairs[i] = FlowPair{Source: u, Sink: v}
+	}
+	return pairs
+}
+
+// TestFlowProbBatchMatchesPerPair is the determinism gate: because the
+// chain's randomness does not depend on the queries, FlowProbBatch over
+// k pairs must produce exactly the per-pair FlowProb estimates of the
+// same seed — hit count for hit count. The 70-pair batch crosses the
+// 64-lane chunk boundary, so both chunks are exercised.
+func TestFlowProbBatchMatchesPerPair(t *testing.T) {
+	m := batchTestModel(11, 30, 80)
+	opts := Options{BurnIn: 100, Thin: 20, Samples: 150}
+	const seed = 99
+	pairs := randomPairs(rng.New(5), m.NumNodes(), 70)
+	batch, err := FlowProbBatch(m, pairs, nil, opts, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(pairs) {
+		t.Fatalf("batch returned %d estimates for %d pairs", len(batch), len(pairs))
+	}
+	for k, pair := range pairs {
+		single, err := FlowProb(m, pair.Source, pair.Sink, nil, opts, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[k] != single {
+			t.Errorf("pair %d (%d~>%d): batch %v != per-pair %v",
+				k, pair.Source, pair.Sink, batch[k], single)
+		}
+	}
+}
+
+// TestFlowProbBatchConditioned repeats the differential gate with flow
+// conditions constraining the chain.
+func TestFlowProbBatchConditioned(t *testing.T) {
+	m := batchTestModel(12, 25, 70)
+	opts := Options{BurnIn: 120, Thin: 25, Samples: 120}
+	// Condition on a flow the maximal state carries, so it is satisfiable.
+	x := core.NewPseudoState(m.NumEdges())
+	for i := range x {
+		x[i] = m.P[i] > 0
+	}
+	var conds []core.FlowCondition
+	for v := graph.NodeID(1); v < graph.NodeID(m.NumNodes()) && len(conds) == 0; v++ {
+		if m.HasFlow(0, v, x) {
+			conds = append(conds, core.FlowCondition{Source: 0, Sink: v, Require: true})
+		}
+	}
+	if len(conds) == 0 {
+		t.Skip("no satisfiable condition in this model")
+	}
+	const seed = 123
+	pairs := randomPairs(rng.New(6), m.NumNodes(), 9)
+	batch, err := FlowProbBatch(m, pairs, conds, opts, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, pair := range pairs {
+		single, err := FlowProb(m, pair.Source, pair.Sink, conds, opts, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[k] != single {
+			t.Errorf("pair %d: conditioned batch %v != per-pair %v", k, batch[k], single)
+		}
+	}
+}
+
+// TestCommunityFlowProbsBatchMatchesSingle checks the multi-source
+// community variant against CommunityFlowProbs source by source, across
+// the chunk boundary (65 sources).
+func TestCommunityFlowProbsBatchMatchesSingle(t *testing.T) {
+	m := batchTestModel(13, 70, 200)
+	opts := Options{BurnIn: 80, Thin: 15, Samples: 100}
+	const seed = 321
+	sources := make([]graph.NodeID, 65)
+	for i := range sources {
+		sources[i] = graph.NodeID(i % m.NumNodes())
+	}
+	batch, err := CommunityFlowProbsBatch(m, sources, nil, opts, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a handful of sources (every source would re-run the
+	// chain 65 times); include both chunks and the duplicated source.
+	for _, k := range []int{0, 1, 63, 64} {
+		single, err := CommunityFlowProbs(m, sources[k], nil, opts, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range single {
+			if batch[k][v] != single[v] {
+				t.Fatalf("source %d node %d: batch %v != single %v", k, v, batch[k][v], single[v])
+			}
+		}
+	}
+}
+
+// TestStateBitsShadowsState pins the packed-shadow invariant: after any
+// number of accepted and rejected steps, StateBits equals the []bool
+// state bit for bit — including under conditions, whose rejected
+// candidate flips must not leak into the shadow.
+func TestStateBitsShadowsState(t *testing.T) {
+	m := batchTestModel(14, 25, 70)
+	check := func(name string, conds []core.FlowCondition) {
+		s, err := NewSampler(m, conds, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 3000; step++ {
+			s.Step()
+			if step%250 != 0 {
+				continue
+			}
+			want := bitset.FromBools(nil, s.State())
+			got := s.StateBits()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: step %d: shadow word %d = %#x, want %#x", name, step, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	check("unconditioned", nil)
+	x := core.NewPseudoState(m.NumEdges())
+	for i := range x {
+		x[i] = m.P[i] > 0
+	}
+	sink := graph.NodeID(1)
+	check("conditioned", []core.FlowCondition{{Source: 0, Sink: sink, Require: m.HasFlow(0, sink, x)}})
+}
+
+// TestFlowProbBatchRejectsEmpty covers the argument guards.
+func TestFlowProbBatchRejectsEmpty(t *testing.T) {
+	m := batchTestModel(15, 10, 20)
+	opts := Options{BurnIn: 10, Thin: 5, Samples: 10}
+	if _, err := FlowProbBatch(m, nil, nil, opts, rng.New(1)); err == nil {
+		t.Error("FlowProbBatch(nil pairs) succeeded")
+	}
+	if _, err := CommunityFlowProbsBatch(m, nil, nil, opts, rng.New(1)); err == nil {
+		t.Error("CommunityFlowProbsBatch(nil sources) succeeded")
+	}
+	if _, err := FlowProbBatch(m, []FlowPair{{0, 1}}, nil, Options{}, rng.New(1)); err == nil {
+		t.Error("FlowProbBatch with invalid options succeeded")
+	}
+}
+
+// TestFlowProbBatchZeroAllocSteadyState asserts the batched hot loop —
+// chain updates plus one lane sweep per 64 pairs — allocates nothing
+// once warm.
+func TestFlowProbBatchZeroAllocSteadyState(t *testing.T) {
+	m := batchTestModel(16, 300, 900)
+	s, err := NewSampler(m, nil, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := randomPairs(rng.New(10), m.NumNodes(), 64)
+	seeds, seedBits := laneChunks(len(pairs), func(q int) graph.NodeID { return pairs[q].Source })
+	hits := make([]int, len(pairs))
+	reach := make([]uint64, m.NumNodes())
+	sample := func() {
+		for k := 0; k < 10; k++ {
+			s.Step()
+		}
+		for c := range seeds {
+			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
+			lo := c * laneWidth
+			for q := lo; q < lo+len(seeds[c]); q++ {
+				if reach[pairs[q].Sink]>>uint(q-lo)&1 != 0 {
+					hits[q]++
+				}
+			}
+		}
+	}
+	for warm := 0; warm < 10; warm++ {
+		sample()
+	}
+	if allocs := testing.AllocsPerRun(100, sample); allocs != 0 {
+		t.Errorf("steady-state batched sampling allocates %v per run, want 0", allocs)
+	}
+}
+
+// benchPairs64 draws the 64 benchmark queries on the §IV-C graph.
+func benchPairs64(m *core.ICM) []FlowPair {
+	return randomPairs(rng.New(17), m.NumNodes(), 64)
+}
+
+// BenchmarkFlowProbBatch64 measures one steady-state batched output
+// sample on the §IV-C 6K-node/14K-edge graph: thin chain updates plus
+// ONE 64-lane sweep answering all 64 pairs. Compare per-op time against
+// BenchmarkFlowProbSequential64 (the same work done by 64 independent
+// chains) for the batching speedup; allocs/op must read 0.
+func BenchmarkFlowProbBatch64(b *testing.B) {
+	m, s := paperScaleSampler(b)
+	const thin = 200
+	pairs := benchPairs64(m)
+	seeds, seedBits := laneChunks(len(pairs), func(q int) graph.NodeID { return pairs[q].Source })
+	hits := make([]int, len(pairs))
+	reach := make([]uint64, m.NumNodes())
+	for k := 0; k < thin; k++ {
+		s.Step()
+	}
+	reach = m.FlowLanesInto(seeds[0], seedBits[0], s.xbits, s.scratch, reach)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < thin; k++ {
+			s.Step()
+		}
+		reach = m.FlowLanesInto(seeds[0], seedBits[0], s.xbits, s.scratch, reach)
+		for q, pair := range pairs {
+			if reach[pair.Sink]>>uint(q)&1 != 0 {
+				hits[q]++
+			}
+		}
+	}
+}
+
+// BenchmarkFlowProbSequential64 is the sequential baseline the batch is
+// judged against: 64 per-pair chains, each paying its own thin updates
+// and scalar flow test per output sample — what 64 FlowProb calls cost
+// at equal sample counts.
+func BenchmarkFlowProbSequential64(b *testing.B) {
+	m, _ := paperScaleSampler(b)
+	const thin = 200
+	pairs := benchPairs64(m)
+	seeder := rng.New(18)
+	samplers := make([]*Sampler, len(pairs))
+	for i := range samplers {
+		s, err := NewSampler(m, nil, seeder.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		samplers[i] = s
+		for k := 0; k < thin; k++ {
+			s.Step()
+		}
+		m.HasFlowScratch(pairs[i].Source, pairs[i].Sink, s.State(), s.scratch)
+	}
+	hits := make([]int, len(pairs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q, pair := range pairs {
+			s := samplers[q]
+			for k := 0; k < thin; k++ {
+				s.Step()
+			}
+			if m.HasFlowScratch(pair.Source, pair.Sink, s.State(), s.scratch) {
+				hits[q]++
+			}
+		}
+	}
+}

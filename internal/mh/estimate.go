@@ -2,7 +2,9 @@ package mh
 
 import (
 	"fmt"
+	"math/bits"
 
+	"infoflow/internal/bitset"
 	"infoflow/internal/core"
 	"infoflow/internal/graph"
 	"infoflow/internal/rng"
@@ -40,12 +42,16 @@ func CommunityFlowProbs(m *core.ICM, source graph.NodeID, conds []core.FlowCondi
 	}
 	counts := make([]int, m.NumNodes())
 	srcs := []graph.NodeID{source}
-	active := make([]bool, m.NumNodes())
-	err = s.Run(opts, func(x core.PseudoState) {
-		m.ActiveNodesInto(srcs, x, s.scratch, active)
-		for v, a := range active {
-			if a {
-				counts[v]++
+	active := bitset.New(m.NumNodes())
+	err = s.Run(opts, func(core.PseudoState) {
+		// The packed sweep reads the chain's bit-packed shadow state, and
+		// the count update walks words, touching only nodes that are
+		// actually active (zero words cost one compare per 64 nodes).
+		active = m.ActiveNodesBitsInto(srcs, s.xbits, s.scratch, active)
+		for wi, w := range active {
+			base := wi * 64
+			for ; w != 0; w &= w - 1 {
+				counts[base+bits.TrailingZeros64(w)]++
 			}
 		}
 	})
@@ -109,16 +115,12 @@ func ImpactDistribution(m *core.ICM, sources []graph.NodeID, conds []core.FlowCo
 		}
 	}
 	impacts := make([]int, 0, opts.Samples)
-	active := make([]bool, m.NumNodes())
-	err = s.Run(opts, func(x core.PseudoState) {
-		m.ActiveNodesInto(sources, x, s.scratch, active)
-		n := 0
-		for _, a := range active {
-			if a {
-				n++
-			}
-		}
-		impacts = append(impacts, n-nSources)
+	active := bitset.New(m.NumNodes())
+	err = s.Run(opts, func(core.PseudoState) {
+		// Popcount over the packed active set: one OnesCount64 per 64
+		// nodes instead of an element-wise bool scan.
+		active = m.ActiveNodesBitsInto(sources, s.xbits, s.scratch, active)
+		impacts = append(impacts, active.Count()-nSources)
 	})
 	if err != nil {
 		return nil, err

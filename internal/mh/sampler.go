@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"infoflow/internal/bitset"
 	"infoflow/internal/core"
 	"infoflow/internal/fenwick"
 	"infoflow/internal/graph"
@@ -72,12 +73,25 @@ type Sampler struct {
 	tree    *fenwick.Tree
 	uniform bool
 
+	// xbits is the packed shadow of x: always bit-for-bit equal to it,
+	// maintained with one XOR per accepted flip. The bit-parallel
+	// estimators (FlowProbBatch, CommunityFlowProbsBatch, and the
+	// popcount paths in CommunityFlowProbs/ImpactDistribution) read it as
+	// the active-edge mask without ever repacking the []bool state.
+	xbits bitset.Set
+
 	// scratch is the chain's owned traversal state: every condition
 	// check in Step and every estimator built on this sampler reuses it,
 	// so steady-state sampling performs zero allocations. Owning it per
 	// chain (rather than sharing) is what keeps multi-chain estimators
 	// race-free without locks.
 	scratch *graph.Scratch
+
+	// via and repairQ back constructInitialState's path repairs, so
+	// repeated repair rounds reuse one parent-edge array and one queue
+	// instead of allocating per round.
+	via     []graph.EdgeID
+	repairQ []graph.NodeID
 
 	steps    int64
 	accepted int64
@@ -87,6 +101,13 @@ type Sampler struct {
 // estimators that want allocation-free flow tests against State(). It
 // must only be used from the goroutine driving the chain.
 func (s *Sampler) Scratch() *graph.Scratch { return s.scratch }
+
+// StateBits returns the packed shadow of the current pseudo-state,
+// suitable as the active-edge mask of the bit-parallel traversals
+// (HasFlowBits, ActiveNodesBitsInto, FlowLanesInto). Like State, the
+// returned set is live chain state: callers must not modify it and must
+// copy it to retain it across Step calls.
+func (s *Sampler) StateBits() bitset.Set { return s.xbits }
 
 // SetUniformProposal switches the chain to a uniform flip-one-edge
 // proposal instead of the paper's weighted multinomial (§III-C). The
@@ -106,6 +127,7 @@ func NewSampler(m *core.ICM, conds []core.FlowCondition, r *rng.RNG) (*Sampler, 
 		return nil, err
 	}
 	s.x = x
+	s.xbits = bitset.FromBools(nil, x)
 	weights := make([]float64, m.NumEdges())
 	for i := range weights {
 		weights[i] = flipWeight(m.P[i], x[i])
@@ -186,16 +208,21 @@ func (s *Sampler) constructInitialState() (core.PseudoState, error) {
 // cuttableEdgeOnPath finds an active path source~>sink in x and returns
 // the last p<1 edge along it. Returns ok=false if there is no active
 // path (caller logic error) or every edge on the found path has p=1.
+// The parent-edge array and queue are sampler-owned scratch, so repair
+// rounds after the first allocate nothing; via[w] >= 0 doubles as the
+// visited marker (the source, whose via stays -1, is excluded by the
+// w == source guard).
 func (s *Sampler) cuttableEdgeOnPath(x core.PseudoState, source, sink graph.NodeID) (graph.EdgeID, bool) {
 	g := s.m.G
 	n := g.NumNodes()
-	via := make([]graph.EdgeID, n)
+	if len(s.via) < n {
+		s.via = make([]graph.EdgeID, n)
+	}
+	via := s.via[:n]
 	for i := range via {
 		via[i] = -1
 	}
-	seen := make([]bool, n)
-	seen[source] = true
-	queue := []graph.NodeID{source}
+	queue := append(s.repairQ[:0], source)
 	found := false
 	for head := 0; head < len(queue) && !found; head++ {
 		v := queue[head]
@@ -204,8 +231,7 @@ func (s *Sampler) cuttableEdgeOnPath(x core.PseudoState, source, sink graph.Node
 				continue
 			}
 			w := g.Edge(id).To
-			if !seen[w] {
-				seen[w] = true
+			if w != source && via[w] < 0 {
 				via[w] = id
 				if w == sink {
 					found = true
@@ -215,6 +241,7 @@ func (s *Sampler) cuttableEdgeOnPath(x core.PseudoState, source, sink graph.Node
 			}
 		}
 	}
+	s.repairQ = queue[:0]
 	if !found {
 		return 0, false
 	}
@@ -303,6 +330,7 @@ func (s *Sampler) Step() bool {
 	} else {
 		s.x[i] = !s.x[i]
 	}
+	s.xbits.Flip(i) // the packed shadow tracks accepted flips only
 	s.tree.Set(i, flipWeight(s.m.P[i], s.x[i]))
 	s.accepted++
 	return true
