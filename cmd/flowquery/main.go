@@ -19,14 +19,13 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	"infoflow/internal/core"
 	"infoflow/internal/dist"
 	"infoflow/internal/graph"
 	"infoflow/internal/mh"
 	"infoflow/internal/rng"
+	"infoflow/internal/serve"
 	"infoflow/internal/twitter"
 )
 
@@ -84,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "trained on %d objects (%d originals recovered, %d edges skipped)\n",
 		res.Objects, res.RecoveredOriginals, res.SkippedEdges)
 
-	conds, err := parseConds(*condsArg)
+	conds, err := serve.ParseConds(*condsArg)
 	if err != nil {
 		return err
 	}
@@ -160,42 +159,4 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "] = %.4f\n", p)
 	}
 	return nil
-}
-
-// parseConds parses "u>v=1,u>v=0" into flow conditions.
-func parseConds(s string) ([]core.FlowCondition, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []core.FlowCondition
-	for _, part := range strings.Split(s, ",") {
-		var c core.FlowCondition
-		uv, req, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("condition %q: want u>v=0|1", part)
-		}
-		u, v, ok := strings.Cut(uv, ">")
-		if !ok {
-			return nil, fmt.Errorf("condition %q: want u>v=0|1", part)
-		}
-		un, err := strconv.Atoi(strings.TrimSpace(u))
-		if err != nil {
-			return nil, fmt.Errorf("condition %q: %w", part, err)
-		}
-		vn, err := strconv.Atoi(strings.TrimSpace(v))
-		if err != nil {
-			return nil, fmt.Errorf("condition %q: %w", part, err)
-		}
-		switch strings.TrimSpace(req) {
-		case "1":
-			c.Require = true
-		case "0":
-			c.Require = false
-		default:
-			return nil, fmt.Errorf("condition %q: requirement must be 0 or 1", part)
-		}
-		c.Source, c.Sink = graph.NodeID(un), graph.NodeID(vn)
-		out = append(out, c)
-	}
-	return out, nil
 }

@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"infoflow/internal/core"
+	"infoflow/internal/serve"
 )
 
 func TestParseCondsValid(t *testing.T) {
-	got, err := parseConds("3>7=1, 2>9=0 ,0>1=1")
+	got, err := serve.ParseConds("3>7=1, 2>9=0 ,0>1=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestParseCondsValid(t *testing.T) {
 }
 
 func TestParseCondsEmpty(t *testing.T) {
-	got, err := parseConds("")
+	got, err := serve.ParseConds("")
 	if err != nil || got != nil {
 		t.Fatalf("empty = %v, %v", got, err)
 	}
@@ -43,7 +44,7 @@ func TestParseCondsInvalid(t *testing.T) {
 		"3>7=1,,", // empty element
 		"3 > 7 = x",
 	} {
-		if _, err := parseConds(bad); err == nil {
+		if _, err := serve.ParseConds(bad); err == nil {
 			t.Errorf("accepted %q", bad)
 		}
 	}

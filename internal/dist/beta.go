@@ -126,8 +126,15 @@ func (d Beta) ObserveCounts(s, f int) Beta {
 // match the given values (method of moments). The variance must satisfy
 // 0 < v < m(1-m); values outside are clamped to the nearest valid shape
 // to keep downstream sampling robust on degenerate empirical inputs.
+// Non-finite moments (NaN or ±Inf, e.g. propagated from a failed
+// upstream estimate) carry no usable shape information and fall back to
+// the uninformative Uniform() prior instead of silently yielding NaN
+// shapes that poison every downstream quantile and sample.
 func FitBetaMoments(mean, variance float64) Beta {
 	const minShape = 1e-3
+	if math.IsNaN(mean) || math.IsInf(mean, 0) || math.IsNaN(variance) || math.IsInf(variance, 0) {
+		return Uniform()
+	}
 	if mean <= 0 {
 		mean = 1e-9
 	}

@@ -111,7 +111,10 @@ func quantileSorted(sorted []float64, p float64) float64 {
 
 // FitBetaToSamples fits a Beta distribution to samples in [0,1] by the
 // method of moments, the construction used for the dashed curve in the
-// paper's Figure 3.
+// paper's Figure 3. A sample set whose moments come out non-finite — a
+// NaN or ±Inf entry from a failed upstream estimate is enough — fits
+// the uninformative Uniform() prior rather than NaN shapes (the guard
+// lives in FitBetaMoments).
 func FitBetaToSamples(xs []float64) Beta {
 	s := Summarize(xs)
 	if s.N < 2 {

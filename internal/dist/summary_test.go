@@ -99,6 +99,51 @@ func TestFitBetaToSamplesSmall(t *testing.T) {
 	}
 }
 
+// TestFitBetaNonFiniteSamples is the regression for silent NaN
+// propagation: one NaN (or infinite) sample used to flow through the
+// method of moments into NaN shape parameters, poisoning every
+// downstream quantile. Non-finite moments must fall back to Uniform().
+func TestFitBetaNonFiniteSamples(t *testing.T) {
+	cases := [][]float64{
+		{0.3, math.NaN(), 0.5},
+		{math.NaN(), math.NaN()},
+		{0.2, math.Inf(1), 0.4},
+		{0.2, math.Inf(-1), 0.4},
+		{math.Inf(1), math.Inf(-1)},
+	}
+	for _, xs := range cases {
+		fit := FitBetaToSamples(xs)
+		if math.IsNaN(fit.Alpha) || math.IsNaN(fit.Beta) {
+			t.Errorf("samples %v: fit %v has NaN shapes", xs, fit)
+		}
+		if fit != Uniform() {
+			t.Errorf("samples %v: fit = %v, want uniform fallback", xs, fit)
+		}
+	}
+}
+
+// TestFitBetaMomentsNonFinite covers the guard at the moments level.
+func TestFitBetaMomentsNonFinite(t *testing.T) {
+	cases := []struct{ mean, variance float64 }{
+		{math.NaN(), 0.01},
+		{0.5, math.NaN()},
+		{math.Inf(1), 0.01},
+		{math.Inf(-1), 0.01},
+		{0.5, math.Inf(1)},
+		{math.NaN(), math.NaN()},
+	}
+	for _, c := range cases {
+		if fit := FitBetaMoments(c.mean, c.variance); fit != Uniform() {
+			t.Errorf("FitBetaMoments(%v, %v) = %v, want uniform fallback", c.mean, c.variance, fit)
+		}
+	}
+	// Finite moments are unaffected by the guard.
+	fit := FitBetaMoments(0.3, 0.01)
+	if math.Abs(fit.Mean()-0.3) > 1e-9 {
+		t.Errorf("finite fit mean = %v, want 0.3", fit.Mean())
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	counts, edges := Histogram([]float64{0.05, 0.15, 0.95, -1, 2}, 0, 1, 10)
 	if len(counts) != 10 || len(edges) != 11 {

@@ -11,6 +11,7 @@ package fenwick
 
 import (
 	"fmt"
+	"math"
 
 	"infoflow/internal/rng"
 )
@@ -22,6 +23,7 @@ type Tree struct {
 	sums    []float64 // 1-based partial sums, sums[i] covers (i-lowbit(i), i]
 	weights []float64 // current weight of each index, 0-based
 	total   float64
+	npos    int // exact count of positive weights; guards total against drift
 }
 
 // New builds a tree over the given weights. Weights must be
@@ -33,12 +35,15 @@ func New(weights []float64) *Tree {
 		weights: make([]float64, len(weights)),
 	}
 	for i, w := range weights {
-		if w < 0 {
-			//flowlint:invariant documented contract: weights must be non-negative
-			panic(fmt.Sprintf("fenwick: negative weight %v at %d", w, i))
+		if w < 0 || math.IsNaN(w) {
+			//flowlint:invariant documented contract: weights must be non-negative and not NaN
+			panic(fmt.Sprintf("fenwick: invalid weight %v at %d", w, i))
 		}
 		t.weights[i] = w
 		t.total += w
+		if w > 0 {
+			t.npos++
+		}
 	}
 	// O(n) bulk build.
 	for i := 1; i <= t.n; i++ {
@@ -54,6 +59,10 @@ func New(weights []float64) *Tree {
 func (t *Tree) Len() int { return t.n }
 
 // Total returns the sum of all weights (the normalizing constant Z).
+// It is maintained incrementally across Sets, but is exactly zero
+// whenever every weight is zero: the positive-weight count is tracked
+// exactly, so accumulated roundoff cannot leave a phantom positive
+// total over an empty distribution.
 func (t *Tree) Total() float64 { return t.total }
 
 // Weight returns the weight at index i.
@@ -63,13 +72,25 @@ func (t *Tree) Weight(i int) float64 { return t.weights[i] }
 //
 //flowlint:hotpath
 func (t *Tree) Set(i int, w float64) {
-	if w < 0 {
-		//flowlint:invariant documented contract: weights must be non-negative
-		panic(fmt.Sprintf("fenwick: negative weight %v at %d", w, i))
+	if w < 0 || math.IsNaN(w) {
+		//flowlint:invariant documented contract: weights must be non-negative and not NaN
+		panic(fmt.Sprintf("fenwick: invalid weight %v at %d", w, i))
+	}
+	switch {
+	case t.weights[i] <= 0 && w > 0:
+		t.npos++
+	case t.weights[i] > 0 && w <= 0:
+		t.npos--
 	}
 	delta := w - t.weights[i]
 	t.weights[i] = w
 	t.total += delta
+	if t.npos == 0 {
+		// Every weight is now zero: snap the incrementally maintained
+		// total to exact zero so Sample's empty-distribution guard fires
+		// instead of chasing roundoff residue through Find.
+		t.total = 0
+	}
 	for j := i + 1; j <= t.n; j += j & -j {
 		t.sums[j] += delta
 	}
@@ -99,8 +120,21 @@ func (t *Tree) Sample(r *rng.RNG) int {
 }
 
 // Find returns the smallest index i such that PrefixSum(i) > target,
-// clamped to the last positive-weight index. It runs in O(log n) by
-// descending the implicit tree.
+// clamped to a positive-weight index. It runs in O(log n) by descending
+// the implicit tree.
+//
+// Floating-point roundoff can push the descent off the exact answer in
+// two ways, and both must clamp rather than return an unsampleable
+// index: the target may equal or exceed Total() (r.Float64()*Total()
+// rounds up, or Total() has drifted above the true sum across
+// incremental Sets), and the descent itself may land on a zero-weight
+// index when a partial sum compares <= target at one level but the
+// residual target is then exhausted inside a run of zero weights (e.g.
+// a denormal weight that vanishes when added to a larger partial sum).
+// In either case the result is snapped to the nearest positive-weight
+// index at or below the landing point, falling back to the first one
+// above it, so callers always receive an index they could legitimately
+// have sampled.
 //
 //flowlint:hotpath
 func (t *Tree) Find(target float64) int {
@@ -117,16 +151,31 @@ func (t *Tree) Find(target float64) int {
 			target -= t.sums[next]
 		}
 	}
-	if idx >= t.n {
-		// target >= total due to floating-point roundoff: return the last
-		// index with positive weight.
-		for i := t.n - 1; i >= 0; i-- {
-			if t.weights[i] > 0 {
-				return i
-			}
-		}
-		//flowlint:invariant unreachable: total > 0 guarantees a positive weight exists
-		panic("fenwick: no positive weights")
+	if idx >= t.n || t.weights[idx] <= 0 {
+		return t.clampToPositive(idx)
 	}
 	return idx
+}
+
+// clampToPositive snaps a roundoff-afflicted landing index to the last
+// positive-weight index at or below it, or failing that the first one
+// above it. It is the cold path of Find: with exact arithmetic it is
+// never taken.
+func (t *Tree) clampToPositive(idx int) int {
+	lo := idx
+	if lo > t.n-1 {
+		lo = t.n - 1
+	}
+	for i := lo; i >= 0; i-- {
+		if t.weights[i] > 0 {
+			return i
+		}
+	}
+	for i := lo + 1; i < t.n; i++ {
+		if t.weights[i] > 0 {
+			return i
+		}
+	}
+	//flowlint:invariant unreachable: total > 0 guarantees a positive weight exists
+	panic("fenwick: no positive weights")
 }

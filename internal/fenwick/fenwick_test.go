@@ -163,6 +163,106 @@ func TestFindIsInverseOfPrefixSum(t *testing.T) {
 	}
 }
 
+// TestFindDenormalZeroLanding is the regression case for the roundoff
+// clamp: a denormal weight that vanishes when added to a larger partial
+// sum makes the descent land on a trailing zero-weight index without
+// ever tripping the idx >= n overshoot path. Pre-fix, Find returned
+// index 7 (weight 0); it must snap to index 5, the last positive-weight
+// index.
+func TestFindDenormalZeroLanding(t *testing.T) {
+	weights := []float64{0, 0, 0.34709350522491933, 0.5055723942405769, 0, 5e-324, 0, 0}
+	tr := New(weights)
+	got := tr.Find(tr.Total())
+	if got < 0 || got >= len(weights) {
+		t.Fatalf("Find(Total) = %d, out of range", got)
+	}
+	if weights[got] <= 0 {
+		t.Fatalf("Find(Total) = %d, a zero-weight index", got)
+	}
+	if got != 5 {
+		t.Errorf("Find(Total) = %d, want 5 (last positive-weight index)", got)
+	}
+}
+
+// TestFindTargetAtTotal exercises the r.Float64()*Total() == Total()
+// overshoot across weight layouts, including all-mass-on-last and
+// all-but-last zero.
+func TestFindTargetAtTotal(t *testing.T) {
+	cases := []struct {
+		weights []float64
+		want    int
+	}{
+		{[]float64{0, 0, 0, 2.5}, 3},
+		{[]float64{2.5, 0, 0, 0}, 0},
+		{[]float64{1, 2, 0, 0}, 1},
+		{[]float64{0, 5e-324, 0}, 1},      // lone denormal carries all mass
+		{[]float64{5e-324, 5e-324}, 1},    // denormal-only tree
+		{[]float64{1e-308, 0, 1e-308}, 2}, // subnormal-adjacent magnitudes
+	}
+	for _, c := range cases {
+		tr := New(c.weights)
+		if got := tr.Find(tr.Total()); got != c.want {
+			t.Errorf("weights %v: Find(Total=%v) = %d want %d", c.weights, tr.Total(), got, c.want)
+		}
+		// Just past Total must clamp identically.
+		if got := tr.Find(tr.Total() * 2); got != c.want {
+			t.Errorf("weights %v: Find(2*Total) = %d want %d", c.weights, got, c.want)
+		}
+	}
+}
+
+// TestSampleNeverReturnsZeroWeight drives Sample and Find with
+// adversarial weight mixes (zeros, denormals, huge dynamic range,
+// post-Set drift) and asserts the returned index always carries
+// positive weight.
+func TestSampleNeverReturnsZeroWeight(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 50000; trial++ {
+		n := r.Intn(20) + 1
+		weights := make([]float64, n)
+		for i := range weights {
+			switch r.Intn(4) {
+			case 0: // stays zero
+			case 1:
+				weights[i] = 5e-324 * float64(r.Intn(3))
+			case 2:
+				weights[i] = r.Float64() * 1e-300
+			default:
+				weights[i] = r.Float64()
+			}
+		}
+		tr := New(weights)
+		// Random Sets to accumulate incremental-update drift.
+		for k := r.Intn(8); k > 0; k-- {
+			i := r.Intn(n)
+			w := 0.0
+			if r.Bernoulli(0.5) {
+				w = r.Float64()
+			}
+			weights[i] = w
+			tr.Set(i, w)
+		}
+		if tr.Total() <= 0 {
+			continue
+		}
+		targets := []float64{
+			tr.Total(),
+			math.Nextafter(tr.Total(), 0),
+			r.Float64() * tr.Total(),
+		}
+		for _, target := range targets {
+			i := tr.Find(target)
+			if i < 0 || i >= n || weights[i] <= 0 {
+				t.Fatalf("trial %d: Find(%v) over %v = %d (weight %v)",
+					trial, target, weights, i, tr.Weight(i))
+			}
+		}
+		if i := tr.Sample(r); weights[i] <= 0 {
+			t.Fatalf("trial %d: Sample over %v = zero-weight index %d", trial, weights, i)
+		}
+	}
+}
+
 func TestNegativeWeightPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -9,20 +9,20 @@ import (
 	"infoflow/internal/rng"
 )
 
-// laneWidth is the number of queries one bit-parallel sweep carries:
+// LaneWidth is the number of queries one bit-parallel sweep carries:
 // one lane per bit of a machine word.
-const laneWidth = 64
+const LaneWidth = 64
 
 // laneChunks assigns each of k queries a (chunk, lane) slot and returns
 // per-chunk seed-node and seed-bit slices for ReachLanesInto: query q
 // lives in chunk q/64, lane q%64, seeded at node source(q).
 func laneChunks(k int, source func(int) graph.NodeID) (seeds [][]graph.NodeID, seedBits [][]uint64) {
-	nChunks := (k + laneWidth - 1) / laneWidth
+	nChunks := (k + LaneWidth - 1) / LaneWidth
 	seeds = make([][]graph.NodeID, nChunks)
 	seedBits = make([][]uint64, nChunks)
 	for c := 0; c < nChunks; c++ {
-		lo := c * laneWidth
-		hi := min(lo+laneWidth, k)
+		lo := c * LaneWidth
+		hi := min(lo+LaneWidth, k)
 		seeds[c] = make([]graph.NodeID, hi-lo)
 		seedBits[c] = make([]uint64, hi-lo)
 		for q := lo; q < hi; q++ {
@@ -51,20 +51,31 @@ func laneChunks(k int, source func(int) graph.NodeID) (seeds [][]graph.NodeID, s
 // a batch are correlated (they share samples), but each is individually
 // the same unbiased estimator FlowProb computes.
 func FlowProbBatch(m *core.ICM, pairs []FlowPair, conds []core.FlowCondition, opts Options, r *rng.RNG) ([]float64, error) {
-	if len(pairs) == 0 {
-		return nil, fmt.Errorf("mh: FlowProbBatch with no pairs")
-	}
 	s, err := NewSampler(m, conds, r)
 	if err != nil {
 		return nil, err
 	}
+	return FlowProbBatchOn(s, pairs, opts)
+}
+
+// FlowProbBatchOn is FlowProbBatch running on a caller-constructed
+// sampler: the serving layer uses it to keep hold of the chain for
+// post-run diagnostics (PostBurnInAcceptanceRate) while coalescing
+// concurrent queries into one batch. The sampler must be freshly
+// constructed (or at a run boundary); opts.Interrupt cancellation is
+// honoured between thinned samples.
+func FlowProbBatchOn(s *Sampler, pairs []FlowPair, opts Options) ([]float64, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("mh: FlowProbBatch with no pairs")
+	}
+	m := s.m
 	seeds, seedBits := laneChunks(len(pairs), func(q int) graph.NodeID { return pairs[q].Source })
 	hits := make([]int, len(pairs))
 	reach := make([]uint64, m.NumNodes())
-	err = s.Run(opts, func(core.PseudoState) {
+	err := s.Run(opts, func(core.PseudoState) {
 		for c := range seeds {
 			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
-			lo := c * laneWidth
+			lo := c * LaneWidth
 			for q := lo; q < lo+len(seeds[c]); q++ {
 				if reach[pairs[q].Sink]>>uint(q-lo)&1 != 0 {
 					hits[q]++
@@ -93,13 +104,21 @@ func FlowProbBatch(m *core.ICM, pairs []FlowPair, conds []core.FlowCondition, op
 // goroutines, this one buys throughput by sharing a single chain's
 // samples across all sources on one core.
 func CommunityFlowProbsBatch(m *core.ICM, sources []graph.NodeID, conds []core.FlowCondition, opts Options, r *rng.RNG) ([][]float64, error) {
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("mh: CommunityFlowProbsBatch with no sources")
-	}
 	s, err := NewSampler(m, conds, r)
 	if err != nil {
 		return nil, err
 	}
+	return CommunityFlowProbsBatchOn(s, sources, opts)
+}
+
+// CommunityFlowProbsBatchOn is CommunityFlowProbsBatch running on a
+// caller-constructed sampler; see FlowProbBatchOn for why the serving
+// layer wants the chain in hand.
+func CommunityFlowProbsBatchOn(s *Sampler, sources []graph.NodeID, opts Options) ([][]float64, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("mh: CommunityFlowProbsBatch with no sources")
+	}
+	m := s.m
 	n := m.NumNodes()
 	seeds, seedBits := laneChunks(len(sources), func(q int) graph.NodeID { return sources[q] })
 	counts := make([][]int, len(sources))
@@ -107,10 +126,10 @@ func CommunityFlowProbsBatch(m *core.ICM, sources []graph.NodeID, conds []core.F
 		counts[k] = make([]int, n)
 	}
 	reach := make([]uint64, n)
-	err = s.Run(opts, func(core.PseudoState) {
+	err := s.Run(opts, func(core.PseudoState) {
 		for c := range seeds {
 			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
-			lo := c * laneWidth
+			lo := c * LaneWidth
 			for v, lanes := range reach {
 				for ; lanes != 0; lanes &= lanes - 1 {
 					counts[lo+bits.TrailingZeros64(lanes)][v]++

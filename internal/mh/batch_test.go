@@ -197,7 +197,7 @@ func TestFlowProbBatchZeroAllocSteadyState(t *testing.T) {
 		}
 		for c := range seeds {
 			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
-			lo := c * laneWidth
+			lo := c * LaneWidth
 			for q := lo; q < lo+len(seeds[c]); q++ {
 				if reach[pairs[q].Sink]>>uint(q-lo)&1 != 0 {
 					hits[q]++

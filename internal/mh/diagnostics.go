@@ -148,7 +148,10 @@ type FlowDiagnostics struct {
 	ESS float64
 	// RHat is the Gelman-Rubin factor across chains (1 = converged).
 	RHat float64
-	// AcceptanceRate is the mean proposal acceptance rate.
+	// AcceptanceRate is the mean proposal acceptance rate over the
+	// post-burn-in sampling phase (burn-in proposals are excluded: they
+	// probe an un-equilibrated chain and would bias the mixing
+	// diagnostic).
 	AcceptanceRate float64
 }
 
@@ -207,7 +210,7 @@ func DiagnoseFlowProb(m *core.ICM, source, sink graph.NodeID, conds []core.FlowC
 		}
 		diag.ChainEstimates = append(diag.ChainEstimates, est/float64(len(series)))
 		essSum += EffectiveSampleSize(series)
-		accSum += s.AcceptanceRate()
+		accSum += s.PostBurnInAcceptanceRate()
 	}
 	diag.ESS = essSum
 	diag.AcceptanceRate = accSum / float64(numChains)

@@ -15,6 +15,7 @@
 package mh
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -36,6 +37,15 @@ type Options struct {
 	Thin int
 	// Samples is the number of output samples drawn.
 	Samples int
+	// Interrupt, when non-nil, is polled between thinned samples (and
+	// every Thin steps of burn-in); when it returns true the run stops
+	// early with an error wrapping ErrInterrupted. The poll consumes no
+	// randomness, so setting it never changes the sample stream of an
+	// uninterrupted run, and the chain state remains valid after an
+	// interrupted one — a subsequent Run resumes from where it stopped.
+	// This is the cancellation hook the serving layer threads request
+	// deadlines through (see Sampler.RunCtx for the context form).
+	Interrupt func() bool
 }
 
 // DefaultOptions returns settings adequate for the graph sizes in the
@@ -60,6 +70,13 @@ func (o Options) validate() error {
 // probability satisfies the flow conditions (e.g. requiring a flow along
 // edges of probability zero, or contradictory conditions).
 var ErrUnsatisfiable = errors.New("mh: flow conditions unsatisfiable")
+
+// ErrInterrupted is wrapped by the error Run and RunCtx return when a
+// run stops early because Options.Interrupt fired or the context was
+// cancelled. RunCtx errors additionally wrap the context's cause, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes deadline
+// expiry from explicit cancellation.
+var ErrInterrupted = errors.New("mh: run interrupted")
 
 // Sampler is a Metropolis-Hastings chain over pseudo-states of one ICM,
 // optionally constrained by flow conditions (§III-D). It is not safe for
@@ -95,6 +112,14 @@ type Sampler struct {
 
 	steps    int64
 	accepted int64
+
+	// winSteps/winAccepted are the post-burn-in window counters: they
+	// advance with steps/accepted but are zeroed by ResetCounters, which
+	// Run and RunCtx invoke when burn-in completes. Diagnostics built on
+	// them therefore report the sampling phase of the most recent run
+	// only, never blended with burn-in or earlier runs.
+	winSteps    int64
+	winAccepted int64
 }
 
 // Scratch returns the sampler's owned traversal scratch, for custom
@@ -271,6 +296,7 @@ const lazyProb = 1.0 / 8
 //flowlint:hotpath
 func (s *Sampler) Step() bool {
 	s.steps++
+	s.winSteps++
 	zt := s.tree.Total()
 	if zt <= 0 {
 		// Every edge is pinned (p in {0,1} at its certain state): the
@@ -333,10 +359,14 @@ func (s *Sampler) Step() bool {
 	s.xbits.Flip(i) // the packed shadow tracks accepted flips only
 	s.tree.Set(i, flipWeight(s.m.P[i], s.x[i]))
 	s.accepted++
+	s.winAccepted++
 	return true
 }
 
-// AcceptanceRate returns the fraction of proposals accepted so far.
+// AcceptanceRate returns the fraction of proposals accepted over the
+// chain's whole lifetime, burn-in and repeated runs included. For the
+// mixing diagnostic of the sampling phase alone use
+// PostBurnInAcceptanceRate.
 func (s *Sampler) AcceptanceRate() float64 {
 	if s.steps == 0 {
 		return 0
@@ -344,7 +374,33 @@ func (s *Sampler) AcceptanceRate() float64 {
 	return float64(s.accepted) / float64(s.steps)
 }
 
-// Steps returns the number of chain updates performed.
+// PostBurnInAcceptanceRate returns the fraction of proposals accepted
+// since the last ResetCounters — for a chain driven by Run or RunCtx,
+// exactly the sampling phase of the most recent run, with burn-in and
+// any earlier runs excluded. Returns 0 before any post-reset step.
+func (s *Sampler) PostBurnInAcceptanceRate() float64 {
+	if s.winSteps == 0 {
+		return 0
+	}
+	return float64(s.winAccepted) / float64(s.winSteps)
+}
+
+// PostBurnInSteps returns the number of chain updates counted by the
+// post-burn-in window (i.e. since the last ResetCounters).
+func (s *Sampler) PostBurnInSteps() int64 { return s.winSteps }
+
+// ResetCounters zeroes the post-burn-in window counters backing
+// PostBurnInAcceptanceRate and PostBurnInSteps. Run and RunCtx call it
+// when burn-in completes; drivers stepping the chain manually call it
+// at their own phase boundaries. Lifetime counters (Steps,
+// AcceptanceRate) are unaffected.
+func (s *Sampler) ResetCounters() {
+	s.winSteps = 0
+	s.winAccepted = 0
+}
+
+// Steps returns the number of chain updates performed over the chain's
+// whole lifetime.
 func (s *Sampler) Steps() int64 { return s.steps }
 
 // State returns the current pseudo-state. The returned slice is the live
@@ -354,19 +410,64 @@ func (s *Sampler) State() core.PseudoState { return s.x }
 
 // Run executes the burn-in and then emits opts.Samples thinned states to
 // visit. The pseudo-state passed to visit is the live chain state; copy
-// it if retaining.
+// it if retaining. When burn-in completes the post-burn-in counters are
+// reset, so PostBurnInAcceptanceRate afterwards reports the sampling
+// phase of this run only. If opts.Interrupt fires, Run returns an error
+// wrapping ErrInterrupted; the chain state remains valid and a later
+// run resumes from it.
 func (s *Sampler) Run(opts Options, visit func(core.PseudoState)) error {
+	return s.run(nil, opts, visit)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is polled at the
+// same points as opts.Interrupt (between thinned samples, and every
+// Thin steps of burn-in), and a cancelled run returns an error wrapping
+// both ErrInterrupted and the context's cause. The polls consume no
+// randomness, so an uncancelled RunCtx is bit-identical to Run on the
+// same RNG, and after a cancelled run the chain state is still valid
+// (resumable by a further Run or RunCtx).
+func (s *Sampler) RunCtx(ctx context.Context, opts Options, visit func(core.PseudoState)) error {
+	return s.run(ctx, opts, visit)
+}
+
+func (s *Sampler) run(ctx context.Context, opts Options, visit func(core.PseudoState)) error {
 	if err := opts.validate(); err != nil {
 		return err
 	}
-	for i := 0; i < opts.BurnIn; i++ {
-		s.Step()
+	for done := 0; done < opts.BurnIn; {
+		chunk := opts.Thin
+		if rest := opts.BurnIn - done; chunk > rest {
+			chunk = rest
+		}
+		for i := 0; i < chunk; i++ {
+			s.Step()
+		}
+		done += chunk
+		if err := s.interrupted(ctx, opts); err != nil {
+			return fmt.Errorf("during burn-in (step %d of %d): %w", done, opts.BurnIn, err)
+		}
 	}
+	s.ResetCounters()
 	for n := 0; n < opts.Samples; n++ {
 		for i := 0; i < opts.Thin; i++ {
 			s.Step()
 		}
+		if err := s.interrupted(ctx, opts); err != nil {
+			return fmt.Errorf("after %d of %d samples: %w", n, opts.Samples, err)
+		}
 		visit(s.x)
+	}
+	return nil
+}
+
+// interrupted reports whether the run should stop: the Options hook
+// first, then the context. It never touches the RNG.
+func (s *Sampler) interrupted(ctx context.Context, opts Options) error {
+	if opts.Interrupt != nil && opts.Interrupt() {
+		return ErrInterrupted
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, context.Cause(ctx))
 	}
 	return nil
 }

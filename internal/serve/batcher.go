@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+)
+
+// Batching errors surfaced to handlers (mapped to 503s).
+var (
+	// ErrDraining is returned to requests arriving after shutdown began.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrOverloaded is returned when the worker queue is saturated and a
+	// flushed batch cannot be enqueued.
+	ErrOverloaded = errors.New("serve: worker queue saturated")
+)
+
+// queryKind separates end-to-end flow queries from community sweeps;
+// the two use different estimators and cannot share lanes.
+type queryKind int8
+
+const (
+	kindFlow queryKind = iota
+	kindCommunity
+)
+
+// batchKey identifies the chain a query must run on. Two requests
+// coalesce into one sweep exactly when every field matches: same model,
+// same conditioning (canonical string), same chain schedule, same seed.
+// Anything else would change the answer, so it gets its own chain.
+type batchKey struct {
+	digest  string
+	kind    queryKind
+	conds   string
+	burnIn  int
+	thin    int
+	samples int
+	seed    uint64
+}
+
+// flowResult is what a batch delivers to each member request.
+type flowResult struct {
+	Prob       float64   // kindFlow: Pr[source ~> sink | conds]
+	Community  []float64 // kindCommunity: Pr[source ~> v] per node
+	BatchSize  int       // requests served by the sweep
+	Lanes      int       // distinct lanes the sweep carried
+	Acceptance float64   // chain's post-burn-in acceptance rate
+	Err        error
+}
+
+// member is one request waiting on a batch: its lane in the sweep, its
+// cancellation context, the cache key to fill on success, and a
+// 1-buffered channel the batch delivers on (the single send never
+// blocks, even if the requester has already given up).
+type member struct {
+	lane     int
+	ctx      context.Context
+	cacheKey string
+	done     chan flowResult
+}
+
+// pendingBatch accumulates members during the batching window. Lanes
+// are deduplicated: two identical queries share a lane, so 64 identical
+// requests still fit one sweep with one lane occupied.
+type pendingBatch struct {
+	key       batchKey
+	model     *core.ICM
+	conds     []core.FlowCondition
+	pairs     []mh.FlowPair
+	laneIndex map[mh.FlowPair]int
+	members   []*member
+	flushed   bool
+	full      chan struct{} // closed on flush; wakes the window collector
+}
+
+// batcher coalesces concurrent same-chain queries into ≤64-lane sweeps.
+// A batch flushes when its lane set fills (64 distinct queries) or when
+// the batching window expires, whichever comes first; flushed batches
+// run on a bounded worker pool. The window timer comes from the
+// injected Clock, so tests drive flushes deterministically.
+type batcher struct {
+	window  time.Duration
+	clock   Clock
+	metrics *Metrics
+	cache   *lruCache
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+	jobs    chan *pendingBatch
+
+	collectors sync.WaitGroup
+	workers    sync.WaitGroup
+	draining   bool
+	drainOnce  sync.Once
+}
+
+func newBatcher(window time.Duration, workers, queueCap int, clock Clock, m *Metrics, cache *lruCache) *batcher {
+	b := &batcher{
+		window:  window,
+		clock:   clock,
+		metrics: m,
+		cache:   cache,
+		pending: make(map[batchKey]*pendingBatch),
+		jobs:    make(chan *pendingBatch, queueCap),
+	}
+	m.queueDepth.Store(func() int { return len(b.jobs) })
+	for i := 0; i < workers; i++ {
+		b.workers.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// join registers a query on the batch identified by key, creating the
+// batch (and its window collector) if none is pending, and returns the
+// member whose done channel will deliver the result. pair carries the
+// query: (source, sink) for kindFlow, (source, source) for
+// kindCommunity.
+func (b *batcher) join(ctx context.Context, key batchKey, model *core.ICM, conds []core.FlowCondition, pair mh.FlowPair, cacheKey string) (*member, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.draining {
+		return nil, ErrDraining
+	}
+	pb, ok := b.pending[key]
+	if !ok {
+		pb = &pendingBatch{
+			key:       key,
+			model:     model,
+			conds:     conds,
+			laneIndex: make(map[mh.FlowPair]int),
+			full:      make(chan struct{}),
+		}
+		b.pending[key] = pb
+		b.collectors.Add(1)
+		go b.collect(pb)
+	}
+	lane, ok := pb.laneIndex[pair]
+	if !ok {
+		lane = len(pb.pairs)
+		pb.laneIndex[pair] = lane
+		pb.pairs = append(pb.pairs, pair)
+	}
+	m := &member{lane: lane, ctx: ctx, cacheKey: cacheKey, done: make(chan flowResult, 1)}
+	pb.members = append(pb.members, m)
+	if len(pb.pairs) == mh.LaneWidth {
+		b.flushLocked(pb)
+	}
+	return m, nil
+}
+
+// collect is the per-batch window goroutine: it flushes the batch when
+// the window expires, unless a lane-full (or drain) flush got there
+// first.
+func (b *batcher) collect(pb *pendingBatch) {
+	defer b.collectors.Done()
+	timer := b.clock.After(b.window)
+	select {
+	case <-timer:
+		b.mu.Lock()
+		if !pb.flushed {
+			b.flushLocked(pb)
+		}
+		b.mu.Unlock()
+	case <-pb.full:
+	}
+}
+
+// flushLocked (b.mu held) retires the batch from the pending map and
+// hands it to the worker pool; if the queue is saturated every member
+// is refused with ErrOverloaded rather than blocking the caller.
+func (b *batcher) flushLocked(pb *pendingBatch) {
+	pb.flushed = true
+	delete(b.pending, pb.key)
+	close(pb.full)
+	select {
+	case b.jobs <- pb:
+	default:
+		b.metrics.Rejected.Add(int64(len(pb.members)))
+		for _, m := range pb.members {
+			m.done <- flowResult{Err: ErrOverloaded}
+		}
+	}
+}
+
+func (b *batcher) worker() {
+	defer b.workers.Done()
+	for pb := range b.jobs {
+		b.execute(pb)
+	}
+}
+
+// execute runs one flushed batch: a fresh chain seeded from the batch
+// key, one ≤64-lane sweep per thinned sample, cooperative abort once
+// every member has cancelled, cache fill, then per-member delivery.
+func (b *batcher) execute(pb *pendingBatch) {
+	b.metrics.Batches.Add(1)
+	b.metrics.BatchedLanes.Add(int64(len(pb.pairs)))
+	b.metrics.BatchedRequests.Add(int64(len(pb.members)))
+
+	// The chain keeps running while at least one member still wants the
+	// answer; when the last one cancels, the Interrupt hook stops the
+	// sweep between thinned samples. The hook consumes no randomness, so
+	// surviving members' estimates are unaffected by co-batched
+	// cancellations.
+	live := new(atomic.Int64)
+	live.Store(int64(len(pb.members)))
+	stops := make([]func() bool, len(pb.members))
+	for i, m := range pb.members {
+		stops[i] = context.AfterFunc(m.ctx, func() { live.Add(-1) })
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	opts := mh.Options{
+		BurnIn:    pb.key.burnIn,
+		Thin:      pb.key.thin,
+		Samples:   pb.key.samples,
+		Interrupt: func() bool { return live.Load() <= 0 },
+	}
+	s, err := mh.NewSampler(pb.model, pb.conds, rng.New(pb.key.seed))
+	if err != nil {
+		b.deliverError(pb, err)
+		return
+	}
+
+	var probs []float64
+	var comms [][]float64
+	switch pb.key.kind {
+	case kindFlow:
+		probs, err = mh.FlowProbBatchOn(s, pb.pairs, opts)
+	case kindCommunity:
+		sources := make([]graph.NodeID, len(pb.pairs))
+		for i, p := range pb.pairs {
+			sources[i] = p.Source
+		}
+		comms, err = mh.CommunityFlowProbsBatchOn(s, sources, opts)
+	}
+	if err != nil {
+		b.deliverError(pb, err)
+		return
+	}
+	acc := s.PostBurnInAcceptanceRate()
+	b.metrics.setAcceptance(acc)
+
+	res := flowResult{BatchSize: len(pb.members), Lanes: len(pb.pairs), Acceptance: acc}
+	for _, m := range pb.members {
+		r := res
+		if pb.key.kind == kindFlow {
+			r.Prob = probs[m.lane]
+			b.cache.Add(m.cacheKey, r.Prob)
+		} else {
+			r.Community = comms[m.lane]
+			b.cache.Add(m.cacheKey, r.Community)
+		}
+		m.done <- r
+	}
+}
+
+// deliverError fans a batch-level failure out to every member. An
+// all-members-cancelled interrupt is the expected outcome of client
+// timeouts, not a server fault, so it doesn't count toward Errors.
+func (b *batcher) deliverError(pb *pendingBatch, err error) {
+	if !errors.Is(err, mh.ErrInterrupted) {
+		b.metrics.Errors.Add(1)
+	}
+	for _, m := range pb.members {
+		m.done <- flowResult{Err: err}
+	}
+}
+
+// drain stops admission, flushes every pending batch, and blocks until
+// the workers finish the backlog. Idempotent; later calls return once
+// the first drain completes.
+func (b *batcher) drain() {
+	b.drainOnce.Do(func() {
+		b.mu.Lock()
+		b.draining = true
+		for _, pb := range b.pending {
+			b.flushLocked(pb)
+		}
+		b.mu.Unlock()
+		b.collectors.Wait()
+		close(b.jobs)
+	})
+	b.workers.Wait()
+}

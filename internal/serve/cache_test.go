@@ -1,0 +1,51 @@
+package serve
+
+import "testing"
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before capacity exceeded")
+	}
+	// a was just used, so adding c evicts b.
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Errorf("a = %v, %v; want 1, true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Errorf("c = %v, %v; want 3, true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheRefreshOnAdd(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10) // refresh both value and recency
+	c.Add("c", 3)  // evicts b
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Errorf("a = %v, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; refresh of a should have made b the eviction victim")
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+)
+
+// ModelDigest returns a stable 64-bit FNV-1a digest of an ICM's
+// structure and parameters: node count, every edge endpoint pair in
+// EdgeID order, and the raw bits of every activation probability. Two
+// models with the same digest answer every flow query identically, so
+// the digest is the model component of batch and cache keys — a
+// retrained or edited model changes digest and can never alias a stale
+// cache entry.
+func ModelDigest(m *core.ICM) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(m.NumNodes()))
+	put(uint64(m.NumEdges()))
+	for id := 0; id < m.NumEdges(); id++ {
+		e := m.G.Edge(graph.EdgeID(id))
+		put(uint64(e.From))
+		put(uint64(e.To))
+		put(math.Float64bits(m.P[id]))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

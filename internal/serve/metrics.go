@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"expvar"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the server's operational counter set. Everything is
+// atomics, safe to read concurrently with serving; Snapshot assembles
+// the derived gauges (occupancy, hit rate) the same way the expvar
+// export does.
+type Metrics struct {
+	// Requests admitted per endpoint (cache hits included).
+	FlowRequests      atomic.Int64
+	CommunityRequests atomic.Int64
+
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+
+	// Batches executed, the lane count they carried, and the request
+	// count they served. BatchedRequests / Batches is the coalescing
+	// ("batch occupancy") figure: how many concurrent requests one chain
+	// sweep amortised.
+	Batches         atomic.Int64
+	BatchedLanes    atomic.Int64
+	BatchedRequests atomic.Int64
+
+	// Rejected counts requests refused at admission or flush (queue
+	// saturated or server draining); Timeouts counts requests whose
+	// deadline expired before their batch delivered; Errors counts
+	// batches that failed outright.
+	Rejected atomic.Int64
+	Timeouts atomic.Int64
+	Errors   atomic.Int64
+
+	// acceptanceBits holds the float64 bits of the most recent batch's
+	// post-burn-in Metropolis-Hastings acceptance rate.
+	acceptanceBits atomic.Uint64
+
+	// queueDepth reports the number of flushed batches waiting for a
+	// worker; installed by the batcher.
+	queueDepth atomic.Value // func() int
+}
+
+// setAcceptance records the most recent chain's post-burn-in acceptance
+// rate.
+func (m *Metrics) setAcceptance(rate float64) {
+	m.acceptanceBits.Store(math.Float64bits(rate))
+}
+
+// Acceptance returns the most recent batch's post-burn-in acceptance
+// rate (0 before any batch has run).
+func (m *Metrics) Acceptance() float64 {
+	return math.Float64frombits(m.acceptanceBits.Load())
+}
+
+// QueueDepth returns the number of flushed batches waiting for a worker.
+func (m *Metrics) QueueDepth() int {
+	if f, ok := m.queueDepth.Load().(func() int); ok {
+		return f()
+	}
+	return 0
+}
+
+// Occupancy returns the mean number of requests served per executed
+// batch (0 before any batch has run).
+func (m *Metrics) Occupancy() float64 {
+	b := m.Batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(m.BatchedRequests.Load()) / float64(b)
+}
+
+// CacheHitRate returns hits / (hits + misses), 0 when nothing has been
+// looked up.
+func (m *Metrics) CacheHitRate() float64 {
+	h, miss := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+miss == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+miss)
+}
+
+// Snapshot returns the counters and derived gauges as a flat map, the
+// payload served under the "flowserve" expvar and handy for tests.
+func (m *Metrics) Snapshot() map[string]any {
+	return map[string]any{
+		"flow_requests":      m.FlowRequests.Load(),
+		"community_requests": m.CommunityRequests.Load(),
+		"cache_hits":         m.CacheHits.Load(),
+		"cache_misses":       m.CacheMisses.Load(),
+		"cache_hit_rate":     m.CacheHitRate(),
+		"batches":            m.Batches.Load(),
+		"batched_lanes":      m.BatchedLanes.Load(),
+		"batched_requests":   m.BatchedRequests.Load(),
+		"batch_occupancy":    m.Occupancy(),
+		"queue_depth":        m.QueueDepth(),
+		"rejected":           m.Rejected.Load(),
+		"timeouts":           m.Timeouts.Load(),
+		"errors":             m.Errors.Load(),
+		"acceptance_rate":    m.Acceptance(),
+	}
+}
+
+// activeMetrics is the Metrics instance the process-wide "flowserve"
+// expvar reads. expvar's registry is global and rejects re-publishing a
+// name, so the var is published once and indirects through this pointer;
+// each NewServer installs its metrics here (tests that build several
+// servers simply see the newest one on the expvar surface and read
+// their own Server.Metrics() directly).
+var (
+	activeMetrics atomic.Pointer[Metrics]
+	publishOnce   sync.Once
+)
+
+func publishExpvar(m *Metrics) {
+	activeMetrics.Store(m)
+	publishOnce.Do(func() {
+		expvar.Publish("flowserve", expvar.Func(func() any {
+			if cur := activeMetrics.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
+	})
+}

@@ -1,0 +1,547 @@
+// Package serve is the flowserve inference service: an HTTP layer that
+// answers flow-probability and community queries against trained ICMs
+// by coalescing concurrent same-chain requests into ≤64-lane batched
+// Metropolis-Hastings sweeps (mh.FlowProbBatch). Requests that share a
+// (model, conditions, chain schedule, seed) tuple arriving within the
+// batching window ride one chain; an LRU cache short-circuits repeats.
+//
+// Determinism contract: batching, caching, and co-batched cancellation
+// never change a query's answer. The chain's randomness is independent
+// of the lane set, so a request's estimate is a pure function of
+// (model digest, query, conditions, BurnIn, Thin, Samples, seed) — a
+// single-request batch is bit-identical to scalar mh.FlowProb.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+)
+
+// Model is one servable ICM. Digest is computed by NewServer when left
+// empty.
+type Model struct {
+	Name   string
+	ICM    *core.ICM
+	Digest string
+}
+
+// Config parameterises a Server. Zero values get sensible defaults from
+// NewServer; only Models is required.
+type Config struct {
+	// Models to serve, addressed by the ?model= query parameter. With a
+	// single model the parameter may be omitted.
+	Models []Model
+	// Window is how long a freshly opened batch waits for co-batchable
+	// requests before flushing (default 5ms). A batch whose 64 lanes
+	// fill flushes immediately.
+	Window time.Duration
+	// Workers bounds concurrent chain sweeps (default 2).
+	Workers int
+	// QueueCap bounds flushed batches awaiting a worker (default 64);
+	// past it, requests are refused with 503 rather than queued.
+	QueueCap int
+	// CacheSize is the LRU result-cache capacity in entries
+	// (default 1024; negative disables caching).
+	CacheSize int
+	// DefaultSamples / MaxSamples bound the ?samples= parameter
+	// (defaults 2000 / 50000).
+	DefaultSamples int
+	MaxSamples     int
+	// DefaultSeed is the chain seed when ?seed= is absent (default 1).
+	DefaultSeed uint64
+	// DefaultTimeout is the per-request deadline when ?timeout= is
+	// absent (default 30s).
+	DefaultTimeout time.Duration
+	// Clock drives the batching window; nil means the wall clock.
+	Clock Clock
+}
+
+func (c *Config) applyDefaults() {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultSamples <= 0 {
+		c.DefaultSamples = 2000
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 50000
+	}
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = 1
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+}
+
+// Server routes flow queries into the batcher. Build with NewServer,
+// mount via Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	models   map[string]Model
+	only     string // sole model name when len(models) == 1
+	metrics  *Metrics
+	cache    *lruCache
+	batcher  *batcher
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewServer validates cfg, fills defaults, computes missing model
+// digests, and starts the worker pool.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("serve: no models configured")
+	}
+	cfg.applyDefaults()
+	s := &Server{cfg: cfg, models: make(map[string]Model, len(cfg.Models))}
+	for i := range cfg.Models {
+		m := cfg.Models[i]
+		if m.Name == "" || m.ICM == nil {
+			return nil, fmt.Errorf("serve: model %d needs a name and an ICM", i)
+		}
+		if _, dup := s.models[m.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate model name %q", m.Name)
+		}
+		if m.Digest == "" {
+			m.Digest = ModelDigest(m.ICM)
+		}
+		s.models[m.Name] = m
+	}
+	if len(cfg.Models) == 1 {
+		s.only = cfg.Models[0].Name
+	}
+	s.metrics = &Metrics{}
+	s.cache = newLRUCache(cfg.CacheSize)
+	s.batcher = newBatcher(cfg.Window, cfg.Workers, cfg.QueueCap, cfg.Clock, s.metrics, s.cache)
+	publishExpvar(s.metrics)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /flow", s.handleFlow)
+	mux.HandleFunc("GET /community", s.handleCommunity)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's live counter set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Drain stops admitting queries (healthz flips to draining, joins are
+// refused) and blocks until every in-flight and pending batch has been
+// executed and delivered. Call once, on shutdown.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.batcher.drain()
+}
+
+// query carries one parsed, validated request.
+type query struct {
+	model   Model
+	kind    queryKind
+	source  graph.NodeID
+	sink    graph.NodeID // kindFlow only
+	conds   []core.FlowCondition
+	condKey string
+	opts    mh.Options
+	seed    uint64
+	timeout time.Duration
+}
+
+// httpError is a client-side parse/validation failure with its status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseQuery extracts and validates the parameters shared by /flow and
+// /community.
+func (s *Server) parseQuery(r *http.Request, kind queryKind) (*query, *httpError) {
+	q := &query{kind: kind}
+	vals := r.URL.Query()
+
+	name := vals.Get("model")
+	if name == "" {
+		if s.only == "" {
+			return nil, badRequest("model parameter required (serving %d models)", len(s.models))
+		}
+		name = s.only
+	}
+	m, ok := s.models[name]
+	if !ok {
+		return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown model %q", name)}
+	}
+	q.model = m
+	n := m.ICM.NumNodes()
+
+	node := func(param string) (graph.NodeID, *httpError) {
+		raw := vals.Get(param)
+		if raw == "" {
+			return 0, badRequest("%s parameter required", param)
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			return 0, badRequest("%s: %v", param, err)
+		}
+		if v < 0 || v >= n {
+			return 0, badRequest("%s %d out of range [0, %d)", param, v, n)
+		}
+		return graph.NodeID(v), nil
+	}
+	var herr *httpError
+	if q.source, herr = node("source"); herr != nil {
+		return nil, herr
+	}
+	if kind == kindFlow {
+		if q.sink, herr = node("sink"); herr != nil {
+			return nil, herr
+		}
+	}
+
+	conds, err := ParseConds(vals.Get("cond"))
+	if err != nil {
+		return nil, badRequest("cond: %v", err)
+	}
+	for _, c := range conds {
+		if int(c.Source) < 0 || int(c.Source) >= n || int(c.Sink) < 0 || int(c.Sink) >= n {
+			return nil, badRequest("cond %d>%d references a node out of range [0, %d)", c.Source, c.Sink, n)
+		}
+	}
+	q.conds = conds
+	q.condKey = condsKey(conds)
+
+	samples := s.cfg.DefaultSamples
+	if raw := vals.Get("samples"); raw != "" {
+		if samples, err = strconv.Atoi(raw); err != nil {
+			return nil, badRequest("samples: %v", err)
+		}
+		if samples <= 0 || samples > s.cfg.MaxSamples {
+			return nil, badRequest("samples %d out of range [1, %d]", samples, s.cfg.MaxSamples)
+		}
+	}
+	q.seed = s.cfg.DefaultSeed
+	if raw := vals.Get("seed"); raw != "" {
+		if q.seed, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return nil, badRequest("seed: %v", err)
+		}
+	}
+	q.timeout = s.cfg.DefaultTimeout
+	if raw := vals.Get("timeout"); raw != "" {
+		if q.timeout, err = time.ParseDuration(raw); err != nil {
+			return nil, badRequest("timeout: %v", err)
+		}
+		if q.timeout <= 0 {
+			return nil, badRequest("timeout must be positive")
+		}
+	}
+
+	// Chain schedule matches what a scalar mh.FlowProb caller would use
+	// for this model, so single-request batches are bit-identical to the
+	// library answer.
+	q.opts = mh.DefaultOptions(m.ICM.NumEdges())
+	q.opts.Samples = samples
+	return q, nil
+}
+
+func (q *query) batchKey() batchKey {
+	return batchKey{
+		digest:  q.model.Digest,
+		kind:    q.kind,
+		conds:   q.condKey,
+		burnIn:  q.opts.BurnIn,
+		thin:    q.opts.Thin,
+		samples: q.opts.Samples,
+		seed:    q.seed,
+	}
+}
+
+func (q *query) cacheKey() string {
+	kind := "flow"
+	if q.kind == kindCommunity {
+		kind = "community"
+	}
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%d|%d|%d|%d",
+		q.model.Digest, kind, q.source, q.sink, q.condKey,
+		q.opts.BurnIn, q.opts.Thin, q.opts.Samples, q.seed)
+}
+
+// dispatch joins the query's batch and waits for its result or the
+// request deadline; returned *httpError is ready to write.
+func (s *Server) dispatch(r *http.Request, q *query) (flowResult, *httpError) {
+	ctx, cancel := context.WithTimeout(r.Context(), q.timeout)
+	defer cancel()
+	pair := mh.FlowPair{Source: q.source, Sink: q.sink}
+	if q.kind == kindCommunity {
+		pair.Sink = q.source
+	}
+	m, err := s.batcher.join(ctx, q.batchKey(), q.model.ICM, q.conds, pair, q.cacheKey())
+	if err != nil {
+		return flowResult{}, &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
+	}
+	select {
+	case res := <-m.done:
+		if res.Err != nil {
+			return flowResult{}, s.mapBatchError(ctx, res.Err)
+		}
+		return res, nil
+	case <-ctx.Done():
+		s.metrics.Timeouts.Add(1)
+		return flowResult{}, &httpError{status: http.StatusGatewayTimeout,
+			msg: fmt.Sprintf("deadline exceeded after %v", q.timeout)}
+	}
+}
+
+func (s *Server) mapBatchError(ctx context.Context, err error) *httpError {
+	switch {
+	case errors.Is(err, mh.ErrInterrupted) && ctx.Err() != nil:
+		s.metrics.Timeouts.Add(1)
+		return &httpError{status: http.StatusGatewayTimeout, msg: err.Error()}
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrOverloaded):
+		return &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
+	case errors.Is(err, mh.ErrUnsatisfiable):
+		return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	default:
+		return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+}
+
+type flowResponse struct {
+	Model      string  `json:"model"`
+	Source     int     `json:"source"`
+	Sink       int     `json:"sink"`
+	Cond       string  `json:"cond,omitempty"`
+	Prob       float64 `json:"prob"`
+	Samples    int     `json:"samples"`
+	Seed       uint64  `json:"seed"`
+	Cached     bool    `json:"cached"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+	Lanes      int     `json:"lanes,omitempty"`
+	Acceptance float64 `json:"acceptance_rate,omitempty"`
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	s.metrics.FlowRequests.Add(1)
+	q, herr := s.parseQuery(r, kindFlow)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	resp := flowResponse{
+		Model: q.model.Name, Source: int(q.source), Sink: int(q.sink),
+		Cond: q.condKey, Samples: q.opts.Samples, Seed: q.seed,
+	}
+	if v, ok := s.cache.Get(q.cacheKey()); ok {
+		s.metrics.CacheHits.Add(1)
+		resp.Prob, resp.Cached = v.(float64), true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+	res, herr := s.dispatch(r, q)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	resp.Prob = res.Prob
+	resp.BatchSize, resp.Lanes, resp.Acceptance = res.BatchSize, res.Lanes, res.Acceptance
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type communityEntry struct {
+	Node int     `json:"node"`
+	Prob float64 `json:"prob"`
+}
+
+type communityResponse struct {
+	Model      string           `json:"model"`
+	Source     int              `json:"source"`
+	Cond       string           `json:"cond,omitempty"`
+	Samples    int              `json:"samples"`
+	Seed       uint64           `json:"seed"`
+	Cached     bool             `json:"cached"`
+	Top        []communityEntry `json:"top"`
+	BatchSize  int              `json:"batch_size,omitempty"`
+	Lanes      int              `json:"lanes,omitempty"`
+	Acceptance float64          `json:"acceptance_rate,omitempty"`
+}
+
+func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
+	s.metrics.CommunityRequests.Add(1)
+	q, herr := s.parseQuery(r, kindCommunity)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	top := 10
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeError(w, badRequest("top must be a positive integer"))
+			return
+		}
+		top = v
+	}
+	resp := communityResponse{
+		Model: q.model.Name, Source: int(q.source),
+		Cond: q.condKey, Samples: q.opts.Samples, Seed: q.seed,
+	}
+	// The cache stores the full per-node vector so ?top= never splits
+	// cache entries.
+	if v, ok := s.cache.Get(q.cacheKey()); ok {
+		s.metrics.CacheHits.Add(1)
+		resp.Cached = true
+		resp.Top = topFlows(v.([]float64), q.source, top)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+	res, herr := s.dispatch(r, q)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	resp.Top = topFlows(res.Community, q.source, top)
+	resp.BatchSize, resp.Lanes, resp.Acceptance = res.BatchSize, res.Lanes, res.Acceptance
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topFlows ranks the community vector, dropping the source itself and
+// zero-probability nodes, ties broken by node id for a deterministic
+// response body.
+func topFlows(probs []float64, source graph.NodeID, top int) []communityEntry {
+	out := make([]communityEntry, 0, top)
+	for v, p := range probs {
+		if graph.NodeID(v) != source && p > 0 {
+			out = append(out, communityEntry{Node: v, Prob: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		//flowlint:ignore floatcmp -- sort tiebreak: both probabilities are k/Samples quotients from the same sweep, equal iff their hit counts are; no rounding tolerance is meaningful here
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Node < out[j].Node
+	})
+	if len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, herr *httpError) {
+	writeJSON(w, herr.status, map[string]string{"error": herr.msg})
+}
+
+// ParseConds parses comma-separated flow conditions — "u>v=1" (flow
+// known present) or "u>v=0" (known absent) — into core form. An empty
+// string is no conditions. Shared with the flowquery CLI.
+func ParseConds(s string) ([]core.FlowCondition, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []core.FlowCondition
+	for _, part := range strings.Split(s, ",") {
+		var c core.FlowCondition
+		uv, req, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("condition %q: want u>v=0|1", part)
+		}
+		u, v, ok := strings.Cut(uv, ">")
+		if !ok {
+			return nil, fmt.Errorf("condition %q: want u>v=0|1", part)
+		}
+		un, err := strconv.Atoi(strings.TrimSpace(u))
+		if err != nil {
+			return nil, fmt.Errorf("condition %q: %w", part, err)
+		}
+		vn, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("condition %q: %w", part, err)
+		}
+		switch strings.TrimSpace(req) {
+		case "1":
+			c.Require = true
+		case "0":
+			c.Require = false
+		default:
+			return nil, fmt.Errorf("condition %q: requirement must be 0 or 1", part)
+		}
+		c.Source, c.Sink = graph.NodeID(un), graph.NodeID(vn)
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// condsKey renders conditions in canonical sorted form, so two requests
+// listing the same conditions in different orders share a batch and a
+// cache line.
+func condsKey(conds []core.FlowCondition) string {
+	if len(conds) == 0 {
+		return ""
+	}
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		req := 0
+		if c.Require {
+			req = 1
+		}
+		parts[i] = fmt.Sprintf("%d>%d=%d", c.Source, c.Sink, req)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
