@@ -2,7 +2,8 @@
 // a corpus written by flowgen, trains a betaICM on the recovered
 // retweet chains, and answers /flow and /community queries against the
 // trained model's expected ICM, coalescing concurrent requests into
-// 64-lane batched Metropolis-Hastings sweeps.
+// wide-lane batched Metropolis-Hastings sweeps of up to -lanes queries
+// (default 512) per chain.
 //
 //	flowserve -data corpus.json -addr 127.0.0.1:8080
 //	curl 'http://127.0.0.1:8080/flow?source=3&sink=42'
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	name := fs.String("name", "default", "model name served under ?model=")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	window := fs.Duration("window", 5*time.Millisecond, "batching window for coalescing concurrent queries")
+	lanes := fs.Int("lanes", 512, "lane budget: distinct queries one batch may coalesce (rounded up to a multiple of 64, capped at 1024)")
 	workers := fs.Int("workers", 2, "concurrent chain sweeps")
 	queue := fs.Int("queue", 64, "flushed batches that may await a worker")
 	cacheSize := fs.Int("cache", 1024, "result cache entries (negative disables)")
@@ -74,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	srv, err := serve.NewServer(serve.Config{
 		Models:         []serve.Model{{Name: *name, ICM: m}},
 		Window:         *window,
+		LaneBudget:     *lanes,
 		Workers:        *workers,
 		QueueCap:       *queue,
 		CacheSize:      *cacheSize,

@@ -1,0 +1,115 @@
+package bitset
+
+import "testing"
+
+func TestLaneMatrixSetTestBit(t *testing.T) {
+	m := NewLaneMatrix(5, 3) // 192 lanes per row
+	if got := m.Lanes(); got != 192 {
+		t.Fatalf("Lanes() = %d, want 192", got)
+	}
+	// Bits across all three words of a row, including word boundaries.
+	for _, lane := range []int{0, 1, 63, 64, 65, 127, 128, 191} {
+		for r := 0; r < 5; r++ {
+			if m.TestBit(r, lane) {
+				t.Fatalf("row %d lane %d set in fresh matrix", r, lane)
+			}
+		}
+		m.SetBit(2, lane)
+		if !m.TestBit(2, lane) {
+			t.Fatalf("lane %d not set after SetBit", lane)
+		}
+		for r := 0; r < 5; r++ {
+			if r != 2 && m.TestBit(r, lane) {
+				t.Fatalf("SetBit(2, %d) leaked into row %d", lane, r)
+			}
+		}
+	}
+}
+
+func TestLaneMatrixRowAliasesBacking(t *testing.T) {
+	m := NewLaneMatrix(4, 2)
+	row := m.Row(1)
+	if len(row) != 2 || cap(row) != 2 {
+		t.Fatalf("Row(1) len/cap = %d/%d, want 2/2 (full slice expression)", len(row), cap(row))
+	}
+	row[1] = 0xdeadbeef
+	if !m.TestBit(1, 64) { // bit 0 of the row's second word
+		t.Fatalf("write through Row(1) not visible via TestBit")
+	}
+	if m.Bits[1*2+1] != 0xdeadbeef {
+		t.Fatalf("Row(1) does not alias the backing store")
+	}
+	// An append through a row must not clobber row 2.
+	_ = append(row[:0], 7, 7, 9)
+	if m.Bits[2*2] == 9 {
+		t.Fatalf("append through Row(1) clobbered row 2")
+	}
+}
+
+func TestLaneMatrixResetAndResetRow(t *testing.T) {
+	m := NewLaneMatrix(3, 2)
+	for r := 0; r < 3; r++ {
+		m.SetBit(r, 5)
+		m.SetBit(r, 100)
+	}
+	m.ResetRow(1)
+	for _, lane := range []int{5, 100} {
+		if m.TestBit(1, lane) {
+			t.Fatalf("row 1 lane %d survives ResetRow", lane)
+		}
+		if !m.TestBit(0, lane) || !m.TestBit(2, lane) {
+			t.Fatalf("ResetRow(1) cleared a neighbouring row at lane %d", lane)
+		}
+	}
+	m.Reset()
+	for i, w := range m.Bits {
+		if w != 0 {
+			t.Fatalf("word %d = %#x after Reset, want 0", i, w)
+		}
+	}
+}
+
+func TestLaneMatrixResize(t *testing.T) {
+	m := NewLaneMatrix(2, 1)
+	m.SetBit(0, 3)
+	m.Resize(4, 2) // grow: fresh backing, cleared
+	if m.Rows != 4 || m.W != 2 || len(m.Bits) != 8 {
+		t.Fatalf("after grow: rows/W/len = %d/%d/%d, want 4/2/8", m.Rows, m.W, len(m.Bits))
+	}
+	for i, w := range m.Bits {
+		if w != 0 {
+			t.Fatalf("grown matrix word %d = %#x, want 0", i, w)
+		}
+	}
+	m.SetBit(3, 127)
+	kept := &m.Bits[0]
+	m.Resize(2, 2) // shrink: backing reused, contents discarded
+	if &m.Bits[0] != kept {
+		t.Fatalf("shrinking Resize reallocated the backing store")
+	}
+	for i, w := range m.Bits {
+		if w != 0 {
+			t.Fatalf("shrunk matrix word %d = %#x, want 0 (previous contents must be discarded)", i, w)
+		}
+	}
+	// Zero value becomes usable via Resize.
+	var z LaneMatrix
+	z.Resize(1, 1)
+	z.SetBit(0, 0)
+	if !z.TestBit(0, 0) {
+		t.Fatalf("zero-value LaneMatrix unusable after Resize")
+	}
+}
+
+func TestLaneMatrixZeroAllocSteadyState(t *testing.T) {
+	m := NewLaneMatrix(64, 8)
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.Resize(64, 8)
+		m.SetBit(10, 300)
+		_ = m.Row(10)
+		m.ResetRow(10)
+		m.Reset()
+	}); allocs != 0 {
+		t.Errorf("same-shape LaneMatrix operations allocate %v per run, want 0", allocs)
+	}
+}

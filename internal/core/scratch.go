@@ -80,3 +80,16 @@ func (m *ICM) HasFlowBits(u, v graph.NodeID, x bitset.Set, sc *graph.Scratch) bo
 func (m *ICM) FlowLanesInto(seeds []graph.NodeID, seedBits []uint64, x bitset.Set, sc *graph.Scratch, reach []uint64) []uint64 {
 	return m.G.ReachLanesInto(seeds, seedBits, x, sc, reach)
 }
+
+// FlowLanesWideInto is FlowLanesInto with W-word lane masks: seed row k
+// of seedBits carries the lanes of seeds[k], and on return reach row v
+// has lane L set iff v carries flow from a node seeded with L. One
+// sweep answers up to 64*W queries; see graph.ReachLanesWideInto for
+// the full contract. Callers that sweep the same seed set over many
+// thinned samples should hold a graph.LaneEngine instead, which reuses
+// the SCC condensation across sweeps when the flips between them allow.
+//
+//flowlint:hotpath
+func (m *ICM) FlowLanesWideInto(seeds []graph.NodeID, seedBits *bitset.LaneMatrix, x bitset.Set, sc *graph.Scratch, reach *bitset.LaneMatrix) {
+	m.G.ReachLanesWideInto(seeds, seedBits, x, sc, reach)
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+)
+
+// LaneSweepConfig parameterises the lane-width sweep: the SAME fixed
+// set of flow queries answered by mh.FlowProbBatchWide at each mask
+// width W, so the table isolates what width buys — fewer sweeps per
+// thinned sample (ceil(Queries/64W) chunks), each sweep touching W
+// words per edge. The estimates are width-invariant by contract, and
+// the run verifies that while timing it.
+type LaneSweepConfig struct {
+	Seed    uint64
+	Nodes   int   // graph size (paper's §IV-C timing scale: 6000)
+	Edges   int   // paper: 14000
+	Queries int   // fixed total flow queries (paper sweep: 512)
+	Widths  []int // lane-mask widths in words, each 1..mh.MaxLaneWords
+	MH      mh.Options
+	// Clock supplies the timestamps bracketing each measurement; nil
+	// uses time.Now. Injectable so the timing columns are testable and
+	// wall-clock reads stay explicit (the fig6 idiom).
+	Clock func() time.Time
+}
+
+// LaneSweepPaper returns the §IV-C-scale configuration: 512 queries at
+// every width from one word (eight chunked sweeps per sample) to eight
+// (one wide sweep per sample).
+func LaneSweepPaper() LaneSweepConfig {
+	return LaneSweepConfig{
+		Seed: 65, Nodes: 6000, Edges: 14000, Queries: 512,
+		Widths: []int{1, 2, 3, 4, 5, 6, 7, 8},
+		MH:     mh.Options{BurnIn: 2000, Thin: 200, Samples: 200},
+	}
+}
+
+// LaneSweepSmall returns a fast configuration for tests.
+func LaneSweepSmall() LaneSweepConfig {
+	return LaneSweepConfig{
+		Seed: 65, Nodes: 300, Edges: 800, Queries: 128,
+		Widths: []int{1, 2},
+		MH:     mh.Options{BurnIn: 200, Thin: 20, Samples: 60},
+	}
+}
+
+// LaneSweepRow is one width's measurement.
+type LaneSweepRow struct {
+	Words    int           // lane-mask width W
+	Chunks   int           // sweeps per thinned sample at this width
+	Total    time.Duration // whole batched run
+	PerQuery time.Duration // Total / Queries
+}
+
+// LaneSweepResult reports the width table and the cross-width estimate
+// agreement check.
+type LaneSweepResult struct {
+	Queries   int
+	Samples   int
+	Rows      []LaneSweepRow
+	Identical bool // every width produced bit-identical estimates
+}
+
+// String renders the width table.
+func (r *LaneSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lane-width sweep: %d flow queries, %d samples, one shared chain per width\n", r.Queries, r.Samples)
+	fmt.Fprintf(&b, "%5s %7s %7s %14s %14s\n", "W", "lanes", "chunks", "total", "per-query")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%5d %7d %7d %14v %14v\n",
+			row.Words, row.Words*mh.LaneWidth, row.Chunks, row.Total, row.PerQuery)
+	}
+	fmt.Fprintf(&b, "estimates bit-identical across widths: %v\n", r.Identical)
+	return b.String()
+}
+
+// RunLaneSweep measures the table.
+func RunLaneSweep(cfg LaneSweepConfig) (*LaneSweepResult, error) {
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	r := rng.New(cfg.Seed)
+	g := graph.Random(r, cfg.Nodes, cfg.Edges)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	m, err := core.NewICM(g, p)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]mh.FlowPair, cfg.Queries)
+	for i := range pairs {
+		u := graph.NodeID(r.Intn(cfg.Nodes))
+		v := graph.NodeID(r.Intn(cfg.Nodes))
+		for v == u {
+			v = graph.NodeID(r.Intn(cfg.Nodes))
+		}
+		pairs[i] = mh.FlowPair{Source: u, Sink: v}
+	}
+	res := &LaneSweepResult{Queries: cfg.Queries, Samples: cfg.MH.Samples, Identical: true}
+	var ref []float64
+	for _, w := range cfg.Widths {
+		lanesPer := w * mh.LaneWidth
+		start := now()
+		est, err := mh.FlowProbBatchWide(m, pairs, nil, cfg.MH, w, rng.New(cfg.Seed+1))
+		if err != nil {
+			return nil, fmt.Errorf("lanes: width %d: %w", w, err)
+		}
+		total := now().Sub(start)
+		res.Rows = append(res.Rows, LaneSweepRow{
+			Words:    w,
+			Chunks:   (cfg.Queries + lanesPer - 1) / lanesPer,
+			Total:    total,
+			PerQuery: total / time.Duration(cfg.Queries),
+		})
+		if ref == nil {
+			ref = est
+		} else {
+			for i := range est {
+				//flowlint:ignore floatcmp -- the width-invariance contract is exact: same chain, same hit counts, so the k/Samples quotients must be bit-identical
+				if est[i] != ref[i] {
+					res.Identical = false
+				}
+			}
+		}
+	}
+	return res, nil
+}

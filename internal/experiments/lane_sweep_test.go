@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLaneSweepSaneAndIdentical(t *testing.T) {
+	res, err := RunLaneSweep(LaneSweepSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	// 128 queries: W=1 → 2 chunks, W=2 → 1 chunk.
+	if res.Rows[0].Chunks != 2 || res.Rows[1].Chunks != 1 {
+		t.Errorf("chunks = %d/%d, want 2/1", res.Rows[0].Chunks, res.Rows[1].Chunks)
+	}
+	for _, row := range res.Rows {
+		if row.Total <= 0 || row.PerQuery <= 0 {
+			t.Errorf("W=%d: non-positive durations %+v", row.Words, row)
+		}
+	}
+	// The width-invariance contract is exact, not statistical: every
+	// width runs the same chain on the same seed.
+	if !res.Identical {
+		t.Errorf("estimates differ across widths")
+	}
+	out := res.String()
+	if !strings.Contains(out, "per-query") || !strings.Contains(out, "bit-identical") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+}
+
+func TestLaneSweepInjectedClock(t *testing.T) {
+	cfg := LaneSweepSmall()
+	const step = time.Millisecond
+	var ticks int
+	cfg.Clock = func() time.Time {
+		ticks++
+		return time.Unix(0, int64(ticks)*int64(step))
+	}
+	res, err := RunLaneSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each width brackets its run with exactly two reads.
+	for _, row := range res.Rows {
+		if row.Total != step {
+			t.Errorf("W=%d: total = %v, want %v", row.Words, row.Total, step)
+		}
+	}
+	if want := 2 * len(cfg.Widths); ticks != want {
+		t.Errorf("clock read %d times, want %d", ticks, want)
+	}
+}

@@ -109,6 +109,13 @@ func Registry() []Runner {
 			},
 		},
 		{
+			Name:        "lanes",
+			Description: "lane-width sweep: fixed query set at mask widths W=1..8, per-query cost (timing)",
+			Run: func(small bool) (fmt.Stringer, error) {
+				return RunLaneSweep(pick(small, LaneSweepSmall, LaneSweepPaper))
+			},
+		},
+		{
 			Name:        "table1",
 			Description: "example evidence summary",
 			Run:         func(bool) (fmt.Stringer, error) { return TableI(), nil },

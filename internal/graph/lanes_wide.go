@@ -1,0 +1,383 @@
+package graph
+
+import (
+	"math/bits"
+
+	"infoflow/internal/bitset"
+)
+
+// This file is the wide tier of the bit-parallel reachability engine:
+// where lanes.go carries one uint64 of lanes per node (64 queries per
+// sweep), here every node carries a W-word row of a bitset.LaneMatrix,
+// so one sweep over one sampled pseudo-state answers up to 64*W
+// single-source reachability queries. The sweep itself is the same
+// two-pass structure as ReachLanesInto — an iterative Tarjan
+// condensation of the active subgraph followed by a topological
+// lane-mask push — but each touched edge ORs W words instead of one.
+//
+// On top of the one-shot sweep, LaneEngine amortises the condensation
+// across consecutive sweeps of a slowly changing mask: between thinned
+// Metropolis-Hastings samples only a handful of accepted flips alter
+// the active set, and most of those provably cannot change the
+// condensation's structure, so the engine replays the cached component
+// order and pays only the push pass.
+
+// condenseInto runs one iterative Tarjan pass over the subgraph of
+// active edges reachable from seeds, writing the SCC id of each reached
+// node into comp (-1 elsewhere), the nodes grouped by SCC in emission
+// order into nodes, and the per-SCC offsets (plus an end sentinel) into
+// starts. Tarjan emits SCCs descendants first, so iterating the starts
+// in reverse visits components in topological order, ancestors before
+// descendants. comp is grown and refilled with -1 here; nodes and
+// starts are appended to from length zero. All three are returned (the
+// caller's buffers, or their replacements).
+//
+//flowlint:hotpath
+func (g *DiGraph) condenseInto(seeds []NodeID, active bitset.Set, sc *Scratch, comp []int32, nodes []NodeID, starts []int32) ([]int32, []NodeID, []int32) {
+	n := g.NumNodes()
+	sc.beginCondense(n)
+	if len(comp) < n {
+		//flowlint:ignore hotpath -- grows once per engine (or graph-size change), then reused for good
+		comp = make([]int32, n)
+	}
+	comp = comp[:n]
+	for i := range comp {
+		comp[i] = -1
+	}
+	idx, low := sc.dfsIdx, sc.dfsLow
+	onStack := sc.inq
+	tstack := sc.back[:0]  // Tarjan's SCC stack
+	dfsN := sc.queue[:0]   // DFS stack: frame f visits node dfsN[f]
+	dfsE := sc.dfsEdge[:0] // ... with out-edge cursor dfsE[f]
+	var next int32
+	for _, root := range seeds {
+		if idx[root] != -1 {
+			continue
+		}
+		idx[root], low[root] = next, next
+		next++
+		onStack.Set(int(root))
+		tstack = append(tstack, root)
+		dfsN = append(dfsN, root)
+		dfsE = append(dfsE, 0)
+		for len(dfsN) > 0 {
+			f := len(dfsN) - 1
+			v := dfsN[f]
+			if ei := dfsE[f]; int(ei) < len(g.out[v]) {
+				dfsE[f]++
+				id := g.out[v][ei]
+				if !active.Test(int(id)) {
+					continue
+				}
+				w := g.edges[id].To
+				if idx[w] == -1 {
+					idx[w], low[w] = next, next
+					next++
+					onStack.Set(int(w))
+					tstack = append(tstack, w)
+					dfsN = append(dfsN, w)
+					dfsE = append(dfsE, 0)
+				} else if onStack.Test(int(w)) && low[v] > idx[w] {
+					low[v] = idx[w]
+				}
+				continue
+			}
+			dfsN = dfsN[:f]
+			dfsE = dfsE[:f]
+			if f > 0 {
+				if p := dfsN[f-1]; low[p] > low[v] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == idx[v] {
+				c := int32(len(starts))
+				starts = append(starts, int32(len(nodes)))
+				for {
+					w := tstack[len(tstack)-1]
+					tstack = tstack[:len(tstack)-1]
+					onStack.Clear(int(w))
+					comp[w] = c
+					nodes = append(nodes, w)
+					if w == v {
+						break
+					}
+				}
+			}
+		}
+	}
+	starts = append(starts, int32(len(nodes)))
+	sc.back = tstack[:0]
+	sc.queue = dfsN[:0]
+	sc.dfsEdge = dfsE[:0]
+	return comp, nodes, starts
+}
+
+// pushLanesWide propagates W-word lane masks over a condensation in
+// topological order: compWide (one W-word row per SCC, zeroed by the
+// caller) is seeded from seeds/seedBits, then components are visited
+// ancestors first, each reached node's reach row overwritten with its
+// component's mask and every active out-edge ORing the mask into the
+// target component. Each active edge within the condensed region is
+// touched exactly once here.
+//
+// Rows of components no lane reaches are left alone when zeroStale is
+// false (a freshly cleared reach matrix) and explicitly re-zeroed when
+// it is true (a replayed matrix whose region rows may hold the previous
+// sweep's masks). Rows outside the region are never written: the caller
+// guarantees they are already zero.
+//
+//flowlint:hotpath
+func (g *DiGraph) pushLanesWide(seeds []NodeID, seedBits *bitset.LaneMatrix, active bitset.Set, comp []int32, nodes []NodeID, starts []int32, compWide []uint64, reach *bitset.LaneMatrix, zeroStale bool) {
+	W := seedBits.W
+	for k, v := range seeds {
+		src := seedBits.Row(k)
+		dst := compWide[int(comp[v])*W:]
+		for j, w := range src {
+			dst[j] |= w
+		}
+	}
+	for c := len(starts) - 2; c >= 0; c-- {
+		row := compWide[c*W : c*W+W : c*W+W]
+		var lanes uint64
+		for _, w := range row {
+			lanes |= w
+		}
+		if lanes == 0 {
+			if zeroStale {
+				for i := starts[c]; i < starts[c+1]; i++ {
+					reach.ResetRow(int(nodes[i]))
+				}
+			}
+			continue
+		}
+		for i := starts[c]; i < starts[c+1]; i++ {
+			v := nodes[i]
+			copy(reach.Row(int(v)), row)
+			for _, id := range g.out[v] {
+				if !active.Test(int(id)) {
+					continue
+				}
+				dst := compWide[int(comp[g.edges[id].To])*W:]
+				for j, w := range row {
+					dst[j] |= w
+				}
+			}
+		}
+	}
+}
+
+// growCompWide returns buf resliced (and zeroed) to hold words uint64s,
+// growing it when the capacity falls short.
+//
+//flowlint:hotpath
+func growCompWide(buf []uint64, words int) []uint64 {
+	if cap(buf) < words {
+		//flowlint:ignore hotpath -- grows to the SCC-count high-water mark, then reused for good
+		return make([]uint64, words)
+	}
+	buf = buf[:words]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// ReachLanesWideInto is the W-word generalisation of ReachLanesInto:
+// seed node seeds[k] is OR-seeded with the W-word lane row seedBits.Row(k),
+// and on return reach.Row(v) has lane bit L set iff v is reachable
+// (across edges whose bit in active is set) from some node seeded with
+// L — every seed counting as reaching itself. One sweep answers up to
+// 64*seedBits.W single-source reachability queries; lane assignment is
+// the caller's, and shared or merged lanes are legal exactly as in the
+// one-word sweep. reach is resized to (NumNodes, seedBits.W) and
+// overwritten. If sc is nil a temporary Scratch is allocated.
+//
+//flowlint:hotpath
+func (g *DiGraph) ReachLanesWideInto(seeds []NodeID, seedBits *bitset.LaneMatrix, active bitset.Set, sc *Scratch, reach *bitset.LaneMatrix) {
+	n := g.NumNodes()
+	if sc == nil {
+		sc = tempScratch(n)
+	}
+	W := seedBits.W
+	if reach.Rows != n || reach.W != W {
+		//flowlint:ignore hotpath -- documented cold fallback on first use or shape change; steady-state callers keep the shape
+		reach.Resize(n, W)
+	} else {
+		reach.Reset()
+	}
+	comp, nodes, starts := g.condenseInto(seeds, active, sc, sc.comp, sc.sccNodes[:0], sc.sccStart[:0])
+	sc.comp = comp
+	compWide := growCompWide(sc.compWide, (len(starts)-1)*W)
+	g.pushLanesWide(seeds, seedBits, active, comp, nodes, starts, compWide, reach, false)
+	sc.sccNodes = nodes[:0]
+	sc.sccStart = starts[:0]
+	sc.compWide = compWide[:0]
+}
+
+// LaneEngine caches the SCC condensation of (active mask, seed set)
+// across wide-lane sweeps and replays it when the mask changes it saw
+// cannot have altered the condensation. It exists for the thinned
+// Metropolis-Hastings sampling loop, where consecutive sweeps differ by
+// a handful of accepted single-edge flips: a replayed sweep skips the
+// Tarjan pass entirely and pays only the topological push — O(active
+// edges in the condensed region) instead of O(Tarjan + push).
+//
+// A recorded flip of edge (u, v) is structure-preserving iff:
+//
+//   - turned ON with u outside the condensed region: nothing reaches u,
+//     so the edge is never traversed;
+//   - turned ON with comp[u] == comp[v]: an intra-SCC edge adds no
+//     reachability and no cycle;
+//   - turned ON with both endpoints in the region and comp[u] emitted
+//     after comp[v] (comp ids are Tarjan emission order, descendants
+//     first): the edge agrees with the cached topological order, so it
+//     cannot merge SCCs — any new cycle would need some edge pointing
+//     the other way — and it cannot grow the region, v being reachable
+//     already. The push pass reads the live mask, so the lanes it now
+//     carries propagate correctly;
+//   - turned OFF with u outside the region: the edge was never
+//     traversed, so removing it changes nothing.
+//
+// Every other flip (removal inside the region, insertion reaching an
+// unreached node or pointing against the cached order) forces a full
+// recompute, as does any change of seed set. As a guard against
+// unreported mutation, the engine keeps a position-mixed XOR signature
+// of the active mask, updated incrementally per recorded flip; a replay
+// whose expected signature disagrees with the live mask's falls back to
+// a full recompute. This is the differential invariant backing the
+// reuse path: tracked flips and the live mask must tell the same story,
+// or the cache is not trusted.
+//
+// The reach matrix handed to Sweep must be the same buffer sweep over
+// sweep: replays rewrite only rows inside the condensed region and rely
+// on rows outside it still being zero from the last full recompute. A
+// LaneEngine is not safe for concurrent use.
+type LaneEngine struct {
+	g *DiGraph
+
+	valid  bool
+	seeds  []NodeID // seed set of the cached condensation
+	comp   []int32
+	nodes  []NodeID
+	starts []int32
+	sig    uint64 // expected maskSig of the active mask
+
+	compWide []uint64
+
+	rebuilds int64
+	replays  int64
+}
+
+// NewLaneEngine returns an engine for g with an empty cache.
+func NewLaneEngine(g *DiGraph) *LaneEngine { return &LaneEngine{g: g} }
+
+// Invalidate drops the cached condensation; the next Sweep recomputes
+// it. Call it when the active mask may have changed in ways not
+// reported to Sweep (the signature guard would catch the drift anyway,
+// but an explicit invalidation documents the boundary and skips the
+// doomed safety scan).
+func (e *LaneEngine) Invalidate() { e.valid = false }
+
+// Rebuilds returns the number of sweeps that recomputed the
+// condensation; Replays the number that reused it.
+func (e *LaneEngine) Rebuilds() int64 { return e.rebuilds }
+
+// Replays returns the number of sweeps that reused the cached
+// condensation.
+func (e *LaneEngine) Replays() int64 { return e.replays }
+
+// maskSig folds the active mask into a position-mixed XOR signature:
+// flipping bit b of word i toggles exactly flipSig's contribution for
+// that edge, so the signature updates incrementally per flip.
+//
+//flowlint:hotpath
+func maskSig(active bitset.Set) uint64 {
+	var h uint64
+	for i, w := range active {
+		h ^= bits.RotateLeft64(w, i&63)
+	}
+	return h
+}
+
+// flipSig is the signature contribution of edge id's bit.
+//
+//flowlint:hotpath
+func flipSig(id EdgeID) uint64 {
+	return bits.RotateLeft64(1<<(uint(id)&63), (int(id)>>6)&63)
+}
+
+// Sweep computes the same result as ReachLanesWideInto for the current
+// active mask, reusing the cached condensation when possible. flips
+// lists the edges whose activity bit was toggled since the previous
+// Sweep, in any order, with repeated entries cancelling (a double flip
+// is a net no-op but may still conservatively force a recompute);
+// flipsComplete reports whether that list is exhaustive — pass false
+// whenever tracking was interrupted or overflowed, which forces a full
+// recompute. reach must be the same buffer across sweeps (see the type
+// comment). If sc is nil a temporary Scratch is allocated.
+//
+//flowlint:hotpath
+func (e *LaneEngine) Sweep(seeds []NodeID, seedBits *bitset.LaneMatrix, active bitset.Set, flips []EdgeID, flipsComplete bool, sc *Scratch, reach *bitset.LaneMatrix) {
+	g := e.g
+	n := g.NumNodes()
+	if sc == nil {
+		sc = tempScratch(n)
+	}
+	W := seedBits.W
+	resized := reach.Rows != n || reach.W != W
+	if resized {
+		//flowlint:ignore hotpath -- documented cold fallback on first use or shape change; steady-state callers keep the shape
+		reach.Resize(n, W)
+	}
+	replay := e.valid && flipsComplete && sameSeeds(e.seeds, seeds)
+	if replay {
+		for _, id := range flips {
+			e.sig ^= flipSig(id)
+			ed := g.edges[id]
+			cu, cv := e.comp[ed.From], e.comp[ed.To]
+			if active.Test(int(id)) {
+				if cu != -1 && (cv == -1 || cu < cv) {
+					replay = false
+					break
+				}
+			} else if cu != -1 {
+				replay = false
+				break
+			}
+		}
+		if replay && e.sig != maskSig(active) {
+			replay = false
+		}
+	}
+	if replay {
+		e.replays++
+	} else {
+		e.rebuilds++
+		if !resized {
+			reach.Reset()
+		}
+		e.comp, e.nodes, e.starts = g.condenseInto(seeds, active, sc, e.comp, e.nodes[:0], e.starts[:0])
+		e.seeds = append(e.seeds[:0], seeds...)
+		e.sig = maskSig(active)
+		e.valid = true
+	}
+	e.compWide = growCompWide(e.compWide, (len(e.starts)-1)*W)
+	g.pushLanesWide(seeds, seedBits, active, e.comp, e.nodes, e.starts, e.compWide, reach, replay)
+}
+
+// sameSeeds reports whether the cached seed slice matches the sweep's,
+// element for element. The condensation depends on the seed set, so a
+// changed seed list cannot reuse it.
+//
+//flowlint:hotpath
+func sameSeeds(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -44,7 +44,8 @@ type Scratch struct {
 	dfsEdge   []int32  // per-DFS-stack-frame out-edge cursor
 	sccNodes  []NodeID // nodes grouped by SCC, in emission order
 	sccStart  []int32  // sccNodes offsets per SCC (+ end sentinel)
-	compReach []uint64 // lane mask per SCC
+	compReach []uint64 // lane mask per SCC (64-lane sweep)
+	compWide  []uint64 // W-word lane masks per SCC (wide sweep)
 }
 
 // NewScratch returns scratch state sized for graphs of up to n nodes.
@@ -88,6 +89,21 @@ func (sc *Scratch) begin(n int) (fwd, bwd uint32) {
 // and refills the index/component arrays with -1. Kept separate from
 // begin because lane sweeps never touch the epoch stamps.
 func (sc *Scratch) beginLanes(n int) {
+	sc.beginCondense(n)
+	if len(sc.comp) < n {
+		sc.comp = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		sc.comp[i] = -1
+	}
+}
+
+// beginCondense opens a condensation pass over n nodes: it sizes the
+// on-stack marker and the Tarjan index arrays, clears the marker
+// word-wise and refills the discovery indices with -1. The component
+// array is the caller's (the wide-lane engine caches its own across
+// sweeps), so unlike beginLanes it is not touched here.
+func (sc *Scratch) beginCondense(n int) {
 	if sc.inq.Cap() < n {
 		sc.inq = bitset.New(n)
 	} else {
@@ -96,11 +112,9 @@ func (sc *Scratch) beginLanes(n int) {
 	if len(sc.dfsIdx) < n {
 		sc.dfsIdx = make([]int32, n)
 		sc.dfsLow = make([]int32, n)
-		sc.comp = make([]int32, n)
 	}
 	for i := 0; i < n; i++ {
 		sc.dfsIdx[i] = -1
-		sc.comp[i] = -1
 	}
 }
 

@@ -4,44 +4,108 @@ import (
 	"fmt"
 	"math/bits"
 
+	"infoflow/internal/bitset"
 	"infoflow/internal/core"
 	"infoflow/internal/graph"
 	"infoflow/internal/rng"
 )
 
-// LaneWidth is the number of queries one bit-parallel sweep carries:
-// one lane per bit of a machine word.
+// LaneWidth is the number of query lanes one machine word carries: the
+// wide sweep packs W = 1..MaxLaneWords such words per node.
 const LaneWidth = 64
 
-// laneChunks assigns each of k queries a (chunk, lane) slot and returns
-// per-chunk seed-node and seed-bit slices for ReachLanesInto: query q
-// lives in chunk q/64, lane q%64, seeded at node source(q).
-func laneChunks(k int, source func(int) graph.NodeID) (seeds [][]graph.NodeID, seedBits [][]uint64) {
-	nChunks := (k + LaneWidth - 1) / LaneWidth
-	seeds = make([][]graph.NodeID, nChunks)
-	seedBits = make([][]uint64, nChunks)
-	for c := 0; c < nChunks; c++ {
-		lo := c * LaneWidth
-		hi := min(lo+LaneWidth, k)
-		seeds[c] = make([]graph.NodeID, hi-lo)
-		seedBits[c] = make([]uint64, hi-lo)
-		for q := lo; q < hi; q++ {
-			seeds[c][q-lo] = source(q)
-			seedBits[c][q-lo] = 1 << uint(q-lo)
+// MaxLaneWords bounds the lane-mask width of one sweep; at 16 words a
+// single sweep answers up to MaxLanes queries. Wider masks stop paying:
+// per-edge cost grows linearly with W while the amortised chain cost is
+// already negligible at 1024 lanes.
+const MaxLaneWords = 16
+
+// MaxLanes is the largest query count one sweep can carry.
+const MaxLanes = LaneWidth * MaxLaneWords
+
+// laneWords resolves a requested lane-mask width for k queries: words
+// <= 0 selects the smallest width that fits all k in one sweep (capped
+// at MaxLaneWords, past which the batch chunks); explicit widths must
+// lie in [1, MaxLaneWords].
+func laneWords(words, k int) (int, error) {
+	if words <= 0 {
+		words = (k + LaneWidth - 1) / LaneWidth
+		if words > MaxLaneWords {
+			words = MaxLaneWords
 		}
+		if words < 1 {
+			words = 1
+		}
+		return words, nil
 	}
-	return seeds, seedBits
+	if words > MaxLaneWords {
+		return 0, fmt.Errorf("mh: lane width %d words exceeds MaxLaneWords (%d)", words, MaxLaneWords)
+	}
+	return words, nil
+}
+
+// batchScratch is the sampler-held buffer set of the batched
+// estimators: per-chunk seed tables, seed-bit matrices, reach matrices
+// and wide-lane engines, plus the shared hit counters. Everything is
+// retained across batches on one sampler, so a repeated batch reuses
+// not just the memory but the engines' cached condensations (each
+// engine validates its cache against the seed set and the mask
+// signature, so stale reuse is impossible). Reach matrices are
+// per-chunk because an engine's replay path relies on rows outside its
+// own condensed region staying zero between its sweeps.
+type batchScratch struct {
+	seeds    [][]graph.NodeID
+	seedBits []*bitset.LaneMatrix
+	reach    []*bitset.LaneMatrix
+	engines  []*graph.LaneEngine
+	hits     []int
+}
+
+// prepareLanes shapes the sampler's batch buffers for k queries at the
+// given word width — query q lands in chunk q/(64*words), lane
+// q mod (64*words), seeded at source(q) — and returns the chunk count.
+func (s *Sampler) prepareLanes(k, words int, source func(int) graph.NodeID) int {
+	bs := &s.batch
+	lanesPer := words * LaneWidth
+	nChunks := (k + lanesPer - 1) / lanesPer
+	for len(bs.engines) < nChunks {
+		bs.engines = append(bs.engines, graph.NewLaneEngine(s.m.G))
+		bs.seedBits = append(bs.seedBits, &bitset.LaneMatrix{})
+		bs.reach = append(bs.reach, &bitset.LaneMatrix{})
+		bs.seeds = append(bs.seeds, nil)
+	}
+	for c := 0; c < nChunks; c++ {
+		lo := c * lanesPer
+		hi := min(lo+lanesPer, k)
+		seeds := bs.seeds[c][:0]
+		sb := bs.seedBits[c]
+		sb.Resize(hi-lo, words)
+		for q := lo; q < hi; q++ {
+			seeds = append(seeds, source(q))
+			sb.SetBit(q-lo, q-lo)
+		}
+		bs.seeds[c] = seeds
+	}
+	if cap(bs.hits) < k {
+		bs.hits = make([]int, k)
+	}
+	bs.hits = bs.hits[:k]
+	for i := range bs.hits {
+		bs.hits[i] = 0
+	}
+	return nChunks
 }
 
 // FlowProbBatch estimates Pr[source_k ~> sink_k | conds] for every pair
 // from ONE Metropolis-Hastings chain: all queries share the chain's
-// burn-in and thinning steps, and each thinned sample is interrogated by
-// one 64-lane reachability sweep per chunk of 64 pairs instead of one
-// scalar search per pair. For the multi-query workloads the paper's
-// experiments run — hundreds of (source, sink) pairs against the same
-// model — this amortises the dominant cost (chain updates) across the
-// whole batch and answers 64 pairs for roughly the price of one
-// community sweep.
+// burn-in and thinning steps, and each thinned sample is interrogated
+// by one wide-lane reachability sweep per chunk of up to MaxLanes pairs
+// instead of one scalar search per pair. For the multi-query workloads
+// the paper's experiments run — hundreds of (source, sink) pairs
+// against the same model — this amortises the dominant cost (chain
+// updates) across the whole batch; consecutive sweeps additionally
+// reuse the SCC condensation whenever the accepted flips between them
+// provably left it unchanged.
 //
 // The chain consumes exactly the same randomness as FlowProb regardless
 // of the pair count, and the lane sweep is an exact reachability
@@ -51,11 +115,19 @@ func laneChunks(k int, source func(int) graph.NodeID) (seeds [][]graph.NodeID, s
 // a batch are correlated (they share samples), but each is individually
 // the same unbiased estimator FlowProb computes.
 func FlowProbBatch(m *core.ICM, pairs []FlowPair, conds []core.FlowCondition, opts Options, r *rng.RNG) ([]float64, error) {
+	return FlowProbBatchWide(m, pairs, conds, opts, 0, r)
+}
+
+// FlowProbBatchWide is FlowProbBatch with an explicit lane-mask width
+// in words (64 lanes per word, up to MaxLaneWords); words <= 0 picks
+// the smallest width covering all pairs. The width only changes how
+// queries chunk onto sweeps, never the estimates.
+func FlowProbBatchWide(m *core.ICM, pairs []FlowPair, conds []core.FlowCondition, opts Options, words int, r *rng.RNG) ([]float64, error) {
 	s, err := NewSampler(m, conds, r)
 	if err != nil {
 		return nil, err
 	}
-	return FlowProbBatchOn(s, pairs, opts)
+	return FlowProbBatchWideOn(s, pairs, opts, words)
 }
 
 // FlowProbBatchOn is FlowProbBatch running on a caller-constructed
@@ -65,20 +137,35 @@ func FlowProbBatch(m *core.ICM, pairs []FlowPair, conds []core.FlowCondition, op
 // constructed (or at a run boundary); opts.Interrupt cancellation is
 // honoured between thinned samples.
 func FlowProbBatchOn(s *Sampler, pairs []FlowPair, opts Options) ([]float64, error) {
+	return FlowProbBatchWideOn(s, pairs, opts, 0)
+}
+
+// FlowProbBatchWideOn is FlowProbBatchWide running on a
+// caller-constructed sampler; see FlowProbBatchOn.
+func FlowProbBatchWideOn(s *Sampler, pairs []FlowPair, opts Options, words int) ([]float64, error) {
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("mh: FlowProbBatch with no pairs")
 	}
-	m := s.m
-	seeds, seedBits := laneChunks(len(pairs), func(q int) graph.NodeID { return pairs[q].Source })
-	hits := make([]int, len(pairs))
-	reach := make([]uint64, m.NumNodes())
-	err := s.Run(opts, func(core.PseudoState) {
-		for c := range seeds {
-			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
-			lo := c * LaneWidth
-			for q := lo; q < lo+len(seeds[c]); q++ {
-				if reach[pairs[q].Sink]>>uint(q-lo)&1 != 0 {
-					hits[q]++
+	words, err := laneWords(words, len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	k := len(pairs)
+	lanesPer := words * LaneWidth
+	nChunks := s.prepareLanes(k, words, func(q int) graph.NodeID { return pairs[q].Source })
+	bs := &s.batch
+	s.TrackFlips(true)
+	defer s.TrackFlips(false)
+	err = s.Run(opts, func(core.PseudoState) {
+		flips, complete := s.TakeFlips()
+		for c := 0; c < nChunks; c++ {
+			reach := bs.reach[c]
+			bs.engines[c].Sweep(bs.seeds[c], bs.seedBits[c], s.xbits, flips, complete, s.scratch, reach)
+			lo := c * lanesPer
+			hi := min(lo+lanesPer, k)
+			for q := lo; q < hi; q++ {
+				if reach.TestBit(int(pairs[q].Sink), q-lo) {
+					bs.hits[q]++
 				}
 			}
 		}
@@ -86,53 +173,80 @@ func FlowProbBatchOn(s *Sampler, pairs []FlowPair, opts Options) ([]float64, err
 	if err != nil {
 		return nil, err
 	}
-	probs := make([]float64, len(pairs))
-	for q, h := range hits {
+	probs := make([]float64, k)
+	for q, h := range bs.hits {
 		probs[q] = float64(h) / float64(opts.Samples)
 	}
 	return probs, nil
 }
 
 // CommunityFlowProbsBatch estimates Pr[source_k ~> v | conds] for every
-// listed source and every node v from one chain: per thinned sample, one
-// 64-lane sweep per chunk of 64 sources replaces one full reachability
-// sweep per source. The result is indexed [source][node]; a single-source
-// batch is bit-identical to CommunityFlowProbs on the same RNG.
+// listed source and every node v from one chain: per thinned sample,
+// one wide-lane sweep per chunk of up to MaxLanes sources replaces one
+// full reachability sweep per source. The result is indexed
+// [source][node]; a single-source batch is bit-identical to
+// CommunityFlowProbs on the same RNG.
 //
 // This is the batched complement of ParallelCommunityFlows: that API
 // buys wall-clock with one chain (and one burn-in) per source across
 // goroutines, this one buys throughput by sharing a single chain's
 // samples across all sources on one core.
 func CommunityFlowProbsBatch(m *core.ICM, sources []graph.NodeID, conds []core.FlowCondition, opts Options, r *rng.RNG) ([][]float64, error) {
+	return CommunityFlowProbsBatchWide(m, sources, conds, opts, 0, r)
+}
+
+// CommunityFlowProbsBatchWide is CommunityFlowProbsBatch with an
+// explicit lane-mask width in words; words <= 0 picks the smallest
+// width covering all sources. The width only changes how sources chunk
+// onto sweeps, never the estimates.
+func CommunityFlowProbsBatchWide(m *core.ICM, sources []graph.NodeID, conds []core.FlowCondition, opts Options, words int, r *rng.RNG) ([][]float64, error) {
 	s, err := NewSampler(m, conds, r)
 	if err != nil {
 		return nil, err
 	}
-	return CommunityFlowProbsBatchOn(s, sources, opts)
+	return CommunityFlowProbsBatchWideOn(s, sources, opts, words)
 }
 
 // CommunityFlowProbsBatchOn is CommunityFlowProbsBatch running on a
 // caller-constructed sampler; see FlowProbBatchOn for why the serving
 // layer wants the chain in hand.
 func CommunityFlowProbsBatchOn(s *Sampler, sources []graph.NodeID, opts Options) ([][]float64, error) {
+	return CommunityFlowProbsBatchWideOn(s, sources, opts, 0)
+}
+
+// CommunityFlowProbsBatchWideOn is CommunityFlowProbsBatchWide running
+// on a caller-constructed sampler; see FlowProbBatchOn.
+func CommunityFlowProbsBatchWideOn(s *Sampler, sources []graph.NodeID, opts Options, words int) ([][]float64, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("mh: CommunityFlowProbsBatch with no sources")
 	}
-	m := s.m
-	n := m.NumNodes()
-	seeds, seedBits := laneChunks(len(sources), func(q int) graph.NodeID { return sources[q] })
+	words, err := laneWords(words, len(sources))
+	if err != nil {
+		return nil, err
+	}
+	n := s.m.NumNodes()
+	lanesPer := words * LaneWidth
+	nChunks := s.prepareLanes(len(sources), words, func(q int) graph.NodeID { return sources[q] })
+	bs := &s.batch
 	counts := make([][]int, len(sources))
 	for k := range counts {
 		counts[k] = make([]int, n)
 	}
-	reach := make([]uint64, n)
-	err := s.Run(opts, func(core.PseudoState) {
-		for c := range seeds {
-			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
-			lo := c * LaneWidth
-			for v, lanes := range reach {
-				for ; lanes != 0; lanes &= lanes - 1 {
-					counts[lo+bits.TrailingZeros64(lanes)][v]++
+	s.TrackFlips(true)
+	defer s.TrackFlips(false)
+	err = s.Run(opts, func(core.PseudoState) {
+		flips, complete := s.TakeFlips()
+		for c := 0; c < nChunks; c++ {
+			reach := bs.reach[c]
+			bs.engines[c].Sweep(bs.seeds[c], bs.seedBits[c], s.xbits, flips, complete, s.scratch, reach)
+			lo := c * lanesPer
+			for v := 0; v < n; v++ {
+				row := reach.Row(v)
+				for j, w := range row {
+					base := lo + j*LaneWidth
+					for ; w != 0; w &= w - 1 {
+						counts[base+bits.TrailingZeros64(w)][v]++
+					}
 				}
 			}
 		}

@@ -129,6 +129,73 @@ func TestCommunityFlowProbsBatchMatchesSingle(t *testing.T) {
 	}
 }
 
+// TestFlowProbBatchWideMatchesPerPair pins the width-invariance half of
+// the determinism contract: the lane-mask width only changes how
+// queries chunk onto sweeps, so for every explicit W (including widths
+// that leave the top word ragged — 70 pairs at W=2 fills 70 of 128
+// lanes) the batch must still equal per-pair FlowProb bit for bit.
+func TestFlowProbBatchWideMatchesPerPair(t *testing.T) {
+	m := batchTestModel(21, 30, 80)
+	opts := Options{BurnIn: 100, Thin: 20, Samples: 120}
+	const seed = 77
+	pairs := randomPairs(rng.New(7), m.NumNodes(), 70)
+	single := make([]float64, len(pairs))
+	for k, pair := range pairs {
+		p, err := FlowProb(m, pair.Source, pair.Sink, nil, opts, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[k] = p
+	}
+	for _, words := range []int{1, 2, 4, 8} {
+		batch, err := FlowProbBatchWide(m, pairs, nil, opts, words, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range pairs {
+			if batch[k] != single[k] {
+				t.Errorf("W=%d pair %d: batch %v != per-pair %v", words, k, batch[k], single[k])
+			}
+		}
+	}
+	if _, err := FlowProbBatchWide(m, pairs, nil, opts, MaxLaneWords+1, rng.New(seed)); err == nil {
+		t.Errorf("FlowProbBatchWide accepted width %d > MaxLaneWords", MaxLaneWords+1)
+	}
+}
+
+// TestCommunityFlowProbsBatchWideWidthInvariance repeats the width
+// sweep for the community estimator: 65 sources at W ∈ {1, 2} (two
+// chunks then one) must agree with the auto-width result everywhere.
+func TestCommunityFlowProbsBatchWideWidthInvariance(t *testing.T) {
+	m := batchTestModel(22, 40, 110)
+	opts := Options{BurnIn: 80, Thin: 15, Samples: 80}
+	const seed = 55
+	sources := make([]graph.NodeID, 65)
+	for i := range sources {
+		sources[i] = graph.NodeID(i % m.NumNodes())
+	}
+	want, err := CommunityFlowProbsBatch(m, sources, nil, opts, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, words := range []int{1, 2} {
+		got, err := CommunityFlowProbsBatchWide(m, sources, nil, opts, words, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			for v := range want[k] {
+				if got[k][v] != want[k][v] {
+					t.Fatalf("W=%d source %d node %d: %v != auto-width %v", words, k, v, got[k][v], want[k][v])
+				}
+			}
+		}
+	}
+	if _, err := CommunityFlowProbsBatchWide(m, sources, nil, opts, MaxLaneWords+1, rng.New(seed)); err == nil {
+		t.Errorf("CommunityFlowProbsBatchWide accepted width %d > MaxLaneWords", MaxLaneWords+1)
+	}
+}
+
 // TestStateBitsShadowsState pins the packed-shadow invariant: after any
 // number of accepted and rejected steps, StateBits equals the []bool
 // state bit for bit — including under conditions, whose rejected
@@ -179,28 +246,32 @@ func TestFlowProbBatchRejectsEmpty(t *testing.T) {
 }
 
 // TestFlowProbBatchZeroAllocSteadyState asserts the batched hot loop —
-// chain updates plus one lane sweep per 64 pairs — allocates nothing
-// once warm.
+// chain updates with flip tracking plus one wide-lane engine sweep per
+// chunk of pairs — allocates nothing once warm. 130 pairs at W=1 forces
+// three chunks, so the multi-engine path is covered too.
 func TestFlowProbBatchZeroAllocSteadyState(t *testing.T) {
 	m := batchTestModel(16, 300, 900)
 	s, err := NewSampler(m, nil, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs := randomPairs(rng.New(10), m.NumNodes(), 64)
-	seeds, seedBits := laneChunks(len(pairs), func(q int) graph.NodeID { return pairs[q].Source })
-	hits := make([]int, len(pairs))
-	reach := make([]uint64, m.NumNodes())
+	pairs := randomPairs(rng.New(10), m.NumNodes(), 130)
+	nChunks := s.prepareLanes(len(pairs), 1, func(q int) graph.NodeID { return pairs[q].Source })
+	bs := &s.batch
+	s.TrackFlips(true)
+	defer s.TrackFlips(false)
 	sample := func() {
 		for k := 0; k < 10; k++ {
 			s.Step()
 		}
-		for c := range seeds {
-			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
+		flips, complete := s.TakeFlips()
+		for c := 0; c < nChunks; c++ {
+			reach := bs.reach[c]
+			bs.engines[c].Sweep(bs.seeds[c], bs.seedBits[c], s.xbits, flips, complete, s.scratch, reach)
 			lo := c * LaneWidth
-			for q := lo; q < lo+len(seeds[c]); q++ {
-				if reach[pairs[q].Sink]>>uint(q-lo)&1 != 0 {
-					hits[q]++
+			for q := lo; q < lo+len(bs.seeds[c]); q++ {
+				if reach.TestBit(int(pairs[q].Sink), q-lo) {
+					bs.hits[q]++
 				}
 			}
 		}
@@ -227,25 +298,115 @@ func BenchmarkFlowProbBatch64(b *testing.B) {
 	m, s := paperScaleSampler(b)
 	const thin = 200
 	pairs := benchPairs64(m)
-	seeds, seedBits := laneChunks(len(pairs), func(q int) graph.NodeID { return pairs[q].Source })
+	seeds := make([]graph.NodeID, len(pairs))
+	seedBits := make([]uint64, len(pairs))
+	for q := range pairs {
+		seeds[q] = pairs[q].Source
+		seedBits[q] = 1 << uint(q)
+	}
 	hits := make([]int, len(pairs))
 	reach := make([]uint64, m.NumNodes())
 	for k := 0; k < thin; k++ {
 		s.Step()
 	}
-	reach = m.FlowLanesInto(seeds[0], seedBits[0], s.xbits, s.scratch, reach)
+	reach = m.FlowLanesInto(seeds, seedBits, s.xbits, s.scratch, reach)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for k := 0; k < thin; k++ {
 			s.Step()
 		}
-		reach = m.FlowLanesInto(seeds[0], seedBits[0], s.xbits, s.scratch, reach)
+		reach = m.FlowLanesInto(seeds, seedBits, s.xbits, s.scratch, reach)
 		for q, pair := range pairs {
 			if reach[pair.Sink]>>uint(q)&1 != 0 {
 				hits[q]++
 			}
 		}
+	}
+}
+
+// BenchmarkFlowProbBatch512 measures one steady-state batched output
+// sample for 512 pairs on the §IV-C graph: thin chain updates plus ONE
+// 8-word wide-lane engine sweep (with condensation reuse across the
+// tracked flips) answering all 512 pairs. Divide ns/op by 512 for the
+// per-query figure; compare against BenchmarkFlowProbBatch512Chunks64,
+// which serves the same 512 pairs as eight 64-lane sweeps per sample.
+// allocs/op must read 0.
+func BenchmarkFlowProbBatch512(b *testing.B) {
+	m, s := paperScaleSampler(b)
+	const thin = 200
+	pairs := randomPairs(rng.New(17), m.NumNodes(), 512)
+	nChunks := s.prepareLanes(len(pairs), 8, func(q int) graph.NodeID { return pairs[q].Source })
+	if nChunks != 1 {
+		b.Fatalf("512 pairs at W=8 span %d chunks, want 1", nChunks)
+	}
+	bs := &s.batch
+	s.TrackFlips(true)
+	defer s.TrackFlips(false)
+	sample := func() {
+		for k := 0; k < thin; k++ {
+			s.Step()
+		}
+		flips, complete := s.TakeFlips()
+		bs.engines[0].Sweep(bs.seeds[0], bs.seedBits[0], s.xbits, flips, complete, s.scratch, bs.reach[0])
+		for q := range pairs {
+			if bs.reach[0].TestBit(int(pairs[q].Sink), q) {
+				bs.hits[q]++
+			}
+		}
+	}
+	sample() // warm buffers and the engine cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sample()
+	}
+	e := bs.engines[0]
+	b.ReportMetric(float64(e.Replays())/float64(e.Replays()+e.Rebuilds()), "replay-rate")
+}
+
+// BenchmarkFlowProbBatch512Chunks64 is the pre-wide-lane baseline for
+// the same workload: 512 pairs served by EIGHT chunked 64-lane sweeps
+// per thinned sample (each paying its own Tarjan pass), sharing one
+// chain. This is exactly what the old LaneWidth-chunked FlowProbBatch
+// executed per sample.
+func BenchmarkFlowProbBatch512Chunks64(b *testing.B) {
+	m, s := paperScaleSampler(b)
+	const thin = 200
+	pairs := randomPairs(rng.New(17), m.NumNodes(), 512)
+	nChunks := len(pairs) / LaneWidth
+	seeds := make([][]graph.NodeID, nChunks)
+	seedBits := make([][]uint64, nChunks)
+	for c := 0; c < nChunks; c++ {
+		lo := c * LaneWidth
+		seeds[c] = make([]graph.NodeID, LaneWidth)
+		seedBits[c] = make([]uint64, LaneWidth)
+		for q := lo; q < lo+LaneWidth; q++ {
+			seeds[c][q-lo] = pairs[q].Source
+			seedBits[c][q-lo] = 1 << uint(q-lo)
+		}
+	}
+	hits := make([]int, len(pairs))
+	reach := make([]uint64, m.NumNodes())
+	sample := func() {
+		for k := 0; k < thin; k++ {
+			s.Step()
+		}
+		for c := 0; c < nChunks; c++ {
+			reach = m.FlowLanesInto(seeds[c], seedBits[c], s.xbits, s.scratch, reach)
+			lo := c * LaneWidth
+			for q := lo; q < lo+LaneWidth; q++ {
+				if reach[pairs[q].Sink]>>uint(q-lo)&1 != 0 {
+					hits[q]++
+				}
+			}
+		}
+	}
+	sample()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sample()
 	}
 }
 

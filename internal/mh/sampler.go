@@ -110,6 +110,24 @@ type Sampler struct {
 	via     []graph.EdgeID
 	repairQ []graph.NodeID
 
+	// batch holds the lane tables, reach matrices and per-chunk wide-lane
+	// engines of the batched estimators (FlowProbBatch and friends), so
+	// repeated batches on one sampler reuse both the buffers and the
+	// engines' cached condensations.
+	batch batchScratch
+
+	// flipLog records the edge of every accepted flip since the last
+	// TakeFlips, for the wide-lane engine's condensation reuse: between
+	// thinned samples only these edges changed the packed shadow, so the
+	// sweep can decide structurally whether the cached SCC condensation
+	// is still valid. Tracking is off by default (TrackFlips enables it)
+	// and the log is bounded by the edge count — past that a full
+	// recompute is cheaper than replaying the log, so the log is dropped
+	// and flipOverflow marks the gap.
+	trackFlips   bool
+	flipLog      []graph.EdgeID
+	flipOverflow bool
+
 	steps    int64
 	accepted int64
 
@@ -133,6 +151,37 @@ func (s *Sampler) Scratch() *graph.Scratch { return s.scratch }
 // returned set is live chain state: callers must not modify it and must
 // copy it to retain it across Step calls.
 func (s *Sampler) StateBits() bitset.Set { return s.xbits }
+
+// TrackFlips enables (or disables) recording of accepted flips for
+// TakeFlips. Enabling starts a fresh window: the log is emptied and the
+// overflow mark cleared, so the first TakeFlips afterwards describes
+// exactly the flips accepted since this call. Tracking costs one
+// bounded append per accepted flip and never touches the RNG, so it
+// cannot change the sample stream.
+func (s *Sampler) TrackFlips(on bool) {
+	s.trackFlips = on
+	s.flipLog = s.flipLog[:0]
+	s.flipOverflow = false
+}
+
+// TakeFlips returns the edges flipped (accepted) since the previous
+// TakeFlips or TrackFlips call, and whether that record is complete. A
+// false complete means the log overflowed — more flips happened than
+// the edge count, at which point a consumer is better off recomputing
+// from the live state than replaying a log — and the returned slice is
+// empty. The slice is sampler-owned scratch, valid until the next Step;
+// callers must not retain it. An edge appears once per accepted flip,
+// so a twice-flipped edge appears twice (net unchanged).
+func (s *Sampler) TakeFlips() (flips []graph.EdgeID, complete bool) {
+	flips = s.flipLog
+	complete = !s.flipOverflow
+	if !complete {
+		flips = nil
+	}
+	s.flipLog = s.flipLog[:0]
+	s.flipOverflow = false
+	return flips, complete
+}
 
 // SetUniformProposal switches the chain to a uniform flip-one-edge
 // proposal instead of the paper's weighted multinomial (§III-C). The
@@ -357,6 +406,14 @@ func (s *Sampler) Step() bool {
 		s.x[i] = !s.x[i]
 	}
 	s.xbits.Flip(i) // the packed shadow tracks accepted flips only
+	if s.trackFlips {
+		if len(s.flipLog) < s.m.NumEdges() {
+			s.flipLog = append(s.flipLog, graph.EdgeID(i))
+		} else {
+			s.flipOverflow = true
+			s.flipLog = s.flipLog[:0]
+		}
+	}
 	s.tree.Set(i, flipWeight(s.m.P[i], s.x[i]))
 	s.accepted++
 	s.winAccepted++

@@ -67,8 +67,9 @@ type member struct {
 }
 
 // pendingBatch accumulates members during the batching window. Lanes
-// are deduplicated: two identical queries share a lane, so 64 identical
-// requests still fit one sweep with one lane occupied.
+// are deduplicated: two identical queries share a lane, so a budget's
+// worth of identical requests still fits one sweep with one lane
+// occupied.
 type pendingBatch struct {
 	key       batchKey
 	model     *core.ICM
@@ -80,16 +81,19 @@ type pendingBatch struct {
 	full      chan struct{} // closed on flush; wakes the window collector
 }
 
-// batcher coalesces concurrent same-chain queries into ≤64-lane sweeps.
-// A batch flushes when its lane set fills (64 distinct queries) or when
-// the batching window expires, whichever comes first; flushed batches
-// run on a bounded worker pool. The window timer comes from the
-// injected Clock, so tests drive flushes deterministically.
+// batcher coalesces concurrent same-chain queries into wide-lane
+// sweeps of up to laneBudget distinct queries. A batch flushes when its
+// lane set fills the budget or when the batching window expires,
+// whichever comes first; flushed batches run on a bounded worker pool,
+// each as one W-word lane sweep per thinned sample. The window timer
+// comes from the injected Clock, so tests drive flushes
+// deterministically.
 type batcher struct {
-	window  time.Duration
-	clock   Clock
-	metrics *Metrics
-	cache   *lruCache
+	window     time.Duration
+	laneBudget int
+	clock      Clock
+	metrics    *Metrics
+	cache      *lruCache
 
 	mu      sync.Mutex
 	pending map[batchKey]*pendingBatch
@@ -101,14 +105,15 @@ type batcher struct {
 	drainOnce  sync.Once
 }
 
-func newBatcher(window time.Duration, workers, queueCap int, clock Clock, m *Metrics, cache *lruCache) *batcher {
+func newBatcher(window time.Duration, workers, queueCap, laneBudget int, clock Clock, m *Metrics, cache *lruCache) *batcher {
 	b := &batcher{
-		window:  window,
-		clock:   clock,
-		metrics: m,
-		cache:   cache,
-		pending: make(map[batchKey]*pendingBatch),
-		jobs:    make(chan *pendingBatch, queueCap),
+		window:     window,
+		laneBudget: laneBudget,
+		clock:      clock,
+		metrics:    m,
+		cache:      cache,
+		pending:    make(map[batchKey]*pendingBatch),
+		jobs:       make(chan *pendingBatch, queueCap),
 	}
 	m.queueDepth.Store(func() int { return len(b.jobs) })
 	for i := 0; i < workers; i++ {
@@ -150,7 +155,7 @@ func (b *batcher) join(ctx context.Context, key batchKey, model *core.ICM, conds
 	}
 	m := &member{lane: lane, ctx: ctx, cacheKey: cacheKey, done: make(chan flowResult, 1)}
 	pb.members = append(pb.members, m)
-	if len(pb.pairs) == mh.LaneWidth {
+	if len(pb.pairs) == b.laneBudget {
 		b.flushLocked(pb)
 	}
 	return m, nil
@@ -198,8 +203,11 @@ func (b *batcher) worker() {
 }
 
 // execute runs one flushed batch: a fresh chain seeded from the batch
-// key, one ≤64-lane sweep per thinned sample, cooperative abort once
-// every member has cancelled, cache fill, then per-member delivery.
+// key, one wide-lane sweep per thinned sample (the auto-width batch
+// estimators size the lane mask to cover every pair in a single
+// sweep, since the lane budget never exceeds mh.MaxLanes), cooperative
+// abort once every member has cancelled, cache fill, then per-member
+// delivery.
 func (b *batcher) execute(pb *pendingBatch) {
 	b.metrics.Batches.Add(1)
 	b.metrics.BatchedLanes.Add(int64(len(pb.pairs)))

@@ -38,7 +38,7 @@ func TestBatcherWindowFlush(t *testing.T) {
 	m := serveICM(3, 20, 60)
 	clock := newFakeClock()
 	met := &Metrics{}
-	b := newBatcher(10*time.Millisecond, 1, 4, clock, met, newLRUCache(8))
+	b := newBatcher(10*time.Millisecond, 1, 4, mh.LaneWidth, clock, met, newLRUCache(8))
 	defer b.drain()
 
 	key := testBatchKey(m, 200, 7)
@@ -79,7 +79,7 @@ func TestBatcherLaneDedupe(t *testing.T) {
 	m := serveICM(3, 20, 60)
 	clock := newFakeClock()
 	met := &Metrics{}
-	b := newBatcher(time.Millisecond, 1, 4, clock, met, newLRUCache(8))
+	b := newBatcher(time.Millisecond, 1, 4, mh.LaneWidth, clock, met, newLRUCache(8))
 	defer b.drain()
 
 	key := testBatchKey(m, 100, 1)
@@ -109,13 +109,13 @@ func TestBatcherLaneDedupe(t *testing.T) {
 	}
 }
 
-// TestBatcherFlushOnFull: the 64th distinct lane flushes immediately,
-// without the window expiring.
+// TestBatcherFlushOnFull: the lane budget's final distinct lane (here a
+// 64-lane budget) flushes immediately, without the window expiring.
 func TestBatcherFlushOnFull(t *testing.T) {
 	m := serveICM(5, 70, 200)
 	clock := newFakeClock() // never advanced: only lane-full can flush
 	met := &Metrics{}
-	b := newBatcher(time.Hour, 2, 4, clock, met, newLRUCache(0))
+	b := newBatcher(time.Hour, 2, 4, mh.LaneWidth, clock, met, newLRUCache(0))
 	defer b.drain()
 
 	key := testBatchKey(m, 50, 3)
@@ -181,7 +181,7 @@ func TestBatcherDrain(t *testing.T) {
 	m := serveICM(3, 20, 60)
 	clock := newFakeClock() // window never fires; only drain can flush
 	met := &Metrics{}
-	b := newBatcher(time.Hour, 1, 4, clock, met, newLRUCache(0))
+	b := newBatcher(time.Hour, 1, 4, mh.LaneWidth, clock, met, newLRUCache(0))
 
 	mem, err := b.join(context.Background(), testBatchKey(m, 50, 2), m, nil, mh.FlowPair{Source: 1, Sink: 4}, "")
 	if err != nil {
@@ -204,7 +204,7 @@ func TestBatcherAllMembersCancelled(t *testing.T) {
 	m := serveICM(3, 20, 60)
 	clock := newFakeClock()
 	met := &Metrics{}
-	b := newBatcher(time.Millisecond, 1, 4, clock, met, newLRUCache(0))
+	b := newBatcher(time.Millisecond, 1, 4, mh.LaneWidth, clock, met, newLRUCache(0))
 	defer b.drain()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -231,7 +231,7 @@ func TestBatcherSurvivorUnaffectedByCancelledCobatch(t *testing.T) {
 	m := serveICM(3, 20, 60)
 	clock := newFakeClock()
 	met := &Metrics{}
-	b := newBatcher(time.Millisecond, 1, 4, clock, met, newLRUCache(0))
+	b := newBatcher(time.Millisecond, 1, 4, mh.LaneWidth, clock, met, newLRUCache(0))
 	defer b.drain()
 
 	key := testBatchKey(m, 300, 11)

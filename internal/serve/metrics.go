@@ -39,6 +39,10 @@ type Metrics struct {
 	// post-burn-in Metropolis-Hastings acceptance rate.
 	acceptanceBits atomic.Uint64
 
+	// laneBudget mirrors Config.LaneBudget (after rounding); installed
+	// by NewServer so utilization can be derived from BatchedLanes.
+	laneBudget atomic.Int64
+
 	// queueDepth reports the number of flushed batches waiting for a
 	// worker; installed by the batcher.
 	queueDepth atomic.Value // func() int
@@ -74,6 +78,26 @@ func (m *Metrics) Occupancy() float64 {
 	return float64(m.BatchedRequests.Load()) / float64(b)
 }
 
+// LaneBudget returns the server's configured (rounded) lane budget —
+// the most distinct queries one batch may coalesce.
+func (m *Metrics) LaneBudget() int {
+	return int(m.laneBudget.Load())
+}
+
+// LaneUtilization returns the mean fraction of the lane budget that
+// executed batches actually filled (0 before any batch has run; 1.0
+// means every batch flushed lane-full rather than on the window). Low
+// utilization at high occupancy signals heavy query deduplication; low
+// utilization at low occupancy signals the budget outruns the offered
+// load and the window is doing the flushing.
+func (m *Metrics) LaneUtilization() float64 {
+	b, budget := m.Batches.Load(), m.laneBudget.Load()
+	if b == 0 || budget == 0 {
+		return 0
+	}
+	return float64(m.BatchedLanes.Load()) / float64(b*budget)
+}
+
 // CacheHitRate returns hits / (hits + misses), 0 when nothing has been
 // looked up.
 func (m *Metrics) CacheHitRate() float64 {
@@ -97,6 +121,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		"batched_lanes":      m.BatchedLanes.Load(),
 		"batched_requests":   m.BatchedRequests.Load(),
 		"batch_occupancy":    m.Occupancy(),
+		"lane_budget":        m.LaneBudget(),
+		"lane_utilization":   m.LaneUtilization(),
 		"queue_depth":        m.QueueDepth(),
 		"rejected":           m.Rejected.Load(),
 		"timeouts":           m.Timeouts.Load(),

@@ -1,9 +1,11 @@
 // Package serve is the flowserve inference service: an HTTP layer that
 // answers flow-probability and community queries against trained ICMs
-// by coalescing concurrent same-chain requests into ≤64-lane batched
-// Metropolis-Hastings sweeps (mh.FlowProbBatch). Requests that share a
-// (model, conditions, chain schedule, seed) tuple arriving within the
-// batching window ride one chain; an LRU cache short-circuits repeats.
+// by coalescing concurrent same-chain requests into wide-lane batched
+// Metropolis-Hastings sweeps (mh.FlowProbBatch) of up to LaneBudget
+// queries (default 512, one W-word sweep per thinned sample). Requests
+// that share a (model, conditions, chain schedule, seed) tuple arriving
+// within the batching window ride one chain; an LRU cache
+// short-circuits repeats.
 //
 // Determinism contract: batching, caching, and co-batched cancellation
 // never change a query's answer. The chain's randomness is independent
@@ -46,9 +48,15 @@ type Config struct {
 	// single model the parameter may be omitted.
 	Models []Model
 	// Window is how long a freshly opened batch waits for co-batchable
-	// requests before flushing (default 5ms). A batch whose 64 lanes
-	// fill flushes immediately.
+	// requests before flushing (default 5ms). A batch whose LaneBudget
+	// lanes fill flushes immediately.
 	Window time.Duration
+	// LaneBudget is how many distinct queries one batch may coalesce
+	// before it flushes (default 512). Rounded up to a multiple of 64
+	// (the sweep packs 64 lanes per mask word) and capped at
+	// mh.MaxLanes; a full budget still runs as ONE wide-lane sweep per
+	// thinned sample.
+	LaneBudget int
 	// Workers bounds concurrent chain sweeps (default 2).
 	Workers int
 	// QueueCap bounds flushed batches awaiting a worker (default 64);
@@ -73,6 +81,15 @@ type Config struct {
 func (c *Config) applyDefaults() {
 	if c.Window <= 0 {
 		c.Window = 5 * time.Millisecond
+	}
+	if c.LaneBudget <= 0 {
+		c.LaneBudget = 512
+	}
+	if r := c.LaneBudget % mh.LaneWidth; r != 0 {
+		c.LaneBudget += mh.LaneWidth - r
+	}
+	if c.LaneBudget > mh.MaxLanes {
+		c.LaneBudget = mh.MaxLanes
 	}
 	if c.Workers <= 0 {
 		c.Workers = 2
@@ -138,8 +155,9 @@ func NewServer(cfg Config) (*Server, error) {
 		s.only = cfg.Models[0].Name
 	}
 	s.metrics = &Metrics{}
+	s.metrics.laneBudget.Store(int64(cfg.LaneBudget))
 	s.cache = newLRUCache(cfg.CacheSize)
-	s.batcher = newBatcher(cfg.Window, cfg.Workers, cfg.QueueCap, cfg.Clock, s.metrics, s.cache)
+	s.batcher = newBatcher(cfg.Window, cfg.Workers, cfg.QueueCap, cfg.LaneBudget, cfg.Clock, s.metrics, s.cache)
 	publishExpvar(s.metrics)
 
 	mux := http.NewServeMux()

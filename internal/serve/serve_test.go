@@ -58,12 +58,15 @@ func getJSON(t *testing.T, url string, out any) (status int) {
 }
 
 // TestServerBurstCoalesces is the headline acceptance check: 64
-// concurrent same-model /flow requests (distinct pairs) must be served
-// by one lane-full sweep — the occupancy metric proves the coalescing.
+// concurrent same-model /flow requests (distinct pairs) against a
+// 64-lane budget must be served by one lane-full sweep — the occupancy
+// metric proves the coalescing. (TestServerLaneBudget covers bursts
+// beyond 64 lanes.)
 func TestServerBurstCoalesces(t *testing.T) {
 	srv, ts, _ := startServer(t, func(c *Config) {
 		c.Models = []Model{{Name: "m", ICM: serveICM(5, 70, 200)}}
 		c.DefaultSamples = 50
+		c.LaneBudget = mh.LaneWidth
 	})
 	var wg sync.WaitGroup
 	resps := make([]flowResponse, mh.LaneWidth)
@@ -318,10 +321,81 @@ func TestServerMetricsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"batch_occupancy", "cache_hit_rate", "queue_depth", "acceptance_rate"} {
+	for _, k := range []string{"batch_occupancy", "cache_hit_rate", "queue_depth", "acceptance_rate", "lane_budget", "lane_utilization"} {
 		if _, ok := snap[k]; !ok {
 			t.Errorf("flowserve expvar missing %q", k)
 		}
+	}
+}
+
+// TestServerLaneBudgetRounding pins the Config.LaneBudget normalisation:
+// default 512, round up to a multiple of 64, cap at mh.MaxLanes.
+func TestServerLaneBudgetRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 512},
+		{-3, 512},
+		{64, 64},
+		{100, 128},
+		{512, 512},
+		{mh.MaxLanes + 1, mh.MaxLanes},
+		{1 << 20, mh.MaxLanes},
+	} {
+		srv, err := NewServer(Config{
+			Models:     []Model{{Name: "m", ICM: serveICM(3, 20, 60)}},
+			LaneBudget: tc.in,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := srv.cfg.LaneBudget; got != tc.want {
+			t.Errorf("LaneBudget %d normalised to %d, want %d", tc.in, got, tc.want)
+		}
+		if got := srv.Metrics().LaneBudget(); got != tc.want {
+			t.Errorf("Metrics().LaneBudget() after config %d = %d, want %d", tc.in, got, tc.want)
+		}
+		srv.Drain()
+	}
+}
+
+// TestServerLaneBudgetBurst: a burst wider than one 64-lane word (130
+// distinct pairs against a 128-lane budget) coalesces into at most two
+// wide sweeps — one lane-full flush at the budget plus the drain-time
+// remainder — and lane utilization reflects the fill against the
+// budget, not against 64.
+func TestServerLaneBudgetBurst(t *testing.T) {
+	const budget = 2 * mh.LaneWidth
+	srv, ts, _ := startServer(t, func(c *Config) {
+		c.Models = []Model{{Name: "m", ICM: serveICM(5, 200, 600)}}
+		c.DefaultSamples = 30
+		c.LaneBudget = budget
+		c.Workers = 4
+	})
+	var wg sync.WaitGroup
+	codes := make([]int, budget)
+	for i := 0; i < budget; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp flowResponse
+			url := fmt.Sprintf("%s/flow?source=%d&sink=%d", ts.URL, i%16, 20+i/16)
+			codes[i] = getJSON(t, url, &resp)
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	met := srv.Metrics()
+	if got := met.Batches.Load(); got != 1 {
+		t.Errorf("burst of %d distinct pairs took %d sweeps, want 1 (budget %d)", budget, got, budget)
+	}
+	if got := met.BatchedLanes.Load(); got != budget {
+		t.Errorf("BatchedLanes = %d, want %d", got, budget)
+	}
+	if util := met.LaneUtilization(); util != 1.0 {
+		t.Errorf("lane utilization = %v, want 1.0 for a lane-full flush", util)
 	}
 }
 
