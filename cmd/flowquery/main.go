@@ -6,10 +6,16 @@
 //	flowquery -data corpus.json -source 3 -community -top 10
 //	flowquery -data corpus.json -source 3 -sink 42 -cond "3>7=1,3>9=0"
 //	flowquery -data corpus.json -source 3 -impact
+//	flowquery -data corpus.json -impact -sources 3,7,12
 //	flowquery -data corpus.json -source 3 -sink 42 -nested 50
 //
 // Conditions are comma-separated "u>v=1" (flow known present) or
 // "u>v=0" (known absent).
+//
+// -impact prints the cascade-size distribution of the source set: the
+// exact analytic law (internal/sizedist) when the model admits one and
+// the query is unconditioned, otherwise the sampled MH estimate — the
+// header labels which estimator answered.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"infoflow/internal/core"
 	"infoflow/internal/dist"
@@ -26,6 +33,7 @@ import (
 	"infoflow/internal/mh"
 	"infoflow/internal/rng"
 	"infoflow/internal/serve"
+	"infoflow/internal/sizedist"
 	"infoflow/internal/twitter"
 )
 
@@ -49,7 +57,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	condsArg := fs.String("cond", "", "flow conditions, e.g. \"3>7=1,3>9=0\"")
 	community := fs.Bool("community", false, "report source-to-community flow")
 	top := fs.Int("top", 10, "community nodes to print")
-	impact := fs.Bool("impact", false, "report the impact distribution")
+	impact := fs.Bool("impact", false, "report the impact (cascade-size) distribution")
+	sourcesArg := fs.String("sources", "", "comma-separated source set for -impact (overrides -source)")
 	nested := fs.Int("nested", 0, "if > 0, sample this many models for an uncertainty estimate")
 	samples := fs.Int("samples", 2000, "MH output samples")
 	censored := fs.Bool("censored", true, "use censored attributed training (recommended for chain-recovered evidence)")
@@ -57,9 +66,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if *data == "" || *source < 0 {
+	if *data == "" || (*source < 0 && !(*impact && *sourcesArg != "")) {
 		fs.Usage()
-		return fmt.Errorf("-data and -source are required")
+		return fmt.Errorf("-data and -source (or -impact -sources) are required")
 	}
 	f, err := os.Open(*data)
 	if err != nil {
@@ -92,23 +101,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts := mh.DefaultOptions(m.NumEdges())
 	opts.Samples = *samples
 	src := graph.NodeID(*source)
-	if int(src) >= real.NumNodes() {
+	if *source >= 0 && int(src) >= real.NumNodes() {
 		return fmt.Errorf("source %d out of range", src)
 	}
 
 	switch {
 	case *impact:
-		impacts, err := mh.ImpactDistribution(m, []graph.NodeID{src}, conds, opts, r)
-		if err != nil {
-			return err
-		}
-		hist := dist.IntHistogram(impacts)
-		fmt.Fprintf(stdout, "impact distribution for user %d (over %d samples):\n", src, len(impacts))
-		for k, c := range hist {
-			if c > 0 {
-				fmt.Fprintf(stdout, "  %3d reached: %6d (%.4f)\n", k, c, float64(c)/float64(len(impacts)))
+		set := []graph.NodeID{src}
+		if *sourcesArg != "" {
+			if set, err = serve.ParseSources(*sourcesArg); err != nil {
+				return err
+			}
+			if len(set) == 0 {
+				return fmt.Errorf("-sources is empty")
+			}
+			for _, v := range set {
+				if int(v) >= real.NumNodes() {
+					return fmt.Errorf("source %d out of range", v)
+				}
 			}
 		}
+		return printImpact(stdout, m, set, conds, opts, r)
 	case *community:
 		flows, err := mh.CommunityFlowProbs(m, src, conds, opts, r)
 		if err != nil {
@@ -157,6 +170,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, " | %d conditions", len(conds))
 		}
 		fmt.Fprintf(stdout, "] = %.4f\n", p)
+	}
+	return nil
+}
+
+// printImpact reports the cascade-size distribution of a source set:
+// the exact analytic law when internal/sizedist can produce one (the
+// query must be unconditioned — the analytic engine computes the
+// unconditional law), otherwise the sampled MH estimate. The header
+// labels which estimator answered.
+func printImpact(stdout io.Writer, m *core.ICM, set []graph.NodeID, conds []core.FlowCondition, opts mh.Options, r *rng.RNG) error {
+	users := make([]string, len(set))
+	for i, v := range set {
+		users[i] = fmt.Sprint(v)
+	}
+	who := strings.Join(users, ",")
+	if len(conds) == 0 {
+		if res, err := sizedist.Compute(m, set, sizedist.DefaultOptions()); err == nil && res.Exact {
+			fmt.Fprintf(stdout, "impact distribution for users %s (analytic: %s, exact; mean %.4f):\n", who, res.Method, res.Mean())
+			for k, p := range res.Dist {
+				if p > 1e-9 {
+					fmt.Fprintf(stdout, "  %3d reached: %.4f\n", k, p)
+				}
+			}
+			return nil
+		}
+	}
+	impacts, err := mh.ImpactDistribution(m, set, conds, opts, r)
+	if err != nil {
+		return err
+	}
+	hist := dist.IntHistogram(impacts)
+	fmt.Fprintf(stdout, "impact distribution for users %s (sampled: mh, over %d samples):\n", who, len(impacts))
+	for k, c := range hist {
+		if c > 0 {
+			fmt.Fprintf(stdout, "  %3d reached: %6d (%.4f)\n", k, c, float64(c)/float64(len(impacts)))
+		}
 	}
 	return nil
 }

@@ -59,3 +59,20 @@ func TestRunMissingArgs(t *testing.T) {
 		t.Fatal("nonexistent corpus accepted")
 	}
 }
+
+var impactHeader = regexp.MustCompile(`impact distribution for users 0,1 \((analytic: [a-z-]+, exact; mean \d+\.\d{4}|sampled: mh, over 100 samples)\):`)
+
+// TestRunImpactQuery: -impact with a multi-node -sources set prints a
+// labeled size distribution — analytic when the trained model admits the
+// exact law, sampled otherwise.
+func TestRunImpactQuery(t *testing.T) {
+	corpus := tinyCorpus(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-data", corpus, "-impact", "-sources", "0,1", "-samples", "100"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impactHeader.MatchString(stdout.String()) {
+		t.Errorf("output missing labeled impact header:\n%s", stdout.String())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"infoflow/internal/mh"
 	"infoflow/internal/rng"
 	"infoflow/internal/rwr"
+	"infoflow/internal/sizedist"
 	"infoflow/internal/twitter"
 	"infoflow/internal/unattrib"
 )
@@ -156,6 +157,36 @@ func JointFlowProb(m *ICM, flows []FlowPair, conds []FlowCondition, opts MHOptio
 // the dispersion/impact statistic.
 func ImpactDistribution(m *ICM, sources []NodeID, conds []FlowCondition, opts MHOptions, r *RNG) ([]int, error) {
 	return mh.ImpactDistribution(m, sources, conds, opts, r)
+}
+
+// Analytic cascade-size distribution (the second estimator family; see
+// DESIGN.md §12).
+type (
+	// SizeDistOptions budgets the analytic cascade-size engine: frontier
+	// width, loop-conditioning edge budget, Monte-Carlo fallback samples.
+	SizeDistOptions = sizedist.Options
+	// SizeDistResult is the computed size law with its method label and
+	// exactness flag; inexact results carry condensation sandwich bounds.
+	SizeDistResult = sizedist.Result
+)
+
+// ErrSizeDistIntractable is returned by SizeDistribution when no
+// analytic path fits the configured budgets and the Monte-Carlo
+// fallback is disabled.
+var ErrSizeDistIntractable = sizedist.ErrIntractable
+
+// DefaultSizeDistOptions returns budgets adequate for tree-like and
+// moderately wide DAG models.
+func DefaultSizeDistOptions() SizeDistOptions { return sizedist.DefaultOptions() }
+
+// SizeDistribution computes the exact distribution of the number of
+// non-source nodes a cascade from sources reaches — the analytic
+// counterpart of the sampled ImpactDistribution, exact on forests and
+// bounded-width DAGs, with principled loop conditioning on nearly
+// acyclic models. Unlike the MH estimator it is unconditional (no
+// FlowCondition support) but closed-form: no chain, no variance.
+func SizeDistribution(m *ICM, sources []NodeID, opts SizeDistOptions) (*SizeDistResult, error) {
+	return sizedist.Compute(m, sources, opts)
 }
 
 // NestedFlowProb samples ICMs from the betaICM and estimates the flow on

@@ -208,3 +208,28 @@ func TestCalibrationFacade(t *testing.T) {
 		t.Fatalf("brier = %v", m.Brier)
 	}
 }
+
+// TestSizeDistributionFacade checks the analytic size law through the
+// facade on a two-edge path: Pr[0 reached]=(1-p)(... ) enumerable by hand.
+func TestSizeDistributionFacade(t *testing.T) {
+	g := infoflow.NewGraph(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	m := infoflow.MustNewICM(g, []float64{0.5, 0.5})
+	res, err := infoflow.SizeDistribution(m, []infoflow.NodeID{0}, infoflow.DefaultSizeDistOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("path graph should be exact, method %s", res.Method)
+	}
+	want := []float64{0.5, 0.25, 0.25}
+	for k, p := range res.Dist {
+		if diff := p - want[k]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("Dist[%d] = %v, want %v", k, p, want[k])
+		}
+	}
+	if mean := res.Mean(); mean < 0.74 || mean > 0.76 {
+		t.Fatalf("mean = %v, want 0.75", mean)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -15,7 +16,10 @@ func TestEnumImpactStar(t *testing.T) {
 		g.MustAddEdge(0, graph.NodeID(v))
 	}
 	m := MustNewICM(g, []float64{0.5, 0.5, 0.5})
-	dist := m.EnumImpactDistribution([]graph.NodeID{0})
+	dist, err := m.EnumImpactDistribution([]graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{1.0 / 8, 3.0 / 8, 3.0 / 8, 1.0 / 8}
 	if len(dist) != 4 {
 		t.Fatalf("length = %d", len(dist))
@@ -38,7 +42,10 @@ func TestEnumImpactSumsToOne(t *testing.T) {
 			p[i] = r.Float64()
 		}
 		m := MustNewICM(g, p)
-		dist := m.EnumImpactDistribution([]graph.NodeID{0})
+		dist, err := m.EnumImpactDistribution([]graph.NodeID{0})
+		if err != nil {
+			t.Fatal(err)
+		}
 		sum := 0.0
 		for _, v := range dist {
 			sum += v
@@ -57,7 +64,10 @@ func TestEnumImpactMatchesCascadeSampling(t *testing.T) {
 		p[i] = r.Float64()
 	}
 	m := MustNewICM(g, p)
-	exact := m.EnumImpactDistribution([]graph.NodeID{0})
+	exact, err := m.EnumImpactDistribution([]graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	const trials = 200000
 	counts := make([]int, len(exact))
 	for i := 0; i < trials; i++ {
@@ -74,9 +84,30 @@ func TestEnumImpactMatchesCascadeSampling(t *testing.T) {
 func TestEnumImpactMultiSourceDedup(t *testing.T) {
 	g := graph.Path(3)
 	m := MustNewICM(g, []float64{1, 1})
-	dist := m.EnumImpactDistribution([]graph.NodeID{0, 0})
+	dist, err := m.EnumImpactDistribution([]graph.NodeID{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// One distinct source, certain edges: impact always 2.
 	if len(dist) != 3 || dist[2] != 1 {
 		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestEnumImpactLimitError(t *testing.T) {
+	r := rng.New(122)
+	g := graph.Random(r, 10, MaxEnumEdges+1)
+	p := make([]float64, MaxEnumEdges+1)
+	for i := range p {
+		p[i] = 0.5
+	}
+	m := MustNewICM(g, p)
+	_, err := m.EnumImpactDistribution([]graph.NodeID{0})
+	var limit *EnumLimitError
+	if !errors.As(err, &limit) {
+		t.Fatalf("err = %v, want *EnumLimitError", err)
+	}
+	if limit.Edges != MaxEnumEdges+1 || limit.Limit != MaxEnumEdges || limit.Op != "EnumImpactDistribution" {
+		t.Errorf("limit error fields = %+v", limit)
 	}
 }

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// Closed forms: P(1, x) = 1 - e^{-x}; P(0.5, x) = erf(sqrt(x));
+// Q(k, x) for integer k is the Poisson tail e^{-x} Σ_{j<k} x^j/j!.
+func TestRegIncGammaClosedForms(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 1.9, 2.1, 5, 12} {
+		if got, want := RegIncGammaLower(1, x), 1-math.Exp(-x); math.Abs(got-want) > 1e-13 {
+			t.Errorf("P(1, %v) = %.16g, want %.16g", x, got, want)
+		}
+		if got, want := RegIncGammaLower(0.5, x), math.Erf(math.Sqrt(x)); math.Abs(got-want) > 1e-13 {
+			t.Errorf("P(0.5, %v) = %.16g, want %.16g", x, got, want)
+		}
+		for _, k := range []int{2, 3, 7, 15} {
+			tail, term := 0.0, math.Exp(-x)
+			for j := 0; j < k; j++ {
+				tail += term
+				term *= x / float64(j+1)
+			}
+			if got := RegIncGammaUpper(float64(k), x); math.Abs(got-tail) > 1e-13 {
+				t.Errorf("Q(%d, %v) = %.16g, want %.16g", k, x, got, tail)
+			}
+		}
+	}
+}
+
+// Recurrence P(a, x) - P(a+1, x) = x^a e^{-x} / Γ(a+1) ties the series
+// and continued-fraction branches together across the switch point.
+func TestRegIncGammaRecurrence(t *testing.T) {
+	for _, a := range []float64{0.3, 1.7, 2.5, 10, 49.5, 100} {
+		for _, x := range []float64{0.2, a / 2, a, a + 0.999, a + 1.001, 2 * a, 5 * a} {
+			lhs := RegIncGammaLower(a, x) - RegIncGammaLower(a+1, x)
+			rhs := math.Exp(a*math.Log(x) - x - LogGamma(a+1))
+			if math.Abs(lhs-rhs) > 1e-12 {
+				t.Errorf("recurrence off at a=%v x=%v: %v vs %v", a, x, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestRegIncGammaBounds(t *testing.T) {
+	if got := RegIncGammaLower(3, 0); got != 0 {
+		t.Errorf("P(3, 0) = %v, want 0", got)
+	}
+	if got := RegIncGammaUpper(3, 0); got != 1 {
+		t.Errorf("Q(3, 0) = %v, want 1", got)
+	}
+	// Complementarity across the series/fraction switch point.
+	for _, a := range []float64{0.5, 1, 2, 5, 17, 100} {
+		for _, x := range []float64{0.1, a, a + 0.999, a + 1.001, 3 * a, 10 * a} {
+			p, q := RegIncGammaLower(a, x), RegIncGammaUpper(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("P+Q = %v at a=%v x=%v", p+q, a, x)
+			}
+			if p < 0 || p > 1 || q < 0 || q > 1 {
+				t.Errorf("out of [0,1]: P=%v Q=%v at a=%v x=%v", p, q, a, x)
+			}
+		}
+	}
+	// Monotone in x.
+	prev := -1.0
+	for x := 0.0; x < 30; x += 0.25 {
+		p := RegIncGammaLower(4, x)
+		if p < prev {
+			t.Fatalf("P(4, x) not monotone at x=%v", x)
+		}
+		prev = p
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// Even df has the Poisson-sum closed form
+	// Pr[X >= x] = e^{-x/2} Σ_{j<df/2} (x/2)^j / j!.
+	for _, df := range []int{2, 4, 10, 40} {
+		for _, x := range []float64{0.5, 2, float64(df), 2 * float64(df), 5 * float64(df)} {
+			h := x / 2
+			tail, term := 0.0, math.Exp(-h)
+			for j := 0; j < df/2; j++ {
+				tail += term
+				term *= h / float64(j+1)
+			}
+			if got := ChiSquareSurvival(x, df); math.Abs(got-tail) > 1e-12 {
+				t.Errorf("ChiSquareSurvival(%v, %d) = %.12g, want %.12g", x, df, got, tail)
+			}
+		}
+	}
+	// df=1 is 2(1 - Φ(sqrt(x))).
+	for _, x := range []float64{0.5, 1, 3.841458820694124, 9} {
+		want := 2 * (1 - ErfApproxCDF(math.Sqrt(x)))
+		if got := ChiSquareSurvival(x, 1); math.Abs(got-want) > 1e-12 {
+			t.Errorf("ChiSquareSurvival(%v, 1) = %.12g, want %.12g", x, got, want)
+		}
+	}
+	// The df=1, x=3.8415 critical value is the textbook 5% point.
+	if got := ChiSquareSurvival(3.841458820694124, 1); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("5%% critical value survival = %.12g", got)
+	}
+	if got := ChiSquareSurvival(-1, 3); got != 1 {
+		t.Errorf("survival at negative statistic = %v, want 1", got)
+	}
+}

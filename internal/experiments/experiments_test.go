@@ -336,3 +336,63 @@ func TestRegistryComplete(t *testing.T) {
 		t.Error("lookup invented a runner")
 	}
 }
+
+// TestSizedistAgreement: on fixtures where the analytic law is exact,
+// the sampled MH impact histogram must land within a small total
+// variation of it — the two estimator families agree far beyond the
+// enumeration limit.
+func TestSizedistAgreement(t *testing.T) {
+	res, err := RunSizedist(SizedistSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	wantMethods := map[string]string{
+		"tree":           "forest",
+		"layered-dag":    "frontier-dp",
+		"layered-cyclic": "loop-conditioning",
+	}
+	for _, row := range res.Rows {
+		if row.Method != wantMethods[row.Name] {
+			t.Errorf("%s: method %q, want %q", row.Name, row.Method, wantMethods[row.Name])
+		}
+		// MH samples are correlated, so the TV of a 400-sample histogram
+		// is generous; 0.25 still catches a wrong law outright.
+		if row.TV > 0.25 {
+			t.Errorf("%s: TV %v too large", row.Name, row.TV)
+		}
+		if row.AnalyticMean <= 0 {
+			t.Errorf("%s: analytic mean %v, fixture degenerate", row.Name, row.AnalyticMean)
+		}
+	}
+	if !strings.Contains(res.String(), "sizedist") || !strings.Contains(res.String(), "frontier-dp") {
+		t.Errorf("report malformed:\n%s", res)
+	}
+}
+
+// TestSizedistInjectedClock: the timing columns are pure functions of
+// the injected clock — two reads bracket the analytic solve, one more
+// closes the sampled run.
+func TestSizedistInjectedClock(t *testing.T) {
+	cfg := SizedistSmall()
+	const step = time.Millisecond
+	var ticks int
+	cfg.Clock = func() time.Time {
+		ticks++
+		return time.Unix(0, int64(ticks)*int64(step))
+	}
+	res, err := RunSizedist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.AnalyticTime != step || row.SampledTime != step {
+			t.Errorf("%s: times %v/%v, want %v each", row.Name, row.AnalyticTime, row.SampledTime, step)
+		}
+	}
+	if ticks != 3*len(res.Rows) {
+		t.Errorf("clock read %d times, want %d", ticks, 3*len(res.Rows))
+	}
+}

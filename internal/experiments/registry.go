@@ -116,6 +116,13 @@ func Registry() []Runner {
 			},
 		},
 		{
+			Name:        "sizedist",
+			Description: "analytic cascade-size law vs sampled MH impact: TV agreement and paired timings",
+			Run: func(small bool) (fmt.Stringer, error) {
+				return RunSizedist(pick(small, SizedistSmall, SizedistPaper))
+			},
+		},
+		{
 			Name:        "table1",
 			Description: "example evidence summary",
 			Run:         func(bool) (fmt.Stringer, error) { return TableI(), nil },

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+	"infoflow/internal/sizedist"
+)
+
+// SizedistConfig parameterises the estimator-family comparison: the same
+// impact query answered by the analytic cascade-size engine
+// (internal/sizedist) and by the sampled MH estimator, on fixtures where
+// the analytic law is exact — a forest, a layered DAG, and a layered
+// graph with injected reciprocal-edge loops. It is the engineering
+// companion to the §IV-D impact experiment: total-variation agreement
+// validates the sampler far beyond the enumeration limit, and the paired
+// timings show what the closed form saves.
+type SizedistConfig struct {
+	Seed uint64
+	// TreeNodes sizes the random-forest fixture.
+	TreeNodes int
+	// Depth/Width/Fanin shape the layered-DAG fixture.
+	Depth, Width, Fanin int
+	// LoopPairs reciprocal edges are added to a second layered fixture to
+	// exercise the loop-conditioning path.
+	LoopPairs int
+	MH        mh.Options
+	// Clock supplies the timestamps bracketing each measurement; nil
+	// uses time.Now. Injectable so the timing columns are testable and
+	// wall-clock reads stay explicit (the fig6 idiom).
+	Clock func() time.Time
+}
+
+// SizedistPaper returns the scale-matched configuration (fixtures 10-40x
+// past core.MaxEnumEdges, the regime the conformance gate targets).
+func SizedistPaper() SizedistConfig {
+	return SizedistConfig{
+		Seed: 12, TreeNodes: 800, Depth: 50, Width: 4, Fanin: 2, LoopPairs: 2,
+		MH: mh.Options{BurnIn: 2000, Thin: 200, Samples: 2000},
+	}
+}
+
+// SizedistSmall returns a fast configuration for tests.
+func SizedistSmall() SizedistConfig {
+	return SizedistConfig{
+		Seed: 12, TreeNodes: 120, Depth: 12, Width: 3, Fanin: 2, LoopPairs: 1,
+		MH: mh.Options{BurnIn: 200, Thin: 20, Samples: 400},
+	}
+}
+
+// SizedistRow is one fixture's comparison.
+type SizedistRow struct {
+	Name         string
+	Nodes, Edges int
+	Method       string // analytic method label
+	TV           float64
+	AnalyticMean float64
+	SampledMean  float64
+	AnalyticTime time.Duration
+	SampledTime  time.Duration
+}
+
+// SizedistResult holds the comparison table.
+type SizedistResult struct {
+	Samples int
+	Rows    []SizedistRow
+}
+
+// String renders the comparison table.
+func (r *SizedistResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sizedist: analytic law vs %d-sample MH impact estimate\n", r.Samples)
+	fmt.Fprintf(&b, "%-16s %6s %6s %-18s %8s %9s %9s %12s %12s\n",
+		"fixture", "nodes", "edges", "method", "tv", "mean(an)", "mean(mh)", "t(analytic)", "t(sampled)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %6d %6d %-18s %8.4f %9.3f %9.3f %12v %12v\n",
+			row.Name, row.Nodes, row.Edges, row.Method, row.TV,
+			row.AnalyticMean, row.SampledMean, row.AnalyticTime, row.SampledTime)
+	}
+	return b.String()
+}
+
+// RunSizedist executes the comparison.
+func RunSizedist(cfg SizedistConfig) (*SizedistResult, error) {
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	type fixture struct {
+		name string
+		m    *core.ICM
+	}
+	fixtures := []fixture{
+		{"tree", sizedistTree(rng.NewStream(cfg.Seed, 0), cfg.TreeNodes)},
+		{"layered-dag", sizedistLayered(rng.NewStream(cfg.Seed, 1), cfg.Depth, cfg.Width, cfg.Fanin, 0)},
+		{"layered-cyclic", sizedistLayered(rng.NewStream(cfg.Seed, 2), cfg.Depth, cfg.Width, cfg.Fanin, cfg.LoopPairs)},
+	}
+	res := &SizedistResult{Samples: cfg.MH.Samples}
+	for i, f := range fixtures {
+		sources := []graph.NodeID{0}
+		t0 := now()
+		exact, err := sizedist.Compute(f.m, sources, sizedist.DefaultOptions())
+		t1 := now()
+		if err != nil {
+			return nil, fmt.Errorf("sizedist: %s: %w", f.name, err)
+		}
+		if !exact.Exact {
+			return nil, fmt.Errorf("sizedist: %s fixture is not analytically exact (method %s)", f.name, exact.Method)
+		}
+		impacts, err := mh.ImpactDistribution(f.m, sources, nil, cfg.MH, rng.NewStream(cfg.Seed, uint64(100+i)))
+		t2 := now()
+		if err != nil {
+			return nil, fmt.Errorf("sizedist: %s: %w", f.name, err)
+		}
+		sampled := make([]float64, len(exact.Dist))
+		for _, imp := range impacts {
+			sampled[imp]++
+		}
+		tv := 0.0
+		sMean := 0.0
+		for k := range sampled {
+			sampled[k] /= float64(len(impacts))
+			sMean += float64(k) * sampled[k]
+			d := exact.Dist[k] - sampled[k]
+			if d < 0 {
+				d = -d
+			}
+			tv += d / 2
+		}
+		res.Rows = append(res.Rows, SizedistRow{
+			Name: f.name, Nodes: f.m.NumNodes(), Edges: f.m.NumEdges(),
+			Method: exact.Method.String(), TV: tv,
+			AnalyticMean: exact.Mean(), SampledMean: sMean,
+			AnalyticTime: t1.Sub(t0), SampledTime: t2.Sub(t1),
+		})
+	}
+	return res, nil
+}
+
+// sizedistTree builds a random tree ICM rooted at node 0.
+func sizedistTree(r *rng.RNG, n int) *core.ICM {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(graph.NodeID(r.Intn(v)), graph.NodeID(v))
+	}
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = 0.1 + 0.8*r.Float64()
+	}
+	return core.MustNewICM(g, p)
+}
+
+// sizedistLayered builds a depth x width layered DAG (each node draws
+// fanin parents from the previous layer, plus a chain from node 0), with
+// loopPairs reciprocal back-edges injected inside layers to force the
+// loop-conditioning path.
+func sizedistLayered(r *rng.RNG, depth, width, fanin, loopPairs int) *core.ICM {
+	n := depth * width
+	g := graph.New(n)
+	node := func(d, w int) graph.NodeID { return graph.NodeID(d*width + w) }
+	for d := 1; d < depth; d++ {
+		for w := 0; w < width; w++ {
+			for k := 0; k < fanin; k++ {
+				u := node(d-1, r.Intn(width))
+				if !g.HasEdge(u, node(d, w)) {
+					g.MustAddEdge(u, node(d, w))
+				}
+			}
+		}
+	}
+	if depth > 1 && !g.HasEdge(node(0, 0), node(1, 0)) {
+		g.MustAddEdge(node(0, 0), node(1, 0)) // the source always reaches layer 1
+	}
+	for i := 0; i < loopPairs; i++ {
+		d := 1 + (i*7)%(depth-1)
+		u, v := node(d, 0), node(d, 1%width)
+		if u != v && !g.HasEdge(u, v) && !g.HasEdge(v, u) {
+			g.MustAddEdge(u, v)
+			g.MustAddEdge(v, u)
+		}
+	}
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = 0.15 + 0.7*r.Float64()
+	}
+	return core.MustNewICM(g, p)
+}

@@ -7,6 +7,7 @@ import (
 	"infoflow/internal/core"
 	"infoflow/internal/graph"
 	"infoflow/internal/rng"
+	"infoflow/internal/sizedist"
 )
 
 func TestSpreadDeterministicCases(t *testing.T) {
@@ -188,5 +189,88 @@ func TestGreedyBeatsRandomSeeds(t *testing.T) {
 	}
 	if worse < 18 {
 		t.Errorf("greedy beat only %d/20 random seed sets", worse)
+	}
+}
+
+// sizedistBand returns the exact expected spread of a seed set and the
+// standard deviation of one spread draw, both from the analytic
+// cascade-size law (sizedist counts newly active nodes; Spread counts
+// seeds too, hence the +|set| shift).
+func sizedistBand(t *testing.T, m *core.ICM, seeds []graph.NodeID) (mean, sd float64) {
+	t.Helper()
+	res, err := sizedist.Compute(m, seeds, sizedist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("fixture not analytically tractable (method %s)", res.Method)
+	}
+	distinct, _ := core.DedupSources(m.NumNodes(), seeds)
+	shift := float64(len(distinct))
+	varSum := 0.0
+	for k, p := range res.Dist {
+		x := float64(k) + shift
+		mean += x * p
+		varSum += x * x * p
+	}
+	return mean, math.Sqrt(varSum - mean*mean)
+}
+
+// TestSpreadWithinAnalyticOracleBand validates the Monte-Carlo spread
+// estimator against the exact analytic law on DAG fixtures: over many
+// seed sets, the estimate must land inside the 5-sigma sampling band of
+// the true mean. This is the first exact coverage the simulation path
+// has had on graphs with non-trivial structure.
+func TestSpreadWithinAnalyticOracleBand(t *testing.T) {
+	const samples = 4000
+	r := rng.New(41)
+	for trial := 0; trial < 6; trial++ {
+		g := graph.RandomDAG(r, 18, 30)
+		p := make([]float64, g.NumEdges())
+		for i := range p {
+			p[i] = 0.1 + 0.8*r.Float64()
+		}
+		m := core.MustNewICM(g, p)
+		for _, seeds := range [][]graph.NodeID{
+			{0},
+			{graph.NodeID(r.Intn(18))},
+			{0, graph.NodeID(1 + r.Intn(17))},
+			{2, 5, 11},
+		} {
+			mean, sd := sizedistBand(t, m, seeds)
+			got := Spread(m, seeds, samples, rng.New(uint64(100+trial)))
+			band := 5 * sd / math.Sqrt(samples)
+			if math.Abs(got-mean) > band {
+				t.Errorf("trial %d seeds %v: spread %v outside analytic band %v +/- %v",
+					trial, seeds, got, mean, band)
+			}
+		}
+	}
+}
+
+// TestGreedySpreadEstimateWithinAnalyticBand runs the CELF greedy
+// selection on a DAG and checks its reported SpreadEstimate against the
+// exact expected spread of the chosen seed set.
+func TestGreedySpreadEstimateWithinAnalyticBand(t *testing.T) {
+	r := rng.New(42)
+	g := graph.RandomDAG(r, 16, 28)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = 0.2 + 0.6*r.Float64()
+	}
+	m := core.MustNewICM(g, p)
+	opts := Options{Samples: 3000}
+	res, err := Greedy(m, 3, opts, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("selected %d seeds, want 3", len(res.Seeds))
+	}
+	mean, sd := sizedistBand(t, m, res.Seeds)
+	band := 5 * sd / math.Sqrt(float64(opts.Samples))
+	if math.Abs(res.SpreadEstimate-mean) > band {
+		t.Errorf("greedy spread estimate %v outside analytic band %v +/- %v",
+			res.SpreadEstimate, mean, band)
 	}
 }

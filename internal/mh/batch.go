@@ -180,6 +180,90 @@ func FlowProbBatchWideOn(s *Sampler, pairs []FlowPair, opts Options, words int) 
 	return probs, nil
 }
 
+// ImpactDistributionBatch estimates the §IV-D impact distribution for
+// every listed source SET from one chain: per thinned sample, each set's
+// impact is the popcount of the union of its sources' reachability lanes
+// minus the set size, so k concurrent impact queries share one burn-in
+// and one wide-lane sweep per chunk instead of k scalar reachability
+// passes. Each set occupies one lane per distinct source. The result is
+// indexed [set][sample]; a single-set batch is bit-identical to
+// ImpactDistribution on the same RNG (the chain's randomness never
+// depends on the lane set, and the lane union popcount is exactly the
+// active-set popcount the scalar path computes).
+func ImpactDistributionBatch(m *core.ICM, sets [][]graph.NodeID, conds []core.FlowCondition, opts Options, r *rng.RNG) ([][]int, error) {
+	s, err := NewSampler(m, conds, r)
+	if err != nil {
+		return nil, err
+	}
+	return ImpactDistributionBatchOn(s, sets, opts)
+}
+
+// ImpactDistributionBatchOn is ImpactDistributionBatch running on a
+// caller-constructed sampler; see FlowProbBatchOn for why the serving
+// layer wants the chain in hand.
+func ImpactDistributionBatchOn(s *Sampler, sets [][]graph.NodeID, opts Options) ([][]int, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("mh: ImpactDistributionBatch with no source sets")
+	}
+	n := s.m.NumNodes()
+	// Flatten every set's distinct sources onto consecutive lanes; a
+	// set's impact only depends on the union of its lanes, so duplicates
+	// within a set would waste lanes without changing the answer.
+	type span struct{ lo, width int }
+	spans := make([]span, len(sets))
+	var flat []graph.NodeID
+	for i, set := range sets {
+		for _, src := range set {
+			if int(src) < 0 || int(src) >= n {
+				return nil, fmt.Errorf("mh: ImpactDistributionBatch set %d: source %d out of range [0, %d)", i, src, n)
+			}
+		}
+		distinct, _ := core.DedupSources(n, set)
+		if len(distinct) == 0 {
+			return nil, fmt.Errorf("mh: ImpactDistributionBatch set %d is empty", i)
+		}
+		spans[i] = span{lo: len(flat), width: len(distinct)}
+		flat = append(flat, distinct...)
+	}
+	words, err := laneWords(0, len(flat))
+	if err != nil {
+		return nil, err
+	}
+	lanesPer := words * LaneWidth
+	nChunks := s.prepareLanes(len(flat), words, func(q int) graph.NodeID { return flat[q] })
+	bs := &s.batch
+	impacts := make([][]int, len(sets))
+	for i := range impacts {
+		impacts[i] = make([]int, 0, opts.Samples)
+	}
+	s.TrackFlips(true)
+	defer s.TrackFlips(false)
+	err = s.Run(opts, func(core.PseudoState) {
+		flips, complete := s.TakeFlips()
+		for c := 0; c < nChunks; c++ {
+			bs.engines[c].Sweep(bs.seeds[c], bs.seedBits[c], s.xbits, flips, complete, s.scratch, bs.reach[c])
+		}
+		for i, sp := range spans {
+			count := 0
+		nodes:
+			for v := 0; v < n; v++ {
+				for j := 0; j < sp.width; j++ {
+					q := sp.lo + j
+					if bs.reach[q/lanesPer].TestBit(v, q%lanesPer) {
+						count++
+						continue nodes
+					}
+				}
+			}
+			impacts[i] = append(impacts[i], count-sp.width)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return impacts, nil
+}
+
 // CommunityFlowProbsBatch estimates Pr[source_k ~> v | conds] for every
 // listed source and every node v from one chain: per thinned sample,
 // one wide-lane sweep per chunk of up to MaxLanes sources replaces one

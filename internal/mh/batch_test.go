@@ -446,3 +446,62 @@ func BenchmarkFlowProbSequential64(b *testing.B) {
 		}
 	}
 }
+
+// TestImpactDistributionBatchMatchesScalar: a set's lane-union popcount
+// per thinned sample must reproduce the scalar ImpactDistribution of the
+// same seed exactly, sample for sample, for every co-batched set — and
+// regardless of how many other sets share the sweep. 12 sets of up to 8
+// sources push the flattened lane count past one 64-lane word.
+func TestImpactDistributionBatchMatchesScalar(t *testing.T) {
+	m := batchTestModel(21, 30, 80)
+	opts := Options{BurnIn: 100, Thin: 20, Samples: 120}
+	const seed = 77
+	r := rng.New(6)
+	sets := make([][]graph.NodeID, 12)
+	for i := range sets {
+		width := 1 + r.Intn(8)
+		set := make([]graph.NodeID, width)
+		for j := range set {
+			set[j] = graph.NodeID(r.Intn(m.NumNodes()))
+		}
+		if i%3 == 0 && width > 1 {
+			set[width-1] = set[0] // duplicate source: must not change the answer
+		}
+		sets[i] = set
+	}
+	batch, err := ImpactDistributionBatch(m, sets, nil, opts, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sets) {
+		t.Fatalf("batch returned %d series for %d sets", len(batch), len(sets))
+	}
+	for i, set := range sets {
+		scalar, err := ImpactDistribution(m, set, nil, opts, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(scalar) {
+			t.Fatalf("set %d: batch has %d samples, scalar %d", i, len(batch[i]), len(scalar))
+		}
+		for k := range scalar {
+			if batch[i][k] != scalar[k] {
+				t.Fatalf("set %d sample %d: batch impact %d != scalar %d", i, k, batch[i][k], scalar[k])
+			}
+		}
+	}
+}
+
+func TestImpactDistributionBatchRejectsBadSets(t *testing.T) {
+	m := batchTestModel(22, 10, 20)
+	opts := Options{BurnIn: 10, Thin: 5, Samples: 10}
+	if _, err := ImpactDistributionBatch(m, nil, nil, opts, rng.New(1)); err == nil {
+		t.Error("no sets accepted")
+	}
+	if _, err := ImpactDistributionBatch(m, [][]graph.NodeID{{}}, nil, opts, rng.New(1)); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := ImpactDistributionBatch(m, [][]graph.NodeID{{0, 99}}, nil, opts, rng.New(1)); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

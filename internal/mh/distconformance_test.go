@@ -1,0 +1,69 @@
+package mh
+
+import (
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+	"infoflow/internal/testkit"
+)
+
+// mhImpactEstimator adapts ImpactDistribution to the testkit
+// distribution-conformance shape.
+func mhImpactEstimator(m *core.ICM, sources []graph.NodeID, samples int, seed uint64) ([]int, error) {
+	opts := DefaultOptions(m.NumEdges())
+	opts.Samples = samples
+	return ImpactDistribution(m, sources, nil, opts, rng.New(seed))
+}
+
+// TestImpactDistributionConformanceBeyondEnum is the headline gate of
+// the sizedist PR: the MH impact sampler is validated against the
+// analytic cascade-size oracle on graphs 10–100× past core.MaxEnumEdges
+// — scales where exact enumeration is impossible and the estimator
+// previously had no exact coverage at all.
+func TestImpactDistributionConformanceBeyondEnum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-sample MH runs on ~800-edge graphs")
+	}
+	cases, err := testkit.ScaleDistCases(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := testkit.DefaultDistTolerance(4000)
+	rep, err := testkit.RunDistributionConformance(cases, mhImpactEstimator, tol, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.OK() {
+		t.Fatalf("MH impact estimator failed the beyond-enumeration gate:\n%s", rep)
+	}
+	if ran := len(rep.Results) - len(rep.Skipped()); ran < 3 {
+		t.Fatalf("only %d cases ran, want >= 3", ran)
+	}
+}
+
+// TestImpactDistributionConformanceEnumerable cross-checks the same
+// gate on the small family fixtures where the oracle is exhaustive
+// enumeration, tying the new chi-square machinery back to the existing
+// ground truth.
+func TestImpactDistributionConformanceEnumerable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-sample MH runs")
+	}
+	var cases []testkit.DistCase
+	for _, f := range testkit.Families {
+		r := rng.NewStream(417, uint64(f))
+		m := testkit.NewModel(f, r)
+		cases = append(cases, testkit.EnumOracleCase(f.String(), m, []graph.NodeID{0}))
+	}
+	rep, err := testkit.RunDistributionConformance(cases, mhImpactEstimator,
+		testkit.DefaultDistTolerance(4000), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("MH impact estimator failed the enumerable gate:\n%s", rep)
+	}
+}

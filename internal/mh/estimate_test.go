@@ -252,7 +252,10 @@ func TestImpactDistributionMatchesEnum(t *testing.T) {
 		p[i] = r.Float64()
 	}
 	m := core.MustNewICM(g, p)
-	exact := m.EnumImpactDistribution([]graph.NodeID{0})
+	exact, err := m.EnumImpactDistribution([]graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	opts := Options{BurnIn: 1000, Thin: 30, Samples: 40000}
 	impacts, err := ImpactDistribution(m, []graph.NodeID{0}, nil, opts, r)
 	if err != nil {

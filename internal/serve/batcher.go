@@ -22,13 +22,15 @@ var (
 	ErrOverloaded = errors.New("serve: worker queue saturated")
 )
 
-// queryKind separates end-to-end flow queries from community sweeps;
-// the two use different estimators and cannot share lanes.
+// queryKind separates end-to-end flow queries, community sweeps, and
+// impact (cascade-size) queries; the three use different estimators and
+// cannot share lanes.
 type queryKind int8
 
 const (
 	kindFlow queryKind = iota
 	kindCommunity
+	kindImpact
 )
 
 // batchKey identifies the chain a query must run on. Two requests
@@ -49,6 +51,7 @@ type batchKey struct {
 type flowResult struct {
 	Prob       float64   // kindFlow: Pr[source ~> sink | conds]
 	Community  []float64 // kindCommunity: Pr[source ~> v] per node
+	Impact     []float64 // kindImpact: normalized cascade-size histogram
 	BatchSize  int       // requests served by the sweep
 	Lanes      int       // distinct lanes the sweep carried
 	Acceptance float64   // chain's post-burn-in acceptance rate
@@ -67,15 +70,21 @@ type member struct {
 }
 
 // pendingBatch accumulates members during the batching window. Lanes
-// are deduplicated: two identical queries share a lane, so a budget's
-// worth of identical requests still fits one sweep with one lane
-// occupied.
+// are deduplicated: two identical queries share a lane (or, for impact,
+// a lane span), so a budget's worth of identical requests still fits one
+// sweep with one lane occupied. Flow and community queries occupy one
+// lane each (pairs/laneIndex); impact queries occupy one lane per
+// distinct source of their canonical source set (sets/setIndex), and
+// lanes tracks the running total either way.
 type pendingBatch struct {
 	key       batchKey
 	model     *core.ICM
 	conds     []core.FlowCondition
 	pairs     []mh.FlowPair
 	laneIndex map[mh.FlowPair]int
+	sets      [][]graph.NodeID
+	setIndex  map[string]int
+	lanes     int
 	members   []*member
 	flushed   bool
 	full      chan struct{} // closed on flush; wakes the window collector
@@ -126,9 +135,11 @@ func newBatcher(window time.Duration, workers, queueCap, laneBudget int, clock C
 // join registers a query on the batch identified by key, creating the
 // batch (and its window collector) if none is pending, and returns the
 // member whose done channel will deliver the result. pair carries the
-// query: (source, sink) for kindFlow, (source, source) for
-// kindCommunity.
-func (b *batcher) join(ctx context.Context, key batchKey, model *core.ICM, conds []core.FlowCondition, pair mh.FlowPair, cacheKey string) (*member, error) {
+// query for kindFlow ((source, sink)) and kindCommunity ((source,
+// source)); for kindImpact the query is sources — the canonical
+// (deduplicated, sorted) source set — keyed by sourcesKey, and pair is
+// ignored.
+func (b *batcher) join(ctx context.Context, key batchKey, model *core.ICM, conds []core.FlowCondition, pair mh.FlowPair, sources []graph.NodeID, sourcesKey, cacheKey string) (*member, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.draining {
@@ -141,21 +152,32 @@ func (b *batcher) join(ctx context.Context, key batchKey, model *core.ICM, conds
 			model:     model,
 			conds:     conds,
 			laneIndex: make(map[mh.FlowPair]int),
+			setIndex:  make(map[string]int),
 			full:      make(chan struct{}),
 		}
 		b.pending[key] = pb
 		b.collectors.Add(1)
 		go b.collect(pb)
 	}
-	lane, ok := pb.laneIndex[pair]
-	if !ok {
-		lane = len(pb.pairs)
-		pb.laneIndex[pair] = lane
-		pb.pairs = append(pb.pairs, pair)
+	var lane int
+	if key.kind == kindImpact {
+		if lane, ok = pb.setIndex[sourcesKey]; !ok {
+			lane = len(pb.sets)
+			pb.setIndex[sourcesKey] = lane
+			pb.sets = append(pb.sets, sources)
+			pb.lanes += len(sources)
+		}
+	} else {
+		if lane, ok = pb.laneIndex[pair]; !ok {
+			lane = len(pb.pairs)
+			pb.laneIndex[pair] = lane
+			pb.pairs = append(pb.pairs, pair)
+			pb.lanes++
+		}
 	}
 	m := &member{lane: lane, ctx: ctx, cacheKey: cacheKey, done: make(chan flowResult, 1)}
 	pb.members = append(pb.members, m)
-	if len(pb.pairs) == b.laneBudget {
+	if pb.lanes >= b.laneBudget {
 		b.flushLocked(pb)
 	}
 	return m, nil
@@ -210,7 +232,7 @@ func (b *batcher) worker() {
 // delivery.
 func (b *batcher) execute(pb *pendingBatch) {
 	b.metrics.Batches.Add(1)
-	b.metrics.BatchedLanes.Add(int64(len(pb.pairs)))
+	b.metrics.BatchedLanes.Add(int64(pb.lanes))
 	b.metrics.BatchedRequests.Add(int64(len(pb.members)))
 
 	// The chain keeps running while at least one member still wants the
@@ -244,6 +266,7 @@ func (b *batcher) execute(pb *pendingBatch) {
 
 	var probs []float64
 	var comms [][]float64
+	var hists [][]float64
 	switch pb.key.kind {
 	case kindFlow:
 		probs, err = mh.FlowProbBatchOn(s, pb.pairs, opts)
@@ -253,6 +276,17 @@ func (b *batcher) execute(pb *pendingBatch) {
 			sources[i] = p.Source
 		}
 		comms, err = mh.CommunityFlowProbsBatchOn(s, sources, opts)
+	case kindImpact:
+		var impacts [][]int
+		impacts, err = mh.ImpactDistributionBatchOn(s, pb.sets, opts)
+		if err == nil {
+			hists = make([][]float64, len(pb.sets))
+			for i, samples := range impacts {
+				// Sets arrive deduplicated, so the largest possible impact
+				// is NumNodes - len(set).
+				hists[i] = impactHist(samples, pb.model.NumNodes()-len(pb.sets[i])+1)
+			}
+		}
 	}
 	if err != nil {
 		b.deliverError(pb, err)
@@ -261,18 +295,39 @@ func (b *batcher) execute(pb *pendingBatch) {
 	acc := s.PostBurnInAcceptanceRate()
 	b.metrics.setAcceptance(acc)
 
-	res := flowResult{BatchSize: len(pb.members), Lanes: len(pb.pairs), Acceptance: acc}
+	res := flowResult{BatchSize: len(pb.members), Lanes: pb.lanes, Acceptance: acc}
 	for _, m := range pb.members {
 		r := res
-		if pb.key.kind == kindFlow {
+		switch pb.key.kind {
+		case kindFlow:
 			r.Prob = probs[m.lane]
 			b.cache.Add(m.cacheKey, r.Prob)
-		} else {
+		case kindCommunity:
 			r.Community = comms[m.lane]
 			b.cache.Add(m.cacheKey, r.Community)
+		case kindImpact:
+			r.Impact = hists[m.lane]
+			b.cache.Add(m.cacheKey, r.Impact)
 		}
 		m.done <- r
 	}
+}
+
+// impactHist folds per-sample impact counts into a normalized histogram
+// over 0..length-1 new activations.
+func impactHist(samples []int, length int) []float64 {
+	hist := make([]float64, length)
+	for _, imp := range samples {
+		if imp < 0 || imp >= length {
+			//flowlint:invariant the estimator counts activations over a deduplicated source set, so 0 <= impact <= n - |set| by construction
+			panic("serve: impact sample out of range")
+		}
+		hist[imp]++
+	}
+	for i := range hist {
+		hist[i] /= float64(len(samples))
+	}
+	return hist
 }
 
 // deliverError fans a batch-level failure out to every member. An

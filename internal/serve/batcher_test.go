@@ -42,7 +42,7 @@ func TestBatcherWindowFlush(t *testing.T) {
 	defer b.drain()
 
 	key := testBatchKey(m, 200, 7)
-	mem, err := b.join(context.Background(), key, m, nil, mh.FlowPair{Source: 0, Sink: 5}, "k1")
+	mem, err := b.join(context.Background(), key, m, nil, mh.FlowPair{Source: 0, Sink: 5}, nil, "", "k1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +84,11 @@ func TestBatcherLaneDedupe(t *testing.T) {
 
 	key := testBatchKey(m, 100, 1)
 	pair := mh.FlowPair{Source: 2, Sink: 9}
-	m1, err := b.join(context.Background(), key, m, nil, pair, "k")
+	m1, err := b.join(context.Background(), key, m, nil, pair, nil, "", "k")
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := b.join(context.Background(), key, m, nil, pair, "k")
+	m2, err := b.join(context.Background(), key, m, nil, pair, nil, "", "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestBatcherFlushOnFull(t *testing.T) {
 	members := make([]*member, 0, mh.LaneWidth)
 	for i := 0; i < mh.LaneWidth; i++ {
 		pair := mh.FlowPair{Source: graph.NodeID(i % 8), Sink: graph.NodeID(10 + i/8)}
-		mem, err := b.join(context.Background(), key, m, nil, pair, "")
+		mem, err := b.join(context.Background(), key, m, nil, pair, nil, "", "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func TestBatcherOverload(t *testing.T) {
 	}
 	met.queueDepth.Store(func() int { return len(b.jobs) })
 
-	mem, err := b.join(context.Background(), testBatchKey(m, 10, 1), m, nil, mh.FlowPair{Source: 0, Sink: 1}, "")
+	mem, err := b.join(context.Background(), testBatchKey(m, 10, 1), m, nil, mh.FlowPair{Source: 0, Sink: 1}, nil, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestBatcherDrain(t *testing.T) {
 	met := &Metrics{}
 	b := newBatcher(time.Hour, 1, 4, mh.LaneWidth, clock, met, newLRUCache(0))
 
-	mem, err := b.join(context.Background(), testBatchKey(m, 50, 2), m, nil, mh.FlowPair{Source: 1, Sink: 4}, "")
+	mem, err := b.join(context.Background(), testBatchKey(m, 50, 2), m, nil, mh.FlowPair{Source: 1, Sink: 4}, nil, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestBatcherDrain(t *testing.T) {
 	if res.Err != nil {
 		t.Fatalf("drained batch returned error %v, want a computed result", res.Err)
 	}
-	if _, err := b.join(context.Background(), testBatchKey(m, 50, 2), m, nil, mh.FlowPair{Source: 1, Sink: 4}, ""); !errors.Is(err, ErrDraining) {
+	if _, err := b.join(context.Background(), testBatchKey(m, 50, 2), m, nil, mh.FlowPair{Source: 1, Sink: 4}, nil, "", ""); !errors.Is(err, ErrDraining) {
 		t.Errorf("join after drain = %v, want ErrDraining", err)
 	}
 }
@@ -209,7 +209,7 @@ func TestBatcherAllMembersCancelled(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // already cancelled at join: the sweep must abort early
-	mem, err := b.join(ctx, testBatchKey(m, 1_000_000, 1), m, nil, mh.FlowPair{Source: 0, Sink: 1}, "")
+	mem, err := b.join(ctx, testBatchKey(m, 1_000_000, 1), m, nil, mh.FlowPair{Source: 0, Sink: 1}, nil, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,10 +237,10 @@ func TestBatcherSurvivorUnaffectedByCancelledCobatch(t *testing.T) {
 	key := testBatchKey(m, 300, 11)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := b.join(ctx, key, m, nil, mh.FlowPair{Source: 0, Sink: 3}, ""); err != nil {
+	if _, err := b.join(ctx, key, m, nil, mh.FlowPair{Source: 0, Sink: 3}, nil, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	surv, err := b.join(context.Background(), key, m, nil, mh.FlowPair{Source: 2, Sink: 8}, "")
+	surv, err := b.join(context.Background(), key, m, nil, mh.FlowPair{Source: 2, Sink: 8}, nil, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}

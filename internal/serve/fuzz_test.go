@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// FuzzParseImpactQuery hammers the /impact query parser: for arbitrary
+// sources/mode/cond/samples/seed strings, parseQuery must either reject
+// with an *httpError or return a canonical query — sources strictly
+// sorted, distinct, in range, with a sourcesKey that ParseSources
+// round-trips to the same set — and must never panic.
+func FuzzParseImpactQuery(f *testing.F) {
+	s, err := NewServer(Config{Models: []Model{{Name: "m", ICM: serveDAG(5, 12, 25)}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Drain()
+	f.Add("0", "", "", "", "")
+	f.Add("3,1,3", "auto", "1>2=1", "500", "9")
+	f.Add(" 2 , 5 ", "analytic", "", "", "")
+	f.Add("1,2,4", "sampled", "0>1=0,2>3=1", "50000", "18446744073709551615")
+	f.Add("-1", "psychic", "x", "-5", "boom")
+	f.Add("9999999999999999999999", "", "", "", "")
+	f.Fuzz(func(t *testing.T, sources, mode, cond, samples, seed string) {
+		vals := url.Values{}
+		vals.Set("sources", sources)
+		if mode != "" {
+			vals.Set("mode", mode)
+		}
+		if cond != "" {
+			vals.Set("cond", cond)
+		}
+		if samples != "" {
+			vals.Set("samples", samples)
+		}
+		if seed != "" {
+			vals.Set("seed", seed)
+		}
+		req := httptest.NewRequest("GET", "/impact?"+vals.Encode(), nil)
+		q, herr := s.parseQuery(req, kindImpact)
+		if herr != nil {
+			if herr.status < 400 || herr.status > 499 {
+				t.Fatalf("parse error with non-4xx status %d: %s", herr.status, herr.msg)
+			}
+			return
+		}
+		n := q.model.ICM.NumNodes()
+		if len(q.sources) == 0 {
+			t.Fatal("accepted query has no sources")
+		}
+		for i, src := range q.sources {
+			if int(src) < 0 || int(src) >= n {
+				t.Fatalf("accepted source %d out of range [0, %d)", src, n)
+			}
+			if i > 0 && q.sources[i-1] >= src {
+				t.Fatalf("sources not strictly sorted: %v", q.sources)
+			}
+		}
+		if q.mode != "auto" && q.mode != "analytic" && q.mode != "sampled" {
+			t.Fatalf("accepted mode %q", q.mode)
+		}
+		round, err := ParseSources(q.sourcesKey)
+		if err != nil {
+			t.Fatalf("sourcesKey %q does not re-parse: %v", q.sourcesKey, err)
+		}
+		if len(round) != len(q.sources) {
+			t.Fatalf("sourcesKey %q round-trips to %d sources, want %d", q.sourcesKey, len(round), len(q.sources))
+		}
+		for i := range round {
+			if round[i] != q.sources[i] {
+				t.Fatalf("sourcesKey %q round-trips to %v, want %v", q.sourcesKey, round, q.sources)
+			}
+		}
+		if q.opts.Samples <= 0 || q.opts.Samples > s.cfg.MaxSamples {
+			t.Fatalf("accepted samples %d outside (0, %d]", q.opts.Samples, s.cfg.MaxSamples)
+		}
+	})
+}

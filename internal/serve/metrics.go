@@ -15,6 +15,13 @@ type Metrics struct {
 	// Requests admitted per endpoint (cache hits included).
 	FlowRequests      atomic.Int64
 	CommunityRequests atomic.Int64
+	ImpactRequests    atomic.Int64
+
+	// How /impact requests were answered: by the synchronous analytic
+	// sizedist engine or by the batched MH estimator (cache hits count
+	// toward the path that filled the entry).
+	ImpactAnalytic atomic.Int64
+	ImpactSampled  atomic.Int64
 
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
@@ -114,6 +121,9 @@ func (m *Metrics) Snapshot() map[string]any {
 	return map[string]any{
 		"flow_requests":      m.FlowRequests.Load(),
 		"community_requests": m.CommunityRequests.Load(),
+		"impact_requests":    m.ImpactRequests.Load(),
+		"impact_analytic":    m.ImpactAnalytic.Load(),
+		"impact_sampled":     m.ImpactSampled.Load(),
 		"cache_hits":         m.CacheHits.Load(),
 		"cache_misses":       m.CacheMisses.Load(),
 		"cache_hit_rate":     m.CacheHitRate(),

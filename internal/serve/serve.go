@@ -1,11 +1,18 @@
 // Package serve is the flowserve inference service: an HTTP layer that
-// answers flow-probability and community queries against trained ICMs
-// by coalescing concurrent same-chain requests into wide-lane batched
-// Metropolis-Hastings sweeps (mh.FlowProbBatch) of up to LaneBudget
-// queries (default 512, one W-word sweep per thinned sample). Requests
-// that share a (model, conditions, chain schedule, seed) tuple arriving
-// within the batching window ride one chain; an LRU cache
-// short-circuits repeats.
+// answers flow-probability, community, and impact (cascade-size) queries
+// against trained ICMs by coalescing concurrent same-chain requests into
+// wide-lane batched Metropolis-Hastings sweeps (mh.FlowProbBatch) of up
+// to LaneBudget queries (default 512, one W-word sweep per thinned
+// sample). Requests that share a (model, conditions, chain schedule,
+// seed) tuple arriving within the batching window ride one chain; an LRU
+// cache short-circuits repeats.
+//
+// /impact additionally fronts the sampled path with the analytic
+// sizedist engine: when the cascade-size law is exactly computable
+// (forests, DAGs within the frontier width, cyclic graphs within the
+// loop-conditioning budget) the answer is served synchronously with no
+// chain at all, and mode=auto falls back to the batched MH estimator
+// only when the analytic engine cannot be exact.
 //
 // Determinism contract: batching, caching, and co-batched cancellation
 // never change a query's answer. The chain's randomness is independent
@@ -31,6 +38,7 @@ import (
 	"infoflow/internal/core"
 	"infoflow/internal/graph"
 	"infoflow/internal/mh"
+	"infoflow/internal/sizedist"
 )
 
 // Model is one servable ICM. Digest is computed by NewServer when left
@@ -163,6 +171,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /flow", s.handleFlow)
 	mux.HandleFunc("GET /community", s.handleCommunity)
+	mux.HandleFunc("GET /impact", s.handleImpact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -190,15 +199,18 @@ func (s *Server) Drain() {
 
 // query carries one parsed, validated request.
 type query struct {
-	model   Model
-	kind    queryKind
-	source  graph.NodeID
-	sink    graph.NodeID // kindFlow only
-	conds   []core.FlowCondition
-	condKey string
-	opts    mh.Options
-	seed    uint64
-	timeout time.Duration
+	model      Model
+	kind       queryKind
+	source     graph.NodeID
+	sink       graph.NodeID // kindFlow only
+	sources    []graph.NodeID
+	sourcesKey string // kindImpact: canonical (sorted distinct) source set
+	mode       string // kindImpact: "auto" | "analytic" | "sampled"
+	conds      []core.FlowCondition
+	condKey    string
+	opts       mh.Options
+	seed       uint64
+	timeout    time.Duration
 }
 
 // httpError is a client-side parse/validation failure with its status.
@@ -247,13 +259,42 @@ func (s *Server) parseQuery(r *http.Request, kind queryKind) (*query, *httpError
 		}
 		return graph.NodeID(v), nil
 	}
-	var herr *httpError
-	if q.source, herr = node("source"); herr != nil {
-		return nil, herr
-	}
-	if kind == kindFlow {
-		if q.sink, herr = node("sink"); herr != nil {
+	if kind == kindImpact {
+		srcs, err := ParseSources(vals.Get("sources"))
+		if err != nil {
+			return nil, badRequest("sources: %v", err)
+		}
+		if len(srcs) == 0 {
+			return nil, badRequest("sources parameter required")
+		}
+		for _, src := range srcs {
+			if int(src) < 0 || int(src) >= n {
+				return nil, badRequest("sources: node %d out of range [0, %d)", src, n)
+			}
+		}
+		// Canonical sorted-distinct form: the impact law depends only on
+		// the SET, so "3,1,3" and "1,3" share a lane and a cache line.
+		distinct, _ := core.DedupSources(n, srcs)
+		sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+		q.sources = distinct
+		q.sourcesKey = sourcesKey(distinct)
+		switch mode := vals.Get("mode"); mode {
+		case "", "auto":
+			q.mode = "auto"
+		case "analytic", "sampled":
+			q.mode = mode
+		default:
+			return nil, badRequest("mode %q: want auto, analytic, or sampled", mode)
+		}
+	} else {
+		var herr *httpError
+		if q.source, herr = node("source"); herr != nil {
 			return nil, herr
+		}
+		if kind == kindFlow {
+			if q.sink, herr = node("sink"); herr != nil {
+				return nil, herr
+			}
 		}
 	}
 
@@ -315,13 +356,27 @@ func (q *query) batchKey() batchKey {
 }
 
 func (q *query) cacheKey() string {
-	kind := "flow"
-	if q.kind == kindCommunity {
-		kind = "community"
+	switch q.kind {
+	case kindCommunity:
+		return fmt.Sprintf("%s|community|%d|%d|%s|%d|%d|%d|%d",
+			q.model.Digest, q.source, q.sink, q.condKey,
+			q.opts.BurnIn, q.opts.Thin, q.opts.Samples, q.seed)
+	case kindImpact:
+		return fmt.Sprintf("%s|impact|%s|%s|%d|%d|%d|%d",
+			q.model.Digest, q.sourcesKey, q.condKey,
+			q.opts.BurnIn, q.opts.Thin, q.opts.Samples, q.seed)
+	default:
+		return fmt.Sprintf("%s|flow|%d|%d|%s|%d|%d|%d|%d",
+			q.model.Digest, q.source, q.sink, q.condKey,
+			q.opts.BurnIn, q.opts.Thin, q.opts.Samples, q.seed)
 	}
-	return fmt.Sprintf("%s|%s|%d|%d|%s|%d|%d|%d|%d",
-		q.model.Digest, kind, q.source, q.sink, q.condKey,
-		q.opts.BurnIn, q.opts.Thin, q.opts.Samples, q.seed)
+}
+
+// analyticCacheKey keys the analytic /impact path: the exact law depends
+// only on the model and the source set — no chain schedule, seed, or
+// sample count — so analytic entries are shared across all of them.
+func (q *query) analyticCacheKey() string {
+	return fmt.Sprintf("%s|impact-analytic|%s", q.model.Digest, q.sourcesKey)
 }
 
 // dispatch joins the query's batch and waits for its result or the
@@ -333,7 +388,7 @@ func (s *Server) dispatch(r *http.Request, q *query) (flowResult, *httpError) {
 	if q.kind == kindCommunity {
 		pair.Sink = q.source
 	}
-	m, err := s.batcher.join(ctx, q.batchKey(), q.model.ICM, q.conds, pair, q.cacheKey())
+	m, err := s.batcher.join(ctx, q.batchKey(), q.model.ICM, q.conds, pair, q.sources, q.sourcesKey, q.cacheKey())
 	if err != nil {
 		return flowResult{}, &httpError{status: http.StatusServiceUnavailable, msg: err.Error()}
 	}
@@ -487,6 +542,132 @@ func topFlows(probs []float64, source graph.NodeID, top int) []communityEntry {
 	return out
 }
 
+// impactResponse is the /impact payload. Method labels the estimator
+// that produced Dist — a sizedist.Method name for the analytic path,
+// "mh-sampled" for the batched chain — and Exact reports whether Dist is
+// the exact law (sampled and bounded-analytic answers are not).
+type impactResponse struct {
+	Model      string    `json:"model"`
+	Sources    []int     `json:"sources"`
+	Cond       string    `json:"cond,omitempty"`
+	Mode       string    `json:"mode"`
+	Method     string    `json:"method"`
+	Exact      bool      `json:"exact"`
+	Mean       float64   `json:"mean"`
+	Dist       []float64 `json:"dist"`
+	Samples    int       `json:"samples,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+	Cached     bool      `json:"cached"`
+	BatchSize  int       `json:"batch_size,omitempty"`
+	Lanes      int       `json:"lanes,omitempty"`
+	Acceptance float64   `json:"acceptance_rate,omitempty"`
+}
+
+// impactAnalytic is the cached form of an analytic /impact answer.
+type impactAnalytic struct {
+	method string
+	exact  bool
+	dist   []float64
+}
+
+// handleImpact serves the cascade-size distribution of a source set.
+// mode=analytic demands the sizedist engine (422 when intractable, 400
+// when conditioned — the analytic law is unconditional); mode=sampled
+// demands the batched MH estimator; mode=auto (the default) serves the
+// analytic answer when it is exact and falls back to sampling otherwise.
+// The analytic path runs synchronously — no chain, no batch — and its
+// cache entries ignore the chain schedule entirely.
+func (s *Server) handleImpact(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ImpactRequests.Add(1)
+	q, herr := s.parseQuery(r, kindImpact)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	if q.mode == "analytic" && len(q.conds) > 0 {
+		writeError(w, badRequest("mode=analytic does not support cond: the analytic engine computes the unconditional law"))
+		return
+	}
+	resp := impactResponse{
+		Model: q.model.Name, Sources: nodeInts(q.sources), Cond: q.condKey,
+	}
+	if q.mode != "sampled" && len(q.conds) == 0 {
+		if v, ok := s.cache.Get(q.analyticCacheKey()); ok {
+			// Inexact entries are cached too, so auto-mode repeats on a
+			// loop-heavy model skip straight to sampling instead of
+			// re-deriving the condensation bound every request.
+			entry := v.(impactAnalytic)
+			if entry.exact || q.mode == "analytic" {
+				s.metrics.CacheHits.Add(1)
+				s.metrics.ImpactAnalytic.Add(1)
+				resp.Mode, resp.Method, resp.Exact, resp.Cached = "analytic", entry.method, entry.exact, true
+				resp.Dist, resp.Mean = entry.dist, distMean(entry.dist)
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+		} else {
+			res, err := sizedist.Compute(q.model.ICM, q.sources, sizedist.DefaultOptions())
+			if err == nil {
+				s.cache.Add(q.analyticCacheKey(), impactAnalytic{method: res.Method.String(), exact: res.Exact, dist: res.Dist})
+			}
+			switch {
+			case err == nil && (res.Exact || q.mode == "analytic"):
+				s.metrics.CacheMisses.Add(1)
+				s.metrics.ImpactAnalytic.Add(1)
+				resp.Mode, resp.Method, resp.Exact = "analytic", res.Method.String(), res.Exact
+				resp.Dist, resp.Mean = res.Dist, res.Mean()
+				writeJSON(w, http.StatusOK, resp)
+				return
+			case q.mode == "analytic":
+				writeError(w, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()})
+				return
+			}
+		}
+		// mode=auto with an inexact (or intractable) analytic answer:
+		// fall through to the sampled estimator.
+	}
+	resp.Mode, resp.Method = "sampled", "mh-sampled"
+	resp.Samples, resp.Seed = q.opts.Samples, q.seed
+	if v, ok := s.cache.Get(q.cacheKey()); ok {
+		s.metrics.CacheHits.Add(1)
+		s.metrics.ImpactSampled.Add(1)
+		resp.Cached = true
+		resp.Dist = v.([]float64)
+		resp.Mean = distMean(resp.Dist)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+	res, herr := s.dispatch(r, q)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	s.metrics.ImpactSampled.Add(1)
+	resp.Dist = res.Impact
+	resp.Mean = distMean(resp.Dist)
+	resp.BatchSize, resp.Lanes, resp.Acceptance = res.BatchSize, res.Lanes, res.Acceptance
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// nodeInts renders a node slice for a JSON payload.
+func nodeInts(nodes []graph.NodeID) []int {
+	out := make([]int, len(nodes))
+	for i, v := range nodes {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// distMean is the expected impact of a normalized size histogram.
+func distMean(dist []float64) float64 {
+	mean := 0.0
+	for k, p := range dist {
+		mean += float64(k) * p
+	}
+	return mean
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -543,6 +724,39 @@ func ParseConds(s string) ([]core.FlowCondition, error) {
 		out = append(out, c)
 	}
 	return out, nil
+}
+
+// ParseSources parses a comma-separated node-id list ("3,1,7") into
+// node IDs. Whitespace around entries is tolerated; an empty string is
+// an empty set. Range validation is the caller's job (it needs the
+// model). Shared with the flowquery CLI.
+func ParseSources(s string) ([]graph.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]graph.NodeID, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("source %q: %w", part, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("source %d: must be non-negative", v)
+		}
+		out = append(out, graph.NodeID(v))
+	}
+	return out, nil
+}
+
+// sourcesKey renders a canonical (already sorted, distinct) source set
+// for batch and cache keys.
+func sourcesKey(sources []graph.NodeID) string {
+	parts := make([]string, len(sources))
+	for i, v := range sources {
+		parts[i] = strconv.Itoa(int(v))
+	}
+	return strings.Join(parts, ",")
 }
 
 // condsKey renders conditions in canonical sorted form, so two requests

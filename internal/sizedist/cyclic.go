@@ -1,0 +1,156 @@
+package sizedist
+
+import "infoflow/internal/graph"
+
+// Cyclic graphs: inside a strongly connected component activation can
+// flow both ways, so no topological frontier exists. Two strategies,
+// both built on one primitive, clusterDAG:
+//
+// Loop conditioning (exact). Condition on the joint live/dead outcome
+// of the L uncertain intra-SCC edges ("loop edges", 0 < q < 1). Given
+// an assignment, every remaining intra-SCC edge is certain, so nodes
+// strongly connected through realized intra edges co-activate and can
+// be contracted into one cluster; what remains is a DAG amenable to the
+// frontier DP. Summing the 2^L conditional distributions weighted by
+// Π q · Π (1−q) recovers the exact law, because pseudo-state edge
+// outcomes are independent of everything else in the model.
+//
+// Condensation sandwich (approximate). The all-live assignment treated
+// as certain yields a model whose activation sets always contain the
+// true ones (more live edges never deactivates a node — activation is
+// monotone in the pseudo-state), so its impact law stochastically
+// dominates the truth; the all-dead assignment is dominated by it.
+// Both are single frontier DPs. The gap E[upper] − E[lower] is the
+// documented error bound (ExpectedSlack).
+
+// loopEdges returns the sub-edge IDs of uncertain intra-SCC edges, in
+// ascending edge order.
+func loopEdges(w *wgraph, labels []int) []graph.EdgeID {
+	var loops []graph.EdgeID
+	for e := 0; e < w.g.NumEdges(); e++ {
+		edge := w.g.Edge(graph.EdgeID(e))
+		if labels[edge.From] == labels[edge.To] && w.q[e] < 1 {
+			loops = append(loops, graph.EdgeID(e))
+		}
+	}
+	return loops
+}
+
+// conditionOnLoops computes the exact impact distribution by summing
+// frontier DPs over all 2^L loop-edge assignments.
+func conditionOnLoops(w *wgraph, labels []int, loops []graph.EdgeID, maxWidth, full int) ([]float64, error) {
+	live := make([]bool, w.g.NumEdges())
+	out := make([]float64, full)
+	for bits := 0; bits < 1<<len(loops); bits++ {
+		weight := 1.0
+		for i, e := range loops {
+			if bits&(1<<i) != 0 {
+				live[e] = true
+				weight *= w.q[e]
+			} else {
+				live[e] = false
+				weight *= 1 - w.q[e]
+			}
+		}
+		if weight <= 0 {
+			continue
+		}
+		cd := clusterDAG(w, labels, live)
+		d, err := frontierDP(cd, maxWidth)
+		if err != nil {
+			return nil, err
+		}
+		for k, p := range d {
+			out[k] += weight * p
+		}
+	}
+	return out, nil
+}
+
+// condensationBounds returns the stochastic-dominance sandwich
+// (upper, lower) as full-length distributions: upper treats every loop
+// edge as live (certain), lower as dead.
+func condensationBounds(w *wgraph, labels []int, loops []graph.EdgeID, maxWidth, full int) (upper, lower []float64, err error) {
+	live := make([]bool, w.g.NumEdges())
+	for _, e := range loops {
+		live[e] = true
+	}
+	up, err := frontierDP(clusterDAG(w, labels, live), maxWidth)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range loops {
+		live[e] = false
+	}
+	lo, err := frontierDP(clusterDAG(w, labels, live), maxWidth)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pad(up, full), pad(lo, full), nil
+}
+
+// clusterDAG contracts the realized intra-SCC structure of w under one
+// loop-edge assignment. Intra-SCC edges that are certain (q ≥ 1) or
+// assigned live propagate activation deterministically, so the strongly
+// connected clusters of that realized subgraph co-activate and become
+// single super-nodes (weight = summed member weights, forced if any
+// member is forced). Edges in the result: realized intra-SCC edges
+// between different clusters become certain (q = 1); cross-SCC edges
+// keep their probability; parallels merge as q = 1 − Π(1−qᵢ); dead
+// loop edges vanish. The result is acyclic: cluster-level realized
+// edges are acyclic by construction of the clusters, and any cycle
+// through distinct SCCs would contradict the condensation order.
+func clusterDAG(w *wgraph, labels []int, live []bool) *wgraph {
+	n := w.g.NumNodes()
+	// Realized intra-edge subgraph over all nodes.
+	realized := graph.New(n)
+	for e := 0; e < w.g.NumEdges(); e++ {
+		edge := w.g.Edge(graph.EdgeID(e))
+		if labels[edge.From] != labels[edge.To] {
+			continue
+		}
+		if w.q[e] >= 1 || live[e] {
+			realized.MustAddEdge(edge.From, edge.To)
+		}
+	}
+	cluster, count := realized.StronglyConnectedComponents()
+
+	cd := &wgraph{
+		g:      graph.New(count),
+		weight: make([]int, count),
+		forced: make([]bool, count),
+	}
+	for v := 0; v < n; v++ {
+		c := cluster[v]
+		cd.weight[c] += w.weight[v]
+		cd.forced[c] = cd.forced[c] || w.forced[v]
+	}
+	// Merge parallel cluster edges: stayAt[e'] accumulates Π(1−qᵢ) for
+	// the sub-edges mapping onto cluster edge e'.
+	var stay []float64
+	for e := 0; e < w.g.NumEdges(); e++ {
+		edge := w.g.Edge(graph.EdgeID(e))
+		cu, cv := graph.NodeID(cluster[edge.From]), graph.NodeID(cluster[edge.To])
+		if cu == cv {
+			continue
+		}
+		q := w.q[e]
+		if labels[edge.From] == labels[edge.To] {
+			if !live[e] && q < 1 {
+				continue // conditioned dead
+			}
+			q = 1 // realized intra edge: certain at cluster level
+		}
+		id, ok := cd.g.EdgeID(cu, cv)
+		if !ok {
+			id = cd.g.MustAddEdge(cu, cv)
+			stay = append(stay, 1)
+		}
+		stay[id] *= 1 - q
+	}
+	cd.q = make([]float64, len(stay))
+	for i, s := range stay {
+		cd.q[i] = 1 - s
+	}
+	return cd
+}

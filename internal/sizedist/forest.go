@@ -1,0 +1,120 @@
+package sizedist
+
+import (
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+)
+
+// forestDist computes the exact impact distribution when the
+// positive-reachable subgraph (with source in-edges removed) is an
+// out-forest: every reachable non-source node has exactly one positive
+// in-edge from a reachable node. Then each such node has a unique
+// parent chain ending at a unique source, so the trees hanging off
+// distinct sources are vertex-disjoint and the total impact is the
+// independent sum of per-tree subtree sizes:
+//
+//	S_v = 1 + Σ_{child c via edge e} Bernoulli(p_e)·S_c
+//
+// computed bottom-up by convolution. Returns (nil, false) when the
+// structure is not a forest.
+func forestDist(m *core.ICM, distinct []graph.NodeID, isSource, reach []bool) ([]float64, bool) {
+	n := m.NumNodes()
+	g := m.G
+
+	// parentEdge[v] = the unique positive in-edge of reachable
+	// non-source v from a reachable node, or -1.
+	parentEdge := make([]graph.EdgeID, n)
+	for v := 0; v < n; v++ {
+		parentEdge[v] = -1
+		if !reach[v] || isSource[v] {
+			continue
+		}
+		for _, e := range g.InEdges(graph.NodeID(v)) {
+			if m.P[e] <= 0 || !reach[g.Edge(e).From] {
+				continue
+			}
+			if parentEdge[v] != -1 {
+				return nil, false // two live parents: not a forest
+			}
+			parentEdge[v] = e
+		}
+	}
+
+	// children[u] lists u's forest children in ascending node order
+	// (deterministic accumulation order for the convolutions).
+	type childEdge struct {
+		node graph.NodeID
+		p    float64
+	}
+	children := make([][]childEdge, n)
+	for v := 0; v < n; v++ {
+		if e := parentEdge[v]; e != -1 {
+			u := g.Edge(e).From
+			children[u] = append(children[u], childEdge{graph.NodeID(v), m.P[e]})
+		}
+	}
+
+	// Subtree distributions bottom-up via an explicit post-order stack
+	// (robust to path-shaped trees of arbitrary depth).
+	subtree := make([][]float64, n)
+	computeSubtree := func(root graph.NodeID) {
+		type frame struct {
+			v     graph.NodeID
+			child int
+		}
+		stack := []frame{{v: root}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.child < len(children[f.v]) {
+				c := children[f.v][f.child].node
+				f.child++
+				stack = append(stack, frame{v: c})
+				continue
+			}
+			// Post-order: all children done; convolve, then shift by 1
+			// for the node's own activation.
+			d := []float64{1}
+			for _, c := range children[f.v] {
+				d = mixConv(d, c.p, subtree[c.node])
+			}
+			s := make([]float64, len(d)+1)
+			copy(s[1:], d)
+			subtree[f.v] = s
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	total := []float64{1}
+	for _, s := range distinct {
+		// The root's own activation is certain and does not count as
+		// impact; only its children's Bernoulli subtrees contribute.
+		for _, c := range children[s] {
+			if subtree[c.node] == nil {
+				computeSubtree(c.node)
+			}
+			total = mixConv(total, c.p, subtree[c.node])
+		}
+	}
+	return total, true
+}
+
+// mixConv returns the distribution of A + Bernoulli(p)·C where A ~ acc
+// and C ~ child are independent: out = acc ⊛ ((1−p)δ₀ + p·child).
+// Accumulation runs in ascending index order for determinism.
+func mixConv(acc []float64, p float64, child []float64) []float64 {
+	out := make([]float64, len(acc)+len(child)-1)
+	q := 1 - p
+	for i, a := range acc {
+		if a <= 0 {
+			continue
+		}
+		out[i] += a * q
+		ap := a * p
+		for j, c := range child {
+			if c > 0 {
+				out[i+j] += ap * c
+			}
+		}
+	}
+	return out
+}

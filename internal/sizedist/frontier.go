@@ -1,0 +1,226 @@
+package sizedist
+
+import "infoflow/internal/graph"
+
+// frontierDP computes the exact impact distribution of a wgraph that
+// must be a DAG. Nodes are processed in deterministic topological order
+// (lowest node ID first among ready nodes). The DP state is the joint
+// activation pattern of the "live" nodes — those whose activation bit
+// is still needed by an unprocessed successor — packed into a bitmask
+// over at most maxWidth slots; for each mask it tracks the distribution
+// of impact accumulated so far. A node's slot is recycled as soon as
+// its last successor has been processed (the bit is marginalized out),
+// so the required width is the peak number of simultaneously-live
+// nodes, typically far below the node count on layered graphs.
+//
+// Correctness of the factorization: conditioned on the joint activation
+// pattern of the live frontier, the accumulated impact of retired nodes
+// is independent of everything downstream, because every future edge
+// out of the processed region leaves a live node by definition.
+//
+// Returns errWidth when the peak frontier exceeds maxWidth.
+func frontierDP(w *wgraph, maxWidth int) ([]float64, error) {
+	n := w.g.NumNodes()
+	order, ok := kahnOrder(w.g)
+	if !ok {
+		//flowlint:invariant callers dispatch on SCC count, so the graph is acyclic here
+		panic("sizedist: frontierDP on a cyclic graph")
+	}
+
+	// Dry-run the slot allocator to find the peak width.
+	slotOf := make([]int, n)
+	width := planSlots(w.g, order, slotOf, maxWidth)
+	if width < 0 {
+		return nil, errWidth
+	}
+	maxWidth = width
+
+	maxImpact := w.totalWeight()
+	// Rows are recycled through a pool: the DP would otherwise allocate
+	// masks × nodes fresh impact vectors.
+	var pool [][]float64
+	alloc := func() []float64 {
+		if k := len(pool) - 1; k >= 0 {
+			row := pool[k]
+			pool = pool[:k]
+			for i := range row {
+				row[i] = 0
+			}
+			return row
+		}
+		return make([]float64, maxImpact+1)
+	}
+	// add accumulates scale·src shifted by shift into *dst. Entries past
+	// maxImpact are provably zero (remaining weight bounds the shift).
+	// Ascending index order keeps accumulation deterministic.
+	add := func(dst *[]float64, src []float64, scale float64, shift int) {
+		if *dst == nil {
+			*dst = alloc()
+		}
+		d := *dst
+		for k, p := range src {
+			if p > 0 && k+shift < len(d) {
+				d[k+shift] += p * scale
+			}
+		}
+	}
+
+	dp := make([][]float64, 1<<maxWidth)
+	next := make([][]float64, 1<<maxWidth)
+	dp[0] = alloc()
+	dp[0][0] = 1
+
+	succLeft := make([]int, n)
+	for v := 0; v < n; v++ {
+		succLeft[v] = w.g.OutDegree(graph.NodeID(v))
+	}
+	for _, v := range order {
+		bit := 0
+		if slotOf[v] >= 0 {
+			bit = 1 << slotOf[v]
+		}
+		// Transition: branch each mask on v active / inactive.
+		for mask := range dp {
+			row := dp[mask]
+			if row == nil {
+				continue
+			}
+			pAct := 1.0
+			if !w.forced[v] {
+				stay := 1.0
+				for _, e := range w.g.InEdges(v) {
+					u := w.g.Edge(e).From
+					if mask&(1<<slotOf[u]) != 0 {
+						stay *= 1 - w.q[e]
+					}
+				}
+				pAct = 1 - stay
+			}
+			if pAct < 1 {
+				add(&next[mask], row, 1-pAct, 0)
+			}
+			if pAct > 0 {
+				add(&next[mask|bit], row, pAct, w.weight[v])
+			}
+			pool = append(pool, row)
+			dp[mask] = nil
+		}
+		dp, next = next, dp
+		// Retire parents whose last successor was just processed by
+		// marginalizing their bit out of the mask.
+		for _, e := range w.g.InEdges(v) {
+			u := w.g.Edge(e).From
+			succLeft[u]--
+			if succLeft[u] != 0 {
+				continue
+			}
+			ubit := 1 << slotOf[u]
+			for mask := range dp {
+				if mask&ubit == 0 || dp[mask] == nil {
+					continue
+				}
+				add(&dp[mask&^ubit], dp[mask], 1, 0)
+				pool = append(pool, dp[mask])
+				dp[mask] = nil
+			}
+		}
+	}
+	// All slots are retired by now (every allocated node had successors,
+	// and each was folded after its last one); dp[0] is the answer.
+	out := dp[0]
+	if out == nil {
+		out = make([]float64, maxImpact+1)
+	}
+	return out, nil
+}
+
+// planSlots assigns each node with successors a slot in [0, maxWidth),
+// reusing slots freed when a node's last successor is processed, in the
+// same order the DP runs. slotOf[v] = -1 for nodes that never need a
+// slot. Returns the peak width used, or -1 if it would exceed maxWidth.
+func planSlots(g *graph.DiGraph, order []graph.NodeID, slotOf []int, maxWidth int) int {
+	n := g.NumNodes()
+	for v := range slotOf {
+		slotOf[v] = -1
+	}
+	succLeft := make([]int, n)
+	for v := 0; v < n; v++ {
+		succLeft[v] = g.OutDegree(graph.NodeID(v))
+	}
+	var free []int
+	nextSlot, live, peak := 0, 0, 0
+	for _, v := range order {
+		if g.OutDegree(v) > 0 {
+			if len(free) > 0 {
+				slotOf[v] = free[len(free)-1]
+				free = free[:len(free)-1]
+			} else {
+				if nextSlot >= maxWidth {
+					return -1
+				}
+				slotOf[v] = nextSlot
+				nextSlot++
+			}
+			live++
+			if live > peak {
+				peak = live
+			}
+		}
+		for _, e := range g.InEdges(v) {
+			u := g.Edge(e).From
+			succLeft[u]--
+			if succLeft[u] == 0 {
+				free = append(free, slotOf[u])
+				live--
+			}
+		}
+	}
+	return nextSlot
+}
+
+// kahnOrder returns a deterministic topological order (smallest node ID
+// first among ready nodes) or ok=false if the graph has a cycle.
+func kahnOrder(g *graph.DiGraph) ([]graph.NodeID, bool) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = g.InDegree(graph.NodeID(v))
+	}
+	ready := make([]bool, n)
+	nReady := 0
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready[v] = true
+			nReady++
+		}
+	}
+	order := make([]graph.NodeID, 0, n)
+	low := 0 // no ready node below this index
+	for nReady > 0 {
+		v := -1
+		for u := low; u < n; u++ {
+			if ready[u] {
+				v = u
+				break
+			}
+		}
+		if v == low {
+			low++
+		}
+		ready[v] = false
+		nReady--
+		order = append(order, graph.NodeID(v))
+		for _, e := range g.OutEdges(graph.NodeID(v)) {
+			to := g.Edge(e).To
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready[to] = true
+				nReady++
+				if int(to) < low {
+					low = int(to)
+				}
+			}
+		}
+	}
+	return order, len(order) == n
+}

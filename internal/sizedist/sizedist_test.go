@@ -1,0 +1,462 @@
+package sizedist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// tvDist returns the total-variation distance between two impact
+// vectors (padding the shorter with zeros).
+func tvDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	tv := 0.0
+	for k := 0; k < n; k++ {
+		var av, bv float64
+		if k < len(a) {
+			av = a[k]
+		}
+		if k < len(b) {
+			bv = b[k]
+		}
+		tv += math.Abs(av - bv)
+	}
+	return tv / 2
+}
+
+// checkAgainstEnum asserts sizedist ≡ EnumImpactDistribution within
+// 1e-9 total variation and that the chosen method claims exactness.
+func checkAgainstEnum(t *testing.T, m *core.ICM, sources []graph.NodeID, wantMethod Method) {
+	t.Helper()
+	exact, err := m.EnumImpactDistribution(sources)
+	if err != nil {
+		t.Fatalf("enum: %v", err)
+	}
+	res, err := Compute(m, sources, Options{})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if res.Method != wantMethod {
+		t.Errorf("method = %v, want %v", res.Method, wantMethod)
+	}
+	if !res.Exact {
+		t.Errorf("method %v not marked exact", res.Method)
+	}
+	if len(res.Dist) != len(exact) {
+		t.Fatalf("len(Dist) = %d, want %d (enum indexing)", len(res.Dist), len(exact))
+	}
+	if tv := tvDist(res.Dist, exact); tv > 1e-9 {
+		t.Errorf("TV(sizedist, enum) = %g > 1e-9 (method %v)\n got %v\nwant %v",
+			tv, res.Method, res.Dist, exact)
+	}
+}
+
+func randomProbs(r *rng.RNG, m int) []float64 {
+	p := make([]float64, m)
+	for i := range p {
+		p[i] = r.Uniform(0.05, 0.95)
+	}
+	return p
+}
+
+func TestChainMatchesEnum(t *testing.T) {
+	r := rng.New(1)
+	for n := 2; n <= 8; n++ {
+		g := graph.Path(n)
+		m := core.MustNewICM(g, randomProbs(r, n-1))
+		checkAgainstEnum(t, m, []graph.NodeID{0}, MethodForest)
+	}
+}
+
+func TestStarMatchesEnum(t *testing.T) {
+	r := rng.New(2)
+	g := graph.New(8)
+	for v := 1; v < 8; v++ {
+		g.MustAddEdge(0, graph.NodeID(v))
+	}
+	m := core.MustNewICM(g, randomProbs(r, 7))
+	checkAgainstEnum(t, m, []graph.NodeID{0}, MethodForest)
+}
+
+func TestDiamondMatchesEnum(t *testing.T) {
+	// 0→{1,2}→3: node 3 has two live parents, so the forest path must
+	// refuse and the frontier DP must handle the reconvergence exactly.
+	r := rng.New(3)
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	m := core.MustNewICM(g, randomProbs(r, 4))
+	checkAgainstEnum(t, m, []graph.NodeID{0}, MethodFrontier)
+}
+
+func TestRandomDAGsMatchEnum(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(6) + 3
+		mE := r.Intn(min(n*(n-1)/2, core.MaxEnumEdges) + 1)
+		g := graph.RandomDAG(r, n, mE)
+		m := core.MustNewICM(g, randomProbs(r, mE))
+		srcs := []graph.NodeID{graph.NodeID(r.Intn(n))}
+		if trial%3 == 0 {
+			srcs = append(srcs, graph.NodeID(r.Intn(n)), srcs[0]) // dups + multi
+		}
+		exact, err := m.EnumImpactDistribution(srcs)
+		if err != nil {
+			t.Fatalf("enum: %v", err)
+		}
+		res, err := Compute(m, srcs, Options{})
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
+		if !res.Exact {
+			t.Fatalf("trial %d: method %v not exact on a DAG", trial, res.Method)
+		}
+		if tv := tvDist(res.Dist, exact); tv > 1e-9 {
+			t.Errorf("trial %d: TV = %g (method %v)", trial, tv, res.Method)
+		}
+	}
+}
+
+func TestRandomCyclicMatchEnum(t *testing.T) {
+	// Random digraphs with few enough edges to enumerate; cycles are
+	// common, so this exercises loop conditioning end to end.
+	r := rng.New(5)
+	sawCond := false
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(5) + 3
+		mE := r.Intn(min(n*(n-1), 14) + 1)
+		g := graph.Random(r, n, mE)
+		m := core.MustNewICM(g, randomProbs(r, mE))
+		exact, err := m.EnumImpactDistribution([]graph.NodeID{0})
+		if err != nil {
+			t.Fatalf("enum: %v", err)
+		}
+		res, err := Compute(m, []graph.NodeID{0}, Options{})
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
+		if !res.Exact {
+			t.Fatalf("trial %d: method %v not exact (n=%d m=%d)", trial, res.Method, n, mE)
+		}
+		if res.Method == MethodConditioned {
+			sawCond = true
+		}
+		if tv := tvDist(res.Dist, exact); tv > 1e-9 {
+			t.Errorf("trial %d: TV = %g (method %v)", trial, tv, res.Method)
+		}
+	}
+	if !sawCond {
+		t.Error("no trial exercised loop conditioning; fixture generator too tame")
+	}
+}
+
+func TestReciprocalPairMatchesEnum(t *testing.T) {
+	// 0→1⇄2→3: a 2-cycle between non-sources.
+	r := rng.New(6)
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(2, 3)
+	m := core.MustNewICM(g, randomProbs(r, 4))
+	checkAgainstEnum(t, m, []graph.NodeID{0}, MethodConditioned)
+}
+
+func TestCertainCycleClustersWithoutConditioning(t *testing.T) {
+	// A p=1 cycle between non-sources (1⇄2) co-activates
+	// deterministically: no uncertain intra-SCC edges, so conditioning
+	// has a single (empty) assignment and only cluster contraction runs.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(2, 3)
+	m := core.MustNewICM(g, []float64{0.6, 1, 1, 0.25})
+	checkAgainstEnum(t, m, []graph.NodeID{0}, MethodConditioned)
+}
+
+func TestCycleThroughSourceLinearizes(t *testing.T) {
+	// A cycle through the source is broken by dropping the source's
+	// in-edges (sources are forced active), leaving a forest.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(1, 2)
+	m := core.MustNewICM(g, []float64{1, 1, 0.25})
+	checkAgainstEnum(t, m, []graph.NodeID{0}, MethodForest)
+}
+
+func TestZeroProbEdgesPruned(t *testing.T) {
+	// p=0 edges must not break the forest classification.
+	r := rng.New(7)
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 2) // dead diamond arm
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(3, 4)
+	p := randomProbs(r, 5)
+	p[2] = 0
+	m := core.MustNewICM(g, p)
+	checkAgainstEnum(t, m, []graph.NodeID{0}, MethodForest)
+}
+
+func TestSourceInsideCycleWithChord(t *testing.T) {
+	// Source inside a probabilistic 3-cycle plus a chord: the chord
+	// gives node 2 two live parents, so forest refuses and the cycle
+	// (minus the source's in-edge) still needs loop conditioning.
+	r := rng.New(8)
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(2, 3)
+	m := core.MustNewICM(g, randomProbs(r, 5))
+	checkAgainstEnum(t, m, []graph.NodeID{0}, MethodFrontier)
+}
+
+func TestMultiSourceDedupIndexing(t *testing.T) {
+	g := graph.Path(4)
+	m := core.MustNewICM(g, []float64{1, 1, 1})
+	res, err := Compute(m, []graph.NodeID{0, 0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct sources, certain chain: impact always 2, length 3.
+	if len(res.Dist) != 3 {
+		t.Fatalf("len = %d, want 3", len(res.Dist))
+	}
+	if math.Abs(res.Dist[2]-1) > 1e-12 {
+		t.Errorf("Dist = %v, want δ₂", res.Dist)
+	}
+}
+
+func TestNoSources(t *testing.T) {
+	m := core.MustNewICM(graph.Path(3), []float64{0.5, 0.5})
+	res, err := Compute(m, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dist) != 4 || math.Abs(res.Dist[0]-1) > 0 {
+		t.Errorf("Dist = %v, want δ₀ of length 4", res.Dist)
+	}
+}
+
+func TestSourceOutOfRange(t *testing.T) {
+	m := core.MustNewICM(graph.Path(3), []float64{0.5, 0.5})
+	if _, err := Compute(m, []graph.NodeID{5}, Options{}); err == nil {
+		t.Fatal("want error for out-of-range source")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rng.New(9)
+	g := graph.Random(r, 7, 12)
+	m := core.MustNewICM(g, randomProbs(r, 12))
+	a, err := Compute(m, []graph.NodeID{0, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(m, []graph.NodeID{0, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Dist {
+		if a.Dist[k] != b.Dist[k] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", k, a.Dist[k], b.Dist[k])
+		}
+	}
+}
+
+func TestLargeForestBeyondEnum(t *testing.T) {
+	// 800-node random tree, far past MaxEnumEdges: forest path must
+	// apply, sum to 1, and have a sane mean.
+	r := rng.New(10)
+	const n = 800
+	g := graph.New(n)
+	p := make([]float64, 0, n-1)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(graph.NodeID(r.Intn(v)), graph.NodeID(v))
+		p = append(p, r.Uniform(0.1, 0.9))
+	}
+	m := core.MustNewICM(g, p)
+	res, err := Compute(m, []graph.NodeID{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodForest || !res.Exact {
+		t.Fatalf("method = %v exact=%v", res.Method, res.Exact)
+	}
+	sum := 0.0
+	for _, v := range res.Dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+	if mean := res.Mean(); mean <= 0 || mean >= n {
+		t.Errorf("mean = %v out of range", mean)
+	}
+}
+
+// layeredDAG builds depth layers of width nodes; each node in layer d+1
+// draws fanin edges from layer d. Frontier width stays ≤ 2·width.
+func layeredDAG(r *rng.RNG, depth, width, fanin int) (*graph.DiGraph, []float64) {
+	g := graph.New(1 + depth*width)
+	var p []float64
+	prev := []graph.NodeID{0}
+	next := graph.NodeID(1)
+	for d := 0; d < depth; d++ {
+		var layer []graph.NodeID
+		for wIdx := 0; wIdx < width; wIdx++ {
+			v := next
+			next++
+			layer = append(layer, v)
+			for _, u := range pickDistinct(r, prev, fanin) {
+				g.MustAddEdge(u, v)
+				p = append(p, r.Uniform(0.2, 0.8))
+			}
+		}
+		prev = layer
+	}
+	return g, p
+}
+
+func pickDistinct(r *rng.RNG, from []graph.NodeID, k int) []graph.NodeID {
+	if k >= len(from) {
+		return from
+	}
+	out := make([]graph.NodeID, 0, k)
+	for _, idx := range r.Sample(len(from), k) {
+		out = append(out, from[idx])
+	}
+	return out
+}
+
+func TestLargeLayeredDAGBeyondEnum(t *testing.T) {
+	r := rng.New(11)
+	g, p := layeredDAG(r, 50, 4, 2)
+	if g.NumEdges() <= 10*core.MaxEnumEdges {
+		t.Fatalf("fixture too small: %d edges", g.NumEdges())
+	}
+	m := core.MustNewICM(g, p)
+	res, err := Compute(m, []graph.NodeID{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodFrontier || !res.Exact {
+		t.Fatalf("method = %v exact=%v", res.Method, res.Exact)
+	}
+	sum := 0.0
+	for _, v := range res.Dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestWidthExceededFallsBackToMC(t *testing.T) {
+	// A single layer of 20 parents all feeding 20 children exceeds
+	// MaxWidth=4; with MCSamples the result degrades gracefully, and
+	// without it we get ErrIntractable.
+	r := rng.New(12)
+	g, p := layeredDAG(r, 2, 20, 10)
+	m := core.MustNewICM(g, p)
+	opts := Options{MaxWidth: 4}
+	if _, err := Compute(m, []graph.NodeID{0}, opts); !errors.Is(err, ErrIntractable) {
+		t.Fatalf("err = %v, want ErrIntractable", err)
+	}
+	opts.MCSamples = 500
+	opts.Seed = 42
+	res, err := Compute(m, []graph.NodeID{0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodMC || res.Exact {
+		t.Fatalf("method = %v exact=%v", res.Method, res.Exact)
+	}
+	res2, err := Compute(m, []graph.NodeID{0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Dist {
+		if res.Dist[k] != res2.Dist[k] {
+			t.Fatal("MC fallback not deterministic at fixed seed")
+		}
+	}
+}
+
+func TestCondensationSandwich(t *testing.T) {
+	// Large cyclic graph: layered DAG plus enough reciprocal pairs to
+	// exceed MaxLoopEdges, forcing the condensation bounds.
+	r := rng.New(13)
+	g, p := layeredDAG(r, 10, 3, 2)
+	// Add reciprocal back-edges inside layers to build 2-cycles.
+	added := 0
+	for v := graph.NodeID(1); added < 5 && int(v)+1 < g.NumNodes(); v += 5 {
+		u := v + 1
+		if !g.HasEdge(v, u) && !g.HasEdge(u, v) {
+			g.MustAddEdge(v, u)
+			p = append(p, 0.5)
+			g.MustAddEdge(u, v)
+			p = append(p, 0.5)
+			added++
+		}
+	}
+	m := core.MustNewICM(g, p)
+	res, err := Compute(m, []graph.NodeID{0}, Options{MaxLoopEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodCondensation || res.Exact {
+		t.Fatalf("method = %v exact=%v", res.Method, res.Exact)
+	}
+	if res.ExpectedSlack < 0 {
+		t.Errorf("ExpectedSlack = %v < 0", res.ExpectedSlack)
+	}
+	// Stochastic dominance: upper's CDF pointwise below lower's.
+	cu, cl := 0.0, 0.0
+	for k := range res.Upper {
+		cu += res.Upper[k]
+		cl += res.Lower[k]
+		if cu > cl+1e-9 {
+			t.Fatalf("dominance violated at %d: upper CDF %v > lower CDF %v", k, cu, cl)
+		}
+	}
+	// The same graph under exact loop conditioning must land inside the
+	// band in expectation.
+	exact, err := Compute(m, []graph.NodeID{0}, Options{MaxLoopEdges: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Method != MethodConditioned {
+		t.Fatalf("exact method = %v", exact.Method)
+	}
+	lo, hi := meanOf(res.Lower), meanOf(res.Upper)
+	if mean := exact.Mean(); mean < lo-1e-9 || mean > hi+1e-9 {
+		t.Errorf("exact mean %v outside band [%v, %v]", mean, lo, hi)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodForest: "forest", MethodFrontier: "frontier-dp",
+		MethodConditioned: "loop-conditioning", MethodCondensation: "condensation-bound",
+		MethodMC: "monte-carlo", Method(99): "Method(99)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Method(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"infoflow/internal/core"
+	"infoflow/internal/dist"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+	"infoflow/internal/sizedist"
+)
+
+// DistEstimator is a sampling impact-distribution estimator under
+// conformance test: it must return one impact value (number of
+// non-source activated nodes) per output sample, deterministically for
+// a fixed seed. mh.ImpactDistribution adapts to this shape in one line.
+type DistEstimator func(m *core.ICM, sources []graph.NodeID, samples int, seed uint64) ([]int, error)
+
+// DistTolerance derives a multinomial acceptance gate from Pearson's
+// chi-square test: the sampled impact histogram is compared against the
+// oracle distribution and rejected only when the discrepancy is
+// statistically significant evidence of bias at level Alpha, with the
+// sample count discounted by ESS for residual MCMC autocorrelation.
+type DistTolerance struct {
+	// Samples is the nominal number of impact samples requested.
+	Samples int
+	// ESS in (0, 1] discounts Samples (and the observed counts) for
+	// autocorrelation between thinned output samples; 1 means iid.
+	ESS float64
+	// Alpha is the significance level of the chi-square test.
+	Alpha float64
+	// MinExpected is the minimum ESS-discounted expected count per
+	// chi-square bucket; adjacent impact buckets are pooled until each
+	// pool reaches it, the standard validity condition for Pearson's
+	// statistic.
+	MinExpected float64
+}
+
+// DefaultDistTolerance returns the standard gate. ESS 0.35 is more
+// conservative than the binomial bands' 0.5 because the chi-square
+// statistic aggregates every bucket's autocorrelation rather than one
+// indicator's; Alpha 1e-6 keeps the false-positive rate of a multi-case
+// run negligible while a systematically shifted histogram at
+// samples ≥ 4000 still fails with overwhelming power.
+func DefaultDistTolerance(samples int) DistTolerance {
+	return DistTolerance{Samples: samples, ESS: 0.35, Alpha: 1e-6, MinExpected: 5}
+}
+
+func (tol DistTolerance) validate() error {
+	if tol.Samples <= 0 || tol.ESS <= 0 || tol.ESS > 1 || tol.Alpha <= 0 || tol.Alpha >= 1 || tol.MinExpected <= 0 {
+		return fmt.Errorf("testkit: invalid distribution tolerance %+v", tol)
+	}
+	return nil
+}
+
+// ChiSquare computes the pooled Pearson statistic of observed impact
+// samples against the oracle distribution: counts are scaled by ESS,
+// adjacent buckets pooled until each pool's expected count reaches
+// MinExpected, and the p-value read from the chi-square survival
+// function with (#pools − 1) degrees of freedom. An impact outside
+// [0, len(oracle)) is an indexing-contract violation and returns an
+// error. With fewer than two pools the test is vacuous (p = 1).
+func (tol DistTolerance) ChiSquare(oracle []float64, impacts []int) (stat float64, df int, p float64, err error) {
+	counts := make([]float64, len(oracle))
+	for _, k := range impacts {
+		if k < 0 || k >= len(oracle) {
+			return 0, 0, 0, fmt.Errorf("testkit: impact %d outside oracle range [0,%d)", k, len(oracle))
+		}
+		counts[k]++
+	}
+	effN := float64(len(impacts)) * tol.ESS
+	type pool struct{ obs, exp float64 }
+	var pools []pool
+	var cur pool
+	for k := range oracle {
+		cur.obs += counts[k] * tol.ESS
+		cur.exp += oracle[k] * effN
+		if cur.exp >= tol.MinExpected {
+			pools = append(pools, cur)
+			cur = pool{}
+		}
+	}
+	// Fold an underweight tail into the last complete pool so every
+	// pool satisfies the validity condition. If nothing reached
+	// MinExpected the test is vacuous.
+	if cur.obs > 0 || cur.exp > 0 {
+		if len(pools) == 0 {
+			pools = append(pools, cur)
+		} else {
+			pools[len(pools)-1].obs += cur.obs
+			pools[len(pools)-1].exp += cur.exp
+		}
+	}
+	df = len(pools) - 1
+	if df < 1 {
+		return 0, df, 1, nil
+	}
+	for _, pl := range pools {
+		d := pl.obs - pl.exp
+		stat += d * d / pl.exp
+	}
+	return stat, df, dist.ChiSquareSurvival(stat, df), nil
+}
+
+// DistCase is one distribution-conformance scenario: a model, a source
+// set, and an oracle impact distribution with its provenance. A
+// non-empty SkipReason marks a case whose oracle could not be built
+// (e.g. enumeration past core.MaxEnumEdges); such cases are reported as
+// skipped rather than failing the run.
+type DistCase struct {
+	Name        string
+	Model       *core.ICM
+	Sources     []graph.NodeID
+	Oracle      []float64
+	OracleLabel string
+	SkipReason  string
+}
+
+// EnumOracleCase builds a case whose oracle is exact pseudo-state
+// enumeration, degrading to a skipped case (carrying the typed limit
+// error's message) when the model exceeds core.MaxEnumEdges.
+func EnumOracleCase(name string, m *core.ICM, sources []graph.NodeID) DistCase {
+	c := DistCase{Name: name, Model: m, Sources: sources}
+	oracle, err := m.EnumImpactDistribution(sources)
+	if err != nil {
+		var limit *core.EnumLimitError
+		if errors.As(err, &limit) {
+			c.SkipReason = limit.Error()
+			return c
+		}
+		c.SkipReason = err.Error()
+		return c
+	}
+	c.Oracle = oracle
+	c.OracleLabel = "enum"
+	return c
+}
+
+// SizedistOracleCase builds a case whose oracle is the analytic
+// size-distribution engine. Only exact analytic methods qualify as
+// ground truth; an approximate or infeasible result is an error, since
+// a conformance gate against an approximation would be meaningless.
+func SizedistOracleCase(name string, m *core.ICM, sources []graph.NodeID, opts sizedist.Options) (DistCase, error) {
+	res, err := sizedist.Compute(m, sources, opts)
+	if err != nil {
+		return DistCase{}, fmt.Errorf("testkit: sizedist oracle for %s: %w", name, err)
+	}
+	if !res.Exact {
+		return DistCase{}, fmt.Errorf("testkit: sizedist oracle for %s: method %v is not exact", name, res.Method)
+	}
+	return DistCase{
+		Name:        name,
+		Model:       m,
+		Sources:     sources,
+		Oracle:      res.Dist,
+		OracleLabel: res.Method.String(),
+	}, nil
+}
+
+// ScaleDistCases builds the standard beyond-enumeration suite: three
+// graphs 10–100× past core.MaxEnumEdges whose impact laws the analytic
+// engine still computes exactly — a large random out-tree (forest
+// convolution), a deep layered DAG (frontier DP), and the same layered
+// shape with reciprocal pairs spliced in (loop conditioning). Edge
+// probabilities stay inside [0.2, 0.8] so the MH chains mix well.
+func ScaleDistCases(seed uint64) ([]DistCase, error) {
+	var cases []DistCase
+
+	r := rng.NewStream(seed, 0)
+	const treeN = 800
+	g := graph.New(treeN)
+	p := make([]float64, 0, treeN-1)
+	for v := 1; v < treeN; v++ {
+		g.MustAddEdge(graph.NodeID(r.Intn(v)), graph.NodeID(v))
+		p = append(p, r.Uniform(0.2, 0.8))
+	}
+	c, err := SizedistOracleCase(fmt.Sprintf("tree-%dn/seed=%d", treeN, seed),
+		core.MustNewICM(g, p), []graph.NodeID{0}, sizedist.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, c)
+
+	r = rng.NewStream(seed, 1)
+	g, p = layeredFixture(r, 50, 4, 2)
+	c, err = SizedistOracleCase(fmt.Sprintf("layered-50x4/seed=%d", seed),
+		core.MustNewICM(g, p), []graph.NodeID{0}, sizedist.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, c)
+
+	r = rng.NewStream(seed, 2)
+	g, p = layeredFixture(r, 45, 3, 2)
+	// Two reciprocal pairs make the graph cyclic with four loop edges.
+	for _, v := range []graph.NodeID{7, 61} {
+		g.MustAddEdge(v, v+1)
+		p = append(p, r.Uniform(0.3, 0.7))
+		g.MustAddEdge(v+1, v)
+		p = append(p, r.Uniform(0.3, 0.7))
+	}
+	c, err = SizedistOracleCase(fmt.Sprintf("layered-cyclic-45x3/seed=%d", seed),
+		core.MustNewICM(g, p), []graph.NodeID{0}, sizedist.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, c)
+
+	for i := range cases {
+		if m := cases[i].Model.NumEdges(); m <= 10*core.MaxEnumEdges {
+			return nil, fmt.Errorf("testkit: scale case %s has only %d edges, not beyond 10x enumeration", cases[i].Name, m)
+		}
+	}
+	return cases, nil
+}
+
+// layeredFixture builds node 0 feeding depth layers of width nodes,
+// each drawing fanin in-edges from the previous layer; the frontier
+// stays within two layers, so the DP width is bounded by 2·width.
+func layeredFixture(r *rng.RNG, depth, width, fanin int) (*graph.DiGraph, []float64) {
+	g := graph.New(1 + depth*width)
+	var p []float64
+	prev := []graph.NodeID{0}
+	next := graph.NodeID(1)
+	for d := 0; d < depth; d++ {
+		layer := make([]graph.NodeID, 0, width)
+		for i := 0; i < width; i++ {
+			v := next
+			next++
+			layer = append(layer, v)
+			k := fanin
+			if k > len(prev) {
+				k = len(prev)
+			}
+			for _, idx := range r.Sample(len(prev), k) {
+				g.MustAddEdge(prev[idx], v)
+				p = append(p, r.Uniform(0.2, 0.8))
+			}
+		}
+		prev = layer
+	}
+	return g, p
+}
+
+// DistCaseResult is the outcome of one distribution comparison.
+type DistCaseResult struct {
+	Case    DistCase
+	Stat    float64
+	DF      int
+	PValue  float64
+	OK      bool
+	Skipped bool
+	Err     error
+}
+
+// DistReport is the outcome of a distribution-conformance run.
+type DistReport struct {
+	Tol     DistTolerance
+	Results []DistCaseResult
+}
+
+// OK reports whether every non-skipped case passed and at least one
+// case actually ran.
+func (r *DistReport) OK() bool {
+	ran := 0
+	for _, res := range r.Results {
+		if res.Skipped {
+			continue
+		}
+		if !res.OK {
+			return false
+		}
+		ran++
+	}
+	return ran > 0
+}
+
+// Failures returns the failing (non-skipped) case results.
+func (r *DistReport) Failures() []DistCaseResult {
+	var out []DistCaseResult
+	for _, res := range r.Results {
+		if !res.Skipped && !res.OK {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Skipped returns the skipped case results.
+func (r *DistReport) Skipped() []DistCaseResult {
+	var out []DistCaseResult
+	for _, res := range r.Results {
+		if res.Skipped {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// String renders the run as a fixed-width table.
+func (r *DistReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist-conformance (samples=%d ess=%.2f alpha=%.2g minExp=%.1f)\n",
+		r.Tol.Samples, r.Tol.ESS, r.Tol.Alpha, r.Tol.MinExpected)
+	fmt.Fprintf(&b, "%-34s %-16s %6s %9s %4s %10s  %s\n",
+		"case", "oracle", "edges", "stat", "df", "p-value", "ok")
+	for _, res := range r.Results {
+		if res.Skipped {
+			fmt.Fprintf(&b, "%-34s SKIP: %s\n", res.Case.Name, res.Case.SkipReason)
+			continue
+		}
+		if res.Err != nil {
+			fmt.Fprintf(&b, "%-34s error: %v\n", res.Case.Name, res.Err)
+			continue
+		}
+		mark := "FAIL"
+		if res.OK {
+			mark = "ok"
+		}
+		fmt.Fprintf(&b, "%-34s %-16s %6d %9.2f %4d %10.3g  %s\n",
+			res.Case.Name, res.Case.OracleLabel, res.Case.Model.NumEdges(),
+			res.Stat, res.DF, res.PValue, mark)
+	}
+	return b.String()
+}
+
+// RunDistributionConformance runs est on every case with a per-case
+// deterministic seed derived from seed and gates each sampled impact
+// histogram against its case's oracle with the pooled chi-square test.
+// Cases with a SkipReason are reported but neither run nor failed; an
+// estimator or indexing error fails the case rather than the run.
+func RunDistributionConformance(cases []DistCase, est DistEstimator, tol DistTolerance, seed uint64) (*DistReport, error) {
+	if err := tol.validate(); err != nil {
+		return nil, err
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("testkit: no distribution-conformance cases")
+	}
+	rep := &DistReport{Tol: tol}
+	for i, c := range cases {
+		if c.SkipReason != "" {
+			rep.Results = append(rep.Results, DistCaseResult{Case: c, Skipped: true})
+			continue
+		}
+		caseSeed := seed + uint64(i)*0x9e3779b97f4a7c15
+		impacts, err := est(c.Model, c.Sources, tol.Samples, caseSeed)
+		res := DistCaseResult{Case: c, Err: err}
+		if err == nil {
+			res.Stat, res.DF, res.PValue, res.Err = tol.ChiSquare(c.Oracle, impacts)
+			if res.Err == nil {
+				res.OK = res.PValue >= tol.Alpha
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

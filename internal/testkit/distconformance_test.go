@@ -1,0 +1,211 @@
+package testkit
+
+import (
+	"strings"
+	"testing"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+	"infoflow/internal/sizedist"
+)
+
+// iidImpactEstimator samples impacts by direct iid cascade simulation —
+// exactly multinomial draws from the true law, so it must pass the gate
+// even at ESS=1.
+func iidImpactEstimator(m *core.ICM, sources []graph.NodeID, samples int, seed uint64) ([]int, error) {
+	r := rng.New(seed)
+	out := make([]int, samples)
+	for i := range out {
+		out[i] = m.SampleCascade(r, sources).NumNewlyActive()
+	}
+	return out, nil
+}
+
+func TestDistGatePassesUnbiasedSampler(t *testing.T) {
+	var cases []DistCase
+	for _, f := range Families {
+		r := rng.NewStream(911, uint64(f))
+		m := NewModel(f, r)
+		cases = append(cases, EnumOracleCase(f.String(), m, []graph.NodeID{0}))
+	}
+	tol := DistTolerance{Samples: 6000, ESS: 1, Alpha: 1e-6, MinExpected: 5}
+	rep, err := RunDistributionConformance(cases, iidImpactEstimator, tol, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("unbiased iid sampler failed the gate:\n%s", rep)
+	}
+}
+
+func TestDistGateRejectsBiasedSampler(t *testing.T) {
+	// Power check: a sampler that halves every impact must fail.
+	biased := func(m *core.ICM, sources []graph.NodeID, samples int, seed uint64) ([]int, error) {
+		out, err := iidImpactEstimator(m, sources, samples, seed)
+		for i := range out {
+			out[i] /= 2
+		}
+		return out, err
+	}
+	r := rng.NewStream(912, 0)
+	m := NewModel(Uniform, r)
+	cases := []DistCase{EnumOracleCase("biased", m, []graph.NodeID{0})}
+	tol := DistTolerance{Samples: 6000, ESS: 1, Alpha: 1e-6, MinExpected: 5}
+	rep, err := RunDistributionConformance(cases, biased, tol, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("biased sampler passed the gate:\n%s", rep)
+	}
+	if len(rep.Failures()) != 1 {
+		t.Errorf("failures = %d, want 1", len(rep.Failures()))
+	}
+}
+
+func TestDistGateSkipsBeyondEnumLimit(t *testing.T) {
+	// An enum-oracle case past MaxEnumEdges must skip-and-report, not
+	// panic, fail, or invoke the estimator.
+	r := rng.New(913)
+	g := graph.Random(r, 12, core.MaxEnumEdges+10)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = 0.5
+	}
+	m := core.MustNewICM(g, p)
+	c := EnumOracleCase("too-big", m, []graph.NodeID{0})
+	if c.SkipReason == "" {
+		t.Fatal("expected a skip reason past MaxEnumEdges")
+	}
+	called := false
+	est := func(*core.ICM, []graph.NodeID, int, uint64) ([]int, error) {
+		called = true
+		return nil, nil
+	}
+	small := EnumOracleCase("small", core.MustNewICM(graph.Path(3), []float64{0.5, 0.5}), []graph.NodeID{0})
+	rep, err := RunDistributionConformance([]DistCase{c, small}, iidImpactEstimator, DefaultDistTolerance(2000), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("estimator was invoked for a skipped case")
+	}
+	if !rep.OK() {
+		t.Fatalf("run with one skipped case should pass:\n%s", rep)
+	}
+	if len(rep.Skipped()) != 1 {
+		t.Errorf("skipped = %d, want 1", len(rep.Skipped()))
+	}
+	if !strings.Contains(rep.String(), "SKIP") {
+		t.Errorf("report does not surface the skip:\n%s", rep)
+	}
+	_ = est
+}
+
+func TestDistGateRejectsOutOfRangeImpact(t *testing.T) {
+	bad := func(m *core.ICM, sources []graph.NodeID, samples int, seed uint64) ([]int, error) {
+		out := make([]int, samples)
+		out[0] = m.NumNodes() + 5 // impossible impact
+		return out, nil
+	}
+	cases := []DistCase{EnumOracleCase("range", core.MustNewICM(graph.Path(3), []float64{0.5, 0.5}), []graph.NodeID{0})}
+	rep, err := RunDistributionConformance(cases, bad, DefaultDistTolerance(100), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Results[0].Err == nil {
+		t.Fatalf("out-of-range impact must fail the case:\n%s", rep)
+	}
+}
+
+func TestScaleDistCasesBeyondEnum(t *testing.T) {
+	cases, err := ScaleDistCases(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 3 {
+		t.Fatalf("cases = %d, want >= 3", len(cases))
+	}
+	labels := map[string]bool{}
+	for _, c := range cases {
+		if c.Model.NumEdges() <= 10*core.MaxEnumEdges {
+			t.Errorf("%s: %d edges not beyond 10x MaxEnumEdges", c.Name, c.Model.NumEdges())
+		}
+		sum := 0.0
+		for _, p := range c.Oracle {
+			sum += p
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			t.Errorf("%s: oracle sums to %v", c.Name, sum)
+		}
+		labels[c.OracleLabel] = true
+	}
+	for _, want := range []string{"forest", "frontier-dp", "loop-conditioning"} {
+		if !labels[want] {
+			t.Errorf("no scale case uses the %s oracle (got %v)", want, labels)
+		}
+	}
+	// The gate itself must pass an iid sampler on the scale fixtures.
+	rep, err := RunDistributionConformance(cases, iidImpactEstimator,
+		DistTolerance{Samples: 4000, ESS: 1, Alpha: 1e-6, MinExpected: 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("iid sampler failed on scale fixtures:\n%s", rep)
+	}
+}
+
+func TestSizedistOracleRefusesInexact(t *testing.T) {
+	// MC is never an oracle.
+	r := rng.New(914)
+	g, p := layeredFixture(r, 2, 20, 10)
+	m := core.MustNewICM(g, p)
+	_, err := SizedistOracleCase("mc", m, []graph.NodeID{0},
+		sizedist.Options{MaxWidth: 4, MCSamples: 100})
+	if err == nil {
+		t.Fatal("inexact sizedist result accepted as oracle")
+	}
+}
+
+// TestGoldenSizeDistVectors pins the analytic engine's output on the
+// family fixtures and a downsampled scale fixture into the golden
+// corpus (additive; regenerate with -update-golden).
+func TestGoldenSizeDistVectors(t *testing.T) {
+	type vector struct {
+		Name   string    `json:"name"`
+		Method string    `json:"method"`
+		Mean   float64   `json:"mean"`
+		Dist   []float64 `json:"dist"`
+	}
+	var vectors []vector
+	for _, f := range Families {
+		r := rng.NewStream(915, uint64(f))
+		m := NewModel(f, r)
+		res, err := sizedist.Compute(m, []graph.NodeID{0}, sizedist.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		vectors = append(vectors, vector{
+			Name:   f.String(),
+			Method: res.Method.String(),
+			Mean:   Round(res.Mean(), 10),
+			Dist:   RoundSlice(res.Dist, 10),
+		})
+	}
+	r := rng.NewStream(915, 99)
+	g, p := layeredFixture(r, 12, 3, 2)
+	m := core.MustNewICM(g, p)
+	res, err := sizedist.Compute(m, []graph.NodeID{0}, sizedist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors = append(vectors, vector{
+		Name:   "layered-12x3",
+		Method: res.Method.String(),
+		Mean:   Round(res.Mean(), 10),
+		Dist:   RoundSlice(res.Dist, 10),
+	})
+	Golden(t, "sizedist_vectors", vectors)
+}

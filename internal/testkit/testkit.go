@@ -28,8 +28,16 @@
 //     any behavioural drift in estimators or learners shows up as a
 //     reviewable diff.
 //
-// testkit deliberately imports only core, graph, dist and rng — not the
-// sampler packages — so sampler packages' own internal tests can import
-// it without a cycle and plug their estimators in via the Estimator
-// adapter type.
+//   - A distribution-conformance harness (distconformance.go): pooled
+//     chi-square gates that compare a sampled impact histogram against
+//     an oracle distribution — exact enumeration on small graphs
+//     (skip-and-report past core.MaxEnumEdges via the typed
+//     core.EnumLimitError), and the analytic sizedist engine on graphs
+//     10–100× beyond the enumeration limit (ScaleDistCases), where the
+//     MH impact estimator previously had no exact coverage at all.
+//
+// testkit deliberately imports only core, graph, dist, rng and the
+// analytic sizedist engine — not the sampler packages — so sampler
+// packages' own internal tests can import it without a cycle and plug
+// their estimators in via the Estimator / DistEstimator adapter types.
 package testkit
