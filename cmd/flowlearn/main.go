@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"infoflow/internal/graph"
 	"infoflow/internal/rng"
@@ -70,9 +71,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if len(traces) == 0 {
 		return fmt.Errorf("no %s traces in the corpus", *kindArg)
 	}
+	// Order the traces by label: map iteration order is randomized, and
+	// the observation order feeds the learners' accumulations.
+	labels := make([]string, 0, len(traces))
+	for label := range traces {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	traceList := make([]unattrib.Trace, 0, len(traces))
-	for _, tr := range traces {
-		traceList = append(traceList, tr)
+	for _, label := range labels {
+		traceList = append(traceList, traces[label])
 	}
 	sums, err := unattrib.BuildSummaries(d.Flow, traceList)
 	if err != nil {

@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/flowlint ./...          # analyze the whole module
 //	go run ./cmd/flowlint ./internal/mh  # one package directory
+//	go run ./cmd/flowlint -json ./...    # findings as a JSON array
 //	go run ./cmd/flowlint -list          # describe the checks
 //
 // Exit status is 0 when clean, 1 when findings were reported, 2 on
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,8 +37,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered checks and exit")
 	moduleDir := fs.String("C", ".", "module root directory")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: flowlint [-C dir] [-list] [./... | dir ...]\n\n")
+		fmt.Fprintf(stderr, "usage: flowlint [-C dir] [-json] [-list] [./... | dir ...]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -62,8 +65,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags := lint.Run(pkgs, lint.Checks())
-	for _, d := range diags {
-		fmt.Fprintln(stdout, relativize(mod.Dir, d))
+	for i, d := range diags {
+		diags[i] = relativize(mod.Dir, d)
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // a clean run is [], not null
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "flowlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "flowlint: %d finding(s)\n", len(diags))
@@ -110,10 +128,10 @@ func selectPackages(mod *lint.Module, patterns []string) ([]*lint.Package, error
 	return out, nil
 }
 
-// relativize shortens absolute finding paths to module-relative ones.
-func relativize(dir string, d lint.Diagnostic) string {
+// relativize shortens an absolute finding path to a module-relative one.
+func relativize(dir string, d lint.Diagnostic) lint.Diagnostic {
 	if rel, err := filepath.Rel(dir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
-		d.File = rel
+		d.File = filepath.ToSlash(rel)
 	}
-	return d.String()
+	return d
 }

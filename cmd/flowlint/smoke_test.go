@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"infoflow/internal/lint"
+)
+
+// writeModule lays a file map out as a module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtyWorker = `package worker
+
+import "sync"
+
+type Store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+func (s *Store) Lookup(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+`
+
+const cleanWorker = `package worker
+
+import "sync"
+
+type Store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+func (s *Store) Lookup(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vals[k]
+	return v, ok
+}
+`
+
+func dirtyModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod":           "module smokemod\n\ngo 1.22\n",
+		"worker/worker.go": dirtyWorker,
+	})
+}
+
+var findingLine = regexp.MustCompile(`^worker/worker\.go:11:2: \[locksafe\] .*not unlocked on the return path`)
+
+// TestSmokeFinding drives run() end to end against a module with one
+// locksafe defect: exit code 1, one conventionally formatted finding on
+// stdout, a count on stderr.
+func TestSmokeFinding(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dirtyModule(t), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 1 || !findingLine.MatchString(lines[0]) {
+		t.Errorf("stdout = %q, want one line matching %v", stdout.String(), findingLine)
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Errorf("stderr = %q, want finding count", stderr.String())
+	}
+}
+
+// TestSmokeClean verifies the zero-findings path: exit 0 and empty
+// output.
+func TestSmokeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":           "module smokemod\n\ngo 1.22\n",
+		"worker/worker.go": cleanWorker,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout = %q, want empty", stdout.String())
+	}
+}
+
+// TestSmokeJSON checks the machine-readable mode: the finding array
+// round-trips through encoding/json and carries the same positions as
+// the text form.
+func TestSmokeJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dirtyModule(t), "-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, &stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.File != "worker/worker.go" || d.Line != 11 || d.Col != 2 || d.Check != "locksafe" || d.Message == "" {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	reencoded, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again []lint.Diagnostic
+	if err := json.Unmarshal(reencoded, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(diags, again) {
+		t.Errorf("diagnostics do not round-trip: %v != %v", diags, again)
+	}
+}
+
+// TestSmokeJSONClean verifies a clean -json run emits [] (not null).
+func TestSmokeJSONClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":           "module smokemod\n\ngo 1.22\n",
+		"worker/worker.go": cleanWorker,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("stdout = %q, want []", got)
+	}
+}
+
+// TestSmokeList verifies -list names every registered check.
+func TestSmokeList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for name := range lint.KnownChecks() {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing check %q:\n%s", name, &stdout)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"sort"
 
 	"infoflow"
 )
@@ -31,9 +32,16 @@ func main() {
 	// All the pipeline sees: per-URL first-mention times.
 	traces := infoflow.ExtractURLTraces(d.Tweets)
 	fmt.Printf("extracted %d unattributed traces\n\n", len(traces))
-	var traceList []infoflow.Trace
-	for _, tr := range traces {
-		traceList = append(traceList, tr)
+	// Order the traces by URL: map iteration order is randomized, and
+	// the observation order feeds the learners' accumulations.
+	urls := make([]string, 0, len(traces))
+	for u := range traces {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	traceList := make([]infoflow.Trace, 0, len(traces))
+	for _, u := range urls {
+		traceList = append(traceList, traces[u])
 	}
 	sums, err := infoflow.BuildSummaries(d.Flow, traceList)
 	if err != nil {

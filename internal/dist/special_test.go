@@ -128,7 +128,12 @@ func TestInvRegIncBetaRoundTrip(t *testing.T) {
 		if x < 0 || x > 1 {
 			return false
 		}
-		return almostEqual(RegIncBeta(x, a, b), p, 1e-8)
+		// 1e-6 rather than 1e-8: for shapes < 1 the density is singular
+		// at the endpoints, so near x≈0 or x≈1 an ulp-accurate quantile
+		// still round-trips with p-space error of ~1e-7 (e.g. p=0.99,
+		// a=17.1, b=0.2 puts x within 4e-12 of 1 and back-maps 2e-8
+		// off). A genuinely broken inverse misses by far more.
+		return almostEqual(RegIncBeta(x, a, b), p, 1e-6)
 	}, &quick.Config{MaxCount: 500})
 	if err != nil {
 		t.Fatal(err)

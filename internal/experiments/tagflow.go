@@ -228,9 +228,17 @@ func (l *TagFlowLab) LearnWithOptions(radius int, bayes unattrib.BayesOptions, i
 // activation rate: total leak credit per parent exposure, Goyal-style,
 // across every sink's summary.
 func pooledPrior(sums map[graph.NodeID]*unattrib.Summary) dist.Beta {
+	// Accumulate in sorted sink order: float addition is not
+	// associative, and the map's randomized iteration order would make
+	// the pooled prior differ bit-for-bit between runs.
+	ids := make([]graph.NodeID, 0, len(sums))
+	for id := range sums {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	exposure, credit := 0.0, 0.0
-	for _, s := range sums {
-		for _, row := range s.Rows {
+	for _, id := range ids {
+		for _, row := range sums[id].Rows {
 			// Each observation exposes |J| parent edges and carries at
 			// most one unit of leak credit split among them.
 			exposure += float64(row.Count * row.Set.Size())

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicmixCheck flags struct fields that are accessed through
+// sync/atomic functions in one place and through plain loads or stores
+// in another. The atomic calls buy nothing once any access bypasses
+// them: the plain access races the atomic ones, and the race detector
+// only catches it when both sides happen to run under -race. The fix
+// is to make every access atomic — or better, to change the field to
+// an atomic.Int64-style typed value so the compiler enforces it.
+//
+// The analysis is package-scoped: it first collects every field whose
+// address is passed to a sync/atomic function anywhere in the package,
+// then reports each plain (non-atomic) access to one of those fields.
+var atomicmixCheck = &Check{
+	Name: "atomicmix",
+	Desc: "fields accessed via sync/atomic must never also be accessed plainly",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: fields used atomically, and the exact selector nodes that
+	// appear as &field arguments to atomic calls (so pass 2 can skip
+	// them).
+	atomicAt := make(map[*types.Var]token.Pos)
+	atomicArg := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v := selectedField(info, sel); v != nil {
+				if prev, seen := atomicAt[v]; !seen || call.Pos() < prev {
+					atomicAt[v] = call.Pos()
+				}
+				atomicArg[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those fields is a plain load/store
+	// racing the atomic ones.
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArg[sel] {
+				return true
+			}
+			v := selectedField(info, sel)
+			if v == nil {
+				return true
+			}
+			atomicPos, mixed := atomicAt[v]
+			if !mixed {
+				return true
+			}
+			p.Reportf(sel.Pos(), "field %s is accessed atomically elsewhere (line %d) but plainly here: the plain access races every atomic one; use sync/atomic for all accesses or switch the field to an atomic typed value",
+				v.Name(), p.Pkg.Fset.Position(atomicPos).Line)
+			return true
+		})
+	}
+}
+
+// selectedField resolves a selector to the struct field it reads or
+// writes, or nil when it selects something else (a method, a package
+// member, a type).
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

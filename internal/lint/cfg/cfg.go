@@ -1,0 +1,463 @@
+// Package cfg builds per-function control-flow graphs over go/ast for
+// the flow-sensitive flowlint checks (locksafe, ctxleak, maporder).
+// Construction is purely syntactic — no type information — so one
+// builder serves real packages and fixture trees alike; clients that
+// need types resolve them against the nodes the blocks carry.
+//
+// The graph is a list of basic blocks connected by directed edges.
+// Each block holds the "simple" nodes control passes through in order:
+// expressions (if/for/switch conditions, range operands) and simple
+// statements (assignments, sends, calls, defer, go, return). Compound
+// statements never appear as nodes; they are desugared into blocks and
+// edges:
+//
+//   - if/else become a condition block branching to then/else blocks
+//     that re-join afterwards;
+//   - for and range become head/body/exit blocks with back edges
+//     (break/continue, labeled or not, target the right blocks);
+//   - switch/type-switch become a tag block fanning out to one block
+//     per case, with fallthrough edges between case bodies;
+//   - select becomes a head block (Kind KindSelect) fanning out to one
+//     block per comm clause — the comm operation itself blocks at the
+//     head, so the head is where a "blocks here" analysis should look,
+//     and a head whose select carries no default clause may block
+//     forever;
+//   - return and panic(...) terminate their block with an edge to the
+//     synthetic Exit block (Term records which); os.Exit and
+//     log.Fatal* terminate the same way;
+//   - goto edges resolve through their labels, forward or backward.
+//
+// Function literals are opaque: a FuncLit appears inside whatever node
+// contains it and its body is NOT part of the enclosing function's
+// graph — analyses build a separate graph per literal.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Term classifies how a block's control leaves it.
+type Term uint8
+
+const (
+	// TermNone: control falls through to the block's successors.
+	TermNone Term = iota
+	// TermReturn: the block ends in a return (explicit or the implicit
+	// fall-off-the-end return) and its edge leads to Exit.
+	TermReturn
+	// TermPanic: the block ends in panic(...), os.Exit or log.Fatal*;
+	// its edge leads to Exit but no deferred cleanup contract applies
+	// to ordinary callers.
+	TermPanic
+)
+
+// Kind classifies what a block desugars.
+type Kind uint8
+
+const (
+	// KindPlain is an ordinary straight-line block.
+	KindPlain Kind = iota
+	// KindForHead is a for-loop head: its nodes end with the loop
+	// condition (if any) and its two successors are body and exit.
+	KindForHead
+	// KindRangeHead is a range-loop head: its nodes end with the range
+	// operand expression; Ctrl is the *ast.RangeStmt.
+	KindRangeHead
+	// KindSelect is a select head; Ctrl is the *ast.SelectStmt. The
+	// comm operations block here, one successor per clause.
+	KindSelect
+)
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  Kind
+	// Ctrl is the compound statement a non-plain block desugars
+	// (*ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt), nil for plain
+	// blocks.
+	Ctrl ast.Stmt
+	// Nodes are the simple statements and expressions control passes
+	// through, in order. Nested function literals inside a node belong
+	// to their own graph.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	Term  Term
+}
+
+// Loop records the blocks a for/range statement desugars to.
+type Loop struct {
+	Stmt ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	Head *Block
+	Body *Block
+	// Exit is where control lands when the loop finishes or breaks.
+	Exit *Block
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	Entry *Block
+	// Exit is the synthetic sink every return/panic block feeds.
+	Exit   *Block
+	Blocks []*Block
+	// Loops indexes the desugared loops by their source statement, in
+	// source order.
+	Loops []*Loop
+}
+
+// LoopOf returns the Loop desugared from stmt, or nil.
+func (g *Graph) LoopOf(stmt ast.Stmt) *Loop {
+	for _, l := range g.Loops {
+		if l.Stmt == stmt {
+			return l
+		}
+	}
+	return nil
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: make(map[string]*Block), gotos: make(map[string][]*Block)}
+	g.Entry = b.block()
+	g.Exit = b.block()
+	b.cur = g.Entry
+	b.stmt(body)
+	// Falling off the end is an implicit return.
+	if b.cur.Term == TermNone {
+		b.cur.Term = TermReturn
+		b.edge(b.cur, g.Exit)
+	}
+	// A goto whose label never materialized cannot occur in
+	// type-checked code; dangling entries are simply dropped.
+	return g
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label string // enclosing label, "" if none
+	brk   *Block // break target (nil: break does not bind here)
+	cont  *Block // continue target (nil for switch/select)
+}
+
+type builder struct {
+	g     *Graph
+	cur   *Block
+	stack []frame
+	// label pending for the immediately following for/range/switch,
+	// consumed by the construct that binds it.
+	pendingLabel string
+	labels       map[string]*Block   // label → its block
+	gotos        map[string][]*Block // unresolved forward gotos
+	// fallthroughTo is the next case body while building a switch case.
+	fallthroughTo *Block
+}
+
+func (b *builder) block() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a simple node to the current block.
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current block with an edge to Exit and opens an
+// unreachable continuation.
+func (b *builder) terminate(t Term) {
+	b.cur.Term = t
+	b.edge(b.cur, b.g.Exit)
+	b.cur = b.block()
+}
+
+// jump ends the current block with an edge to target (break, continue,
+// goto) and opens an unreachable continuation.
+func (b *builder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.block()
+}
+
+// takeLabel consumes the label pending for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		head := b.cur
+		after := b.block()
+		thenB := b.block()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseB := b.block()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.block()
+		head.Kind = KindForHead
+		head.Ctrl = s
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.block()
+		after := b.block()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		if s.Post != nil {
+			cont = b.block()
+			prev := b.cur
+			b.cur = cont
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+			b.cur = prev
+		}
+		b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Head: head, Body: body, Exit: after})
+		b.stack = append(b.stack, frame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.edge(b.cur, cont)
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.block()
+		head.Kind = KindRangeHead
+		head.Ctrl = s
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s.X)
+		body := b.block()
+		after := b.block()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Head: head, Body: body, Exit: after})
+		b.stack = append(b.stack, frame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body)
+		// s.Assign's type assertion carries no control flow worth a
+		// node of its own; clients that care about the bound variable
+		// read it off the clause bodies' uses.
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if len(head.Nodes) > 0 || head.Kind != KindPlain {
+			head = b.block()
+			b.edge(b.cur, head)
+		}
+		head.Kind = KindSelect
+		head.Ctrl = s
+		after := b.block()
+		b.stack = append(b.stack, frame{label: label, brk: after})
+		for _, cl := range s.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clause := b.block()
+			b.edge(head, clause)
+			b.cur = clause
+			for _, st := range comm.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, after)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		if len(s.Body.List) == 0 {
+			// An empty select blocks forever.
+			head.Term = TermPanic
+			b.edge(head, b.g.Exit)
+		}
+		b.cur = after
+	case *ast.LabeledStmt:
+		target := b.block()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		for _, from := range b.gotos[s.Label.Name] {
+			b.edge(from, target)
+		}
+		delete(b.gotos, s.Label.Name)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(TermReturn)
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminates(s.X) {
+			b.terminate(TermPanic)
+		}
+	case *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.SendStmt,
+		*ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+	default:
+		// Anything unrecognized is carried as an opaque node so its
+		// expressions stay visible to analyses.
+		b.add(s)
+	}
+}
+
+// switchStmt desugars switch and type-switch: a tag block fanning out
+// to one block per case, fallthrough edges between case bodies, and an
+// implicit edge past the switch when no default exists.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.stmt(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	after := b.block()
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.block()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.stack = append(b.stack, frame{label: label, brk: after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = after
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.fallthroughTo = nil
+		b.edge(b.cur, after)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = after
+}
+
+// branch wires break, continue, goto and fallthrough.
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			f := b.stack[i]
+			if f.brk != nil && (label == "" || f.label == label) {
+				b.jump(f.brk)
+				return
+			}
+		}
+	case "continue":
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			f := b.stack[i]
+			if f.cont != nil && (label == "" || f.label == label) {
+				b.jump(f.cont)
+				return
+			}
+		}
+	case "goto":
+		if target, ok := b.labels[label]; ok {
+			b.jump(target)
+			return
+		}
+		from := b.cur
+		b.gotos[label] = append(b.gotos[label], from)
+		b.cur = b.block()
+		return
+	case "fallthrough":
+		if b.fallthroughTo != nil {
+			b.jump(b.fallthroughTo)
+			return
+		}
+	}
+	// A branch that binds to nothing (malformed source); treat as a
+	// no-op so the graph stays connected.
+}
+
+// terminates reports whether the expression statement never returns:
+// the panic builtin, os.Exit, runtime.Goexit, or log.Fatal*. Matching
+// is syntactic — cfg has no type information — which is the accepted
+// imprecision of this layer.
+func terminates(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" ||
+			fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,346 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses a function body and returns its graph.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// reachableTerms counts reachable blocks by terminator.
+func reachableTerms(g *Graph) map[Term]int {
+	counts := make(map[Term]int)
+	for _, b := range g.Reachable() {
+		if b != g.Exit {
+			counts[b.Term]++
+		}
+	}
+	return counts
+}
+
+func TestStraightLineImplicitReturn(t *testing.T) {
+	g := buildFunc(t, "x := 1\n_ = x")
+	if g.Entry.Term != TermReturn {
+		t.Errorf("entry term = %v, want TermReturn (implicit)", g.Entry.Term)
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry holds %d nodes, want 2", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry should feed Exit directly")
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x")
+	// entry(cond) → then, else; both → join → exit.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2", len(g.Entry.Succs))
+	}
+	join := g.Entry.Succs[0].Succs[0]
+	if g.Entry.Succs[1].Succs[0] != join {
+		t.Errorf("then and else do not re-join")
+	}
+	if join.Term != TermReturn {
+		t.Errorf("join term = %v, want TermReturn", join.Term)
+	}
+}
+
+func TestIfWithoutElseBranchesPast(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\nx = 2\n}\n_ = x")
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2 (then, after)", len(g.Entry.Succs))
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	g := buildFunc(t, "s := 0\nfor i := 0; i < 10; i++ {\ns += i\n}\n_ = s")
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if l.Head.Kind != KindForHead {
+		t.Errorf("head kind = %v, want KindForHead", l.Head.Kind)
+	}
+	if len(l.Head.Succs) != 2 {
+		t.Errorf("head has %d successors, want 2 (body, exit)", len(l.Head.Succs))
+	}
+	// The body must cycle back to the head through the post block.
+	post := l.Body.Succs[0]
+	if len(post.Succs) != 1 || post.Succs[0] != l.Head {
+		t.Errorf("body does not cycle back to the head via post")
+	}
+	if _, ok := l.Stmt.(*ast.ForStmt); !ok {
+		t.Errorf("loop stmt is %T, want *ast.ForStmt", l.Stmt)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g := buildFunc(t, "for {\n_ = 1\n}")
+	l := g.Loops[0]
+	for _, b := range g.Reachable() {
+		if b == l.Exit {
+			t.Errorf("exit of `for {}` should be unreachable")
+		}
+	}
+}
+
+func TestBreakAndContinueTargets(t *testing.T) {
+	g := buildFunc(t, "for i := 0; i < 10; i++ {\nif i == 3 {\nbreak\n}\nif i == 2 {\ncontinue\n}\n_ = i\n}")
+	l := g.Loops[0]
+	brk := 0
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s == l.Exit {
+				brk++
+			}
+		}
+	}
+	// Head→exit plus the break edge.
+	if brk != 2 {
+		t.Errorf("%d edges into loop exit, want 2 (cond false, break)", brk)
+	}
+	// The continue targets the post block (i++), which is the head's
+	// sole non-entry predecessor chain: the post block must have at
+	// least 2 predecessors (body fall-through + continue).
+	var post *Block
+	for _, p := range l.Head.Preds {
+		if p != g.Entry && len(p.Succs) == 1 && p.Succs[0] == l.Head {
+			post = p
+		}
+	}
+	if post == nil {
+		t.Fatal("no post block cycling into the head")
+	}
+	if len(post.Preds) < 2 {
+		t.Errorf("post block has %d predecessors, want >= 2 (body end + continue)", len(post.Preds))
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, "outer:\nfor i := 0; i < 3; i++ {\nfor j := 0; j < 3; j++ {\nif j == i {\nbreak outer\n}\n}\n}\n_ = 1")
+	if len(g.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(g.Loops))
+	}
+	outer := g.Loops[0]
+	// Some block inside the inner loop must edge straight to the outer
+	// loop's exit.
+	found := false
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s == outer.Exit && b != outer.Head {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no labeled-break edge to the outer loop exit")
+	}
+}
+
+func TestRangeDesugaring(t *testing.T) {
+	g := buildFunc(t, "xs := []int{1, 2}\nt := 0\nfor _, v := range xs {\nt += v\n}\n_ = t")
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if l.Head.Kind != KindRangeHead {
+		t.Errorf("head kind = %v, want KindRangeHead", l.Head.Kind)
+	}
+	if g.LoopOf(l.Stmt) != l {
+		t.Errorf("LoopOf does not find the range loop")
+	}
+	// Head carries the range operand and branches to body and exit.
+	if len(l.Head.Nodes) != 1 {
+		t.Errorf("range head holds %d nodes, want 1 (the operand)", len(l.Head.Nodes))
+	}
+	if len(l.Head.Succs) != 2 {
+		t.Errorf("range head has %d successors, want 2", len(l.Head.Succs))
+	}
+	if l.Body.Succs[0] != l.Head {
+		t.Errorf("range body does not cycle back to the head")
+	}
+}
+
+func TestReturnAndPanicTerminate(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\nreturn\n}\npanic(\"boom\")")
+	terms := reachableTerms(g)
+	if terms[TermReturn] != 1 {
+		t.Errorf("%d return blocks, want 1", terms[TermReturn])
+	}
+	if terms[TermPanic] != 1 {
+		t.Errorf("%d panic blocks, want 1", terms[TermPanic])
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	g := buildFunc(t, "os.Exit(2)\n_ = 1")
+	terms := reachableTerms(g)
+	if terms[TermPanic] != 1 {
+		t.Errorf("os.Exit did not terminate its block: %v", terms)
+	}
+	// The statement after os.Exit is unreachable.
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.AssignStmt); ok {
+				t.Errorf("unreachable assignment %v is in a reachable block", es)
+			}
+		}
+	}
+}
+
+func TestSwitchFanOutAndFallthrough(t *testing.T) {
+	g := buildFunc(t, "x := 1\nswitch x {\ncase 1:\nx = 10\nfallthrough\ncase 2:\nx = 20\ndefault:\nx = 30\n}\n_ = x")
+	// The head fans out to three case blocks; with a default there is
+	// no head→after edge.
+	if len(g.Entry.Succs) != 3 {
+		t.Fatalf("switch head has %d successors, want 3", len(g.Entry.Succs))
+	}
+	case1 := g.Entry.Succs[0]
+	case2 := g.Entry.Succs[1]
+	// case1 falls through into case2's body.
+	found := false
+	for _, s := range case1.Succs {
+		if s == case2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestSwitchWithoutDefaultSkips(t *testing.T) {
+	g := buildFunc(t, "x := 1\nswitch x {\ncase 1:\nx = 10\n}\n_ = x")
+	// head → case, after.
+	if len(g.Entry.Succs) != 2 {
+		t.Errorf("switch head has %d successors, want 2 (case, after)", len(g.Entry.Succs))
+	}
+}
+
+func TestSelectHead(t *testing.T) {
+	g := buildFunc(t, "ch := make(chan int)\ndone := make(chan struct{})\nselect {\ncase v := <-ch:\n_ = v\ncase <-done:\nreturn\n}\n_ = 1")
+	var head *Block
+	for _, b := range g.Reachable() {
+		if b.Kind == KindSelect {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no KindSelect block")
+	}
+	if _, ok := head.Ctrl.(*ast.SelectStmt); !ok {
+		t.Fatalf("select head Ctrl is %T", head.Ctrl)
+	}
+	if len(head.Succs) != 2 {
+		t.Errorf("select head has %d successors, want 2 (one per clause)", len(head.Succs))
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := buildFunc(t, "i := 0\nagain:\ni++\nif i < 3 {\ngoto again\n}\n_ = i")
+	// The goto must produce a cycle: some reachable block's successor
+	// list contains a block with a smaller index.
+	cyclic := false
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != g.Exit {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Errorf("backward goto produced no cycle")
+	}
+}
+
+func TestDeferAndGoAreNodes(t *testing.T) {
+	g := buildFunc(t, "defer f()\ngo f()\n_ = 1")
+	var defers, gos int
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			switch n.(type) {
+			case *ast.DeferStmt:
+				defers++
+			case *ast.GoStmt:
+				gos++
+			}
+		}
+	}
+	if defers != 1 || gos != 1 {
+		t.Errorf("defer/go nodes = %d/%d, want 1/1", defers, gos)
+	}
+}
+
+func TestForwardReachingFacts(t *testing.T) {
+	// Count assignments along each path; the branch facts join at the
+	// merge with max, so the exit sees the longer (then) path's count.
+	g := buildFunc(t, "x := 1\nif x > 0 {\nx = 2\nx = 3\n} else {\nx = 4\n}\n_ = x")
+	counts := func(b *Block) int {
+		n := 0
+		for _, nd := range b.Nodes {
+			if _, ok := nd.(*ast.AssignStmt); ok {
+				n++
+			}
+		}
+		return n
+	}
+	type fact struct{ n int }
+	in, _ := Forward(g, &fact{},
+		func(f *fact) *fact { c := *f; return &c },
+		func(dst, src *fact) (*fact, bool) {
+			if src.n > dst.n {
+				dst.n = src.n
+				return dst, true
+			}
+			return dst, false
+		},
+		func(b *Block, f *fact) { f.n += counts(b) },
+	)
+	// x := 1 and _ = x are define/blank assigns: 2 on the spine, plus
+	// 2 in the then branch = 4 on the max path into exit.
+	if got := in[g.Exit].n; got != 4 {
+		t.Errorf("assignments reaching exit = %d, want 4 (max path)", got)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	// A loop must reach a fixpoint, not iterate forever: saturating
+	// join at 10.
+	g := buildFunc(t, "for i := 0; i < 5; i++ {\n_ = i\n}")
+	type fact struct{ n int }
+	in, _ := Forward(g, &fact{},
+		func(f *fact) *fact { c := *f; return &c },
+		func(dst, src *fact) (*fact, bool) {
+			if src.n > dst.n && dst.n < 10 {
+				dst.n = src.n
+				if dst.n > 10 {
+					dst.n = 10
+				}
+				return dst, true
+			}
+			return dst, false
+		},
+		func(b *Block, f *fact) {
+			if f.n < 10 {
+				f.n++
+			}
+		},
+	)
+	if in[g.Exit] == nil {
+		t.Fatal("no fact reached exit")
+	}
+}

@@ -1,0 +1,79 @@
+package cfg
+
+// Forward runs a forward worklist dataflow analysis over the blocks
+// reachable from g.Entry and returns the fixpoint facts at each
+// block's entry and exit. The client supplies the lattice:
+//
+//   - entry is the fact at function entry;
+//   - clone returns an independent copy of a fact (facts are shared
+//     across edges only through clone, so transfer may mutate freely);
+//   - join merges src into dst and reports whether dst changed; it is
+//     the lattice least-upper-bound and must be monotone for the
+//     worklist to terminate;
+//   - transfer folds one block's nodes into a fact in place.
+//
+// Unreachable blocks get no facts; a client that reports from the
+// result should iterate g.Blocks and skip blocks absent from the maps.
+func Forward[F any](
+	g *Graph,
+	entry F,
+	clone func(F) F,
+	join func(dst, src F) (F, bool),
+	transfer func(b *Block, f F),
+) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(g.Blocks))
+	out = make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = entry
+
+	queued := make([]bool, len(g.Blocks))
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[blk.Index] = false
+
+		f := clone(in[blk])
+		transfer(blk, f)
+		out[blk] = f
+
+		for _, s := range blk.Succs {
+			changed := false
+			if cur, ok := in[s]; ok {
+				in[s], changed = join(cur, f)
+			} else {
+				in[s] = clone(f)
+				changed = true
+			}
+			if changed && !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, out
+}
+
+// Reachable returns the blocks reachable from g.Entry in index order.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var out []*Block
+	for _, blk := range g.Blocks {
+		if seen[blk.Index] {
+			out = append(out, blk)
+		}
+	}
+	return out
+}

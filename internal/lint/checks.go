@@ -14,6 +14,11 @@ func Checks() []*Check {
 		floatcmpCheck,
 		errwrapCheck,
 		panicfreeCheck,
+		locksafeCheck,
+		goroleakCheck,
+		atomicmixCheck,
+		ctxleakCheck,
+		maporderCheck,
 	}
 }
 
@@ -26,6 +31,11 @@ func KnownChecks() map[string]bool {
 		"floatcmp":    true,
 		"errwrap":     true,
 		"panicfree":   true,
+		"locksafe":    true,
+		"goroleak":    true,
+		"atomicmix":   true,
+		"ctxleak":     true,
+		"maporder":    true,
 	}
 }
 

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ctxleakCheck enforces the two context disciplines the serving stack
+// depends on for clean shutdown:
+//
+//   - context.Context does not belong in struct fields. A stored
+//     context outlives the call that created it, silently pins that
+//     call's deadline and values, and makes cancellation scope
+//     invisible at the use site. Pass contexts as parameters; the rare
+//     legitimate carrier (a queued request bundling its caller's
+//     cancellation) must say so with a reasoned //flowlint:ignore.
+//
+//   - a loop in a context-carrying function must consult its context.
+//     A worker loop that blocks on channels or sleeps without ever
+//     touching ctx cannot be cancelled: shutdown hangs on it. Any
+//     reference to the context inside the loop body (a ctx.Done()
+//     select arm, ctx.Err() poll, or passing ctx to a callee that
+//     checks it) satisfies the rule.
+//
+// Blocking is attributed to the innermost enclosing loop, so a nested
+// uncancellable loop is reported once, at the loop that actually
+// spins.
+var ctxleakCheck = &Check{
+	Name: "ctxleak",
+	Desc: "contexts must be passed, not stored; blocking loops must consult their context",
+	Run:  runCtxleak,
+}
+
+func runCtxleak(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		checkCtxFields(p, f)
+		for _, fb := range funcBodies(f) {
+			checkCtxLoops(p, fb)
+		}
+	}
+}
+
+// checkCtxFields reports struct fields of type context.Context.
+func checkCtxFields(p *Pass, f *File) {
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			t := p.Pkg.Info.TypeOf(field.Type)
+			if t == nil || !isContextType(t) {
+				continue
+			}
+			p.Reportf(field.Pos(), "context.Context stored in a struct field: the context outlives its call and hides cancellation scope; pass it as a parameter instead")
+		}
+		return true
+	})
+}
+
+// checkCtxLoops reports loops that block without consulting the
+// function's context parameter.
+func checkCtxLoops(p *Pass, fb funcBody) {
+	if !hasContextParam(p, fb) {
+		return
+	}
+
+	// Collect this body's own loops (not those of nested literals,
+	// which are analyzed as bodies in their own right).
+	type loopInfo struct {
+		pos    token.Pos
+		body   *ast.BlockStmt
+		blocks bool
+	}
+	var loops []*loopInfo
+	inspectShallow(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, &loopInfo{pos: n.Pos(), body: n.Body})
+		case *ast.RangeStmt:
+			loops = append(loops, &loopInfo{pos: n.Pos(), body: n.Body})
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+
+	// Attribute each blocking operation to its innermost enclosing
+	// loop. Loops were collected in Inspect (pre-)order, so the last
+	// loop whose body spans the position is the innermost.
+	attribute := func(pos token.Pos) {
+		var innermost *loopInfo
+		for _, l := range loops {
+			if l.body.Pos() <= pos && pos < l.body.End() {
+				innermost = l
+			}
+		}
+		if innermost != nil {
+			innermost.blocks = true
+		}
+	}
+	inspectShallow(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			attribute(n.Arrow)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				attribute(n.OpPos)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				attribute(n.Pos())
+			}
+		case *ast.CallExpr:
+			if obj := calleeObj(p.Pkg.Info, n); isPkgFunc(obj, "time", "Sleep") {
+				attribute(n.Pos())
+				return true
+			}
+			if tn, m, ok := syncMethodName(p.Pkg.Info, n); ok &&
+				((tn == "WaitGroup" && m == "Wait") || (tn == "Cond" && m == "Wait")) {
+				attribute(n.Pos())
+			}
+		}
+		return true
+	})
+
+	for _, l := range loops {
+		if !l.blocks || referencesContext(p, l.body) {
+			continue
+		}
+		p.Reportf(l.pos, "%s: loop blocks without consulting its context: cancellation cannot interrupt it and shutdown hangs; add a ctx.Done() select arm or a ctx.Err() check",
+			fb.name)
+	}
+}
+
+// hasContextParam reports whether the function declares a
+// context.Context parameter.
+func hasContextParam(p *Pass, fb funcBody) bool {
+	var params *ast.FieldList
+	switch {
+	case fb.decl != nil:
+		params = fb.decl.Type.Params
+	case fb.lit != nil:
+		params = fb.lit.Type.Params
+	}
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if t := p.Pkg.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// referencesContext reports whether any identifier in the subtree has
+// context.Context type — a Done() arm, an Err() poll, or ctx handed to
+// a callee all qualify.
+func referencesContext(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if t := p.Pkg.Info.TypeOf(id); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

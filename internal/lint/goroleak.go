@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// goroleakCheck flags `go` statements that spawn goroutines with no
+// visible lifecycle: nothing ties the goroutine's lifetime to a
+// WaitGroup, a context, or a channel, so nothing can wait for it, stop
+// it, or learn that it finished. Such goroutines leak on shutdown and
+// silently swallow their own failures.
+//
+// A goroutine counts as lifecycle-managed when any of the following
+// holds:
+//
+//   - a WaitGroup.Add call appears earlier in the same function body
+//     (the spawn participates in an Add/Done/Wait protocol);
+//   - the spawned call receives a context.Context or a channel-typed
+//     argument (the caller retains a cancellation or signalling handle);
+//   - the goroutine body (for `go func() {...}()`) communicates: it
+//     sends on, receives from, or closes a channel, runs a select,
+//     consults a context, or calls WaitGroup.Done.
+//
+// Calling WaitGroup.Add *inside* the goroutine body is reported
+// unconditionally: the spawner can reach Wait before the goroutine is
+// scheduled, so Wait returns while work is still running — the exact
+// race Add-before-go exists to prevent.
+var goroleakCheck = &Check{
+	Name: "goroleak",
+	Desc: "goroutines must have a visible lifecycle (WaitGroup, context, or channel coupling)",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			checkGoStmts(p, fb)
+		}
+	}
+}
+
+func checkGoStmts(p *Pass, fb funcBody) {
+	// Source positions of WaitGroup.Add calls made directly by this
+	// body (not inside nested literals, which run on their own
+	// schedule).
+	var addPositions []token.Pos
+	inspectShallow(fb.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if tn, m, ok := syncMethodName(p.Pkg.Info, call); ok && tn == "WaitGroup" && m == "Add" {
+				addPositions = append(addPositions, call.Pos())
+			}
+		}
+		return true
+	})
+	addBefore := func(pos token.Pos) bool {
+		for _, ap := range addPositions {
+			if ap < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	inspectShallow(fb.body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		// The goroutine body is a nested function; inspectShallow will
+		// not descend into it, so examine it explicitly here.
+		if lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+			if pos, found := firstWaitGroupAdd(p, lit.Body); found {
+				p.Reportf(pos, "WaitGroup.Add inside the goroutine races its own Wait: the spawner can reach Wait before this runs; call Add before the go statement")
+				return true
+			}
+			if bodyHasLifecycle(p, lit.Body) {
+				return true
+			}
+		}
+		if addBefore(g.Pos()) || callHasLifecycleArgs(p, g.Call) {
+			return true
+		}
+		p.Reportf(g.Pos(), "goroutine has no visible lifecycle: no WaitGroup.Add before the spawn, no context or channel argument, and no channel use in the body; nothing can wait for it or stop it")
+		return true
+	})
+}
+
+// firstWaitGroupAdd finds a WaitGroup.Add call anywhere in a goroutine
+// body (including nested literals: Add still races Wait from there).
+func firstWaitGroupAdd(p *Pass, body *ast.BlockStmt) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if tn, m, ok := syncMethodName(p.Pkg.Info, call); ok && tn == "WaitGroup" && m == "Add" {
+				pos, found = call.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// callHasLifecycleArgs reports whether the spawned call is handed a
+// context or a channel — a handle the caller can use to stop it or
+// hear from it.
+func callHasLifecycleArgs(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if t := p.Pkg.Info.TypeOf(arg); t != nil && (isContextType(t) || isChanType(t)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyHasLifecycle reports whether a goroutine body visibly
+// communicates: channel send/receive/close, select, a context value,
+// or WaitGroup.Done.
+func bodyHasLifecycle(p *Pass, body *ast.BlockStmt) bool {
+	info := p.Pkg.Info
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if has {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt, *ast.RangeStmt:
+			if r, isRange := n.(*ast.RangeStmt); isRange {
+				if t := info.TypeOf(r.X); t == nil || !isChanType(t) {
+					return true
+				}
+			}
+			has = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				has = true
+			}
+		case *ast.CallExpr:
+			if tn, m, ok := syncMethodName(info, n); ok && tn == "WaitGroup" && m == "Done" {
+				has = true
+				return false
+			}
+			if id, isIdent := ast.Unparen(n.Fun).(*ast.Ident); isIdent && id.Name == "close" {
+				if obj := info.Uses[id]; obj != nil && obj.Pkg() == nil {
+					has = true
+				}
+			}
+		case *ast.Ident:
+			if t := info.TypeOf(n); t != nil && isContextType(t) {
+				has = true
+			}
+		}
+		return !has
+	})
+	return has
+}

@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"infoflow/internal/lint/cfg"
+)
+
+// locksafeCheck is the flow-sensitive lock-discipline analysis: it
+// tracks sync.Mutex/RWMutex acquisitions through each function's
+// control-flow graph (internal/lint/cfg) and reports
+//
+//   - a lock acquired on some path but not released on every return
+//     path (defer-aware: `defer mu.Unlock()` — directly or inside a
+//     deferred closure — releases on all exits downstream of the
+//     defer);
+//   - re-acquiring a lock already held on the same path, which
+//     self-deadlocks (Go mutexes are not reentrant);
+//   - blocking while a lock is held: channel sends/receives, selects
+//     without a default, WaitGroup.Wait, Cond.Wait and time.Sleep all
+//     stall every other goroutine contending for the lock — and can
+//     deadlock outright when the unblocking party needs that lock;
+//   - copying a mutex (or a value embedding one) — the copy shares no
+//     state with the original, so code locking the copy excludes
+//     nobody.
+//
+// The analysis is intraprocedural: a helper that locks for its caller
+// (or unlocks a caller's lock) trips the exit check by design and
+// carries a reasoned //flowlint:ignore naming the protocol. Panic
+// exits are exempt — invariant guards fire only on broken state, where
+// lock hygiene is moot.
+var locksafeCheck = &Check{
+	Name: "locksafe",
+	Desc: "mutexes must be released on every return path and never held across blocking operations",
+	Run:  runLocksafe,
+}
+
+func runLocksafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		checkMutexCopies(p, f)
+		for _, fb := range funcBodies(f) {
+			analyzeLocks(p, fb)
+		}
+	}
+}
+
+// lockState is the per-path state of one mutex.
+type lockState struct {
+	pos      token.Pos // the Lock/RLock site that acquired it
+	read     bool      // held via RLock
+	deferred bool      // an Unlock/RUnlock is deferred on this path
+}
+
+// lockFact maps a lock's canonical receiver expression (types.ExprString
+// of `b.mu` etc.) to its state. Presence means "held on at least one
+// path reaching here".
+type lockFact map[string]*lockState
+
+func cloneLockFact(f lockFact) lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// joinLockFact merges src into dst: a lock held on either path is
+// held-on-some; a deferred release survives the join only if both
+// paths deferred it. Both moves are monotone, so the worklist
+// terminates.
+func joinLockFact(dst, src lockFact) (lockFact, bool) {
+	changed := false
+	for k, v := range src {
+		d, ok := dst[k]
+		if !ok {
+			c := *v
+			dst[k] = &c
+			changed = true
+			continue
+		}
+		if d.deferred && !v.deferred {
+			d.deferred = false
+			changed = true
+		}
+		if d.read && !v.read {
+			d.read = false
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// analyzeLocks runs the dataflow over one function body.
+func analyzeLocks(p *Pass, fb funcBody) {
+	// Cheap pre-pass: skip bodies that never touch a sync lock.
+	touches := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if tn, m, ok := syncMethodName(p.Pkg.Info, call); ok &&
+				(tn == "Mutex" || tn == "RWMutex") && isLockMethodName(m) {
+				touches = true
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	g := cfg.New(fb.body)
+	transfer := func(b *cfg.Block, f lockFact) { lockTransfer(p, fb.name, b, f, false) }
+	in, out := cfg.Forward(g, make(lockFact), cloneLockFact, joinLockFact, transfer)
+
+	// Reporting pass: replay each reachable block once, with reporting
+	// on, from its fixpoint entry fact.
+	for _, b := range g.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		lockTransfer(p, fb.name, b, cloneLockFact(f), true)
+	}
+
+	// Exit discipline: a lock still held (and not deferred-released) in
+	// the out-fact of a return block leaks on that path. One finding
+	// per acquisition site, reported at the Lock call so the
+	// suppression (when the protocol is intentional) sits on the
+	// acquiring line.
+	type leak struct {
+		key       string
+		returnPos token.Pos
+	}
+	leaks := make(map[token.Pos]leak)
+	for _, b := range g.Blocks {
+		f, ok := out[b]
+		if !ok || b.Term != cfg.TermReturn {
+			continue
+		}
+		for key, st := range f {
+			if st.deferred {
+				continue
+			}
+			if _, dup := leaks[st.pos]; !dup {
+				leaks[st.pos] = leak{key: key, returnPos: returnPosOf(b)}
+			}
+		}
+	}
+	positions := make([]token.Pos, 0, len(leaks))
+	for pos := range leaks {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		l := leaks[pos]
+		where := "the end of the function"
+		if l.returnPos.IsValid() {
+			where = "line " + strconv.Itoa(p.Pkg.Fset.Position(l.returnPos).Line)
+		}
+		p.Reportf(pos, "%s: %s is locked here but not unlocked on the return path through %s; unlock on every path or defer the unlock",
+			fb.name, l.key, where)
+	}
+}
+
+// returnPosOf finds the position of the block's return statement, or
+// NoPos for the implicit fall-off-the-end return.
+func returnPosOf(b *cfg.Block) token.Pos {
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		if r, ok := b.Nodes[i].(*ast.ReturnStmt); ok {
+			return r.Pos()
+		}
+	}
+	return token.NoPos
+}
+
+// lockTransfer folds one block into the fact; with report set it also
+// emits diagnostics (the dataflow pass runs it silently, possibly many
+// times; the reporting pass runs it exactly once per reachable block).
+func lockTransfer(p *Pass, name string, b *cfg.Block, f lockFact, report bool) {
+	for _, n := range b.Nodes {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			for _, key := range deferredUnlocks(p.Pkg.Info, d) {
+				if st := f[key]; st != nil {
+					st.deferred = true
+				}
+			}
+			continue
+		}
+		inspectShallow(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				lockCall(p, name, n, f, report)
+			case *ast.SendStmt:
+				reportBlocked(p, name, n.Arrow, "channel send", f, report)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					reportBlocked(p, name, n.OpPos, "channel receive", f, report)
+				}
+			}
+			return true
+		})
+	}
+	if b.Kind == cfg.KindSelect {
+		if sel, ok := b.Ctrl.(*ast.SelectStmt); ok && !selectHasDefault(sel) {
+			reportBlocked(p, name, sel.Pos(), "select without default", f, report)
+		}
+	}
+}
+
+// lockCall updates the fact for one call: Lock/RLock acquire,
+// Unlock/RUnlock release, and the known blocking calls report when a
+// lock is held.
+func lockCall(p *Pass, name string, call *ast.CallExpr, f lockFact, report bool) {
+	if recv, tn, m, ok := syncMethod(p.Pkg.Info, call); ok {
+		switch {
+		case (tn == "Mutex" || tn == "RWMutex") && (m == "Lock" || m == "RLock"):
+			key := types.ExprString(ast.Unparen(recv))
+			read := m == "RLock"
+			if st := f[key]; st != nil && report && !(st.read && read) {
+				p.Reportf(call.Pos(), "%s: %s.%s while %s is already held on this path (locked at line %d): Go locks are not reentrant, this self-deadlocks",
+					name, key, m, key, p.Pkg.Fset.Position(st.pos).Line)
+			}
+			f[key] = &lockState{pos: call.Pos(), read: read}
+		case (tn == "Mutex" || tn == "RWMutex") && (m == "Unlock" || m == "RUnlock"):
+			key := types.ExprString(ast.Unparen(recv))
+			delete(f, key)
+		case tn == "WaitGroup" && m == "Wait":
+			reportBlocked(p, name, call.Pos(), "WaitGroup.Wait", f, report)
+		case tn == "Cond" && m == "Wait":
+			reportBlocked(p, name, call.Pos(), "Cond.Wait", f, report)
+		}
+		return
+	}
+	if obj := calleeObj(p.Pkg.Info, call); isPkgFunc(obj, "time", "Sleep") {
+		reportBlocked(p, name, call.Pos(), "time.Sleep", f, report)
+	}
+}
+
+// reportBlocked emits a held-across-blocking-operation finding for
+// every lock currently held, in deterministic key order.
+func reportBlocked(p *Pass, name string, pos token.Pos, what string, f lockFact, report bool) {
+	if !report || len(f) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.Reportf(pos, "%s: %s may block while %s is held (locked at line %d): contenders stall and the unblocking party may need the lock",
+			name, what, k, p.Pkg.Fset.Position(f[k].pos).Line)
+	}
+}
+
+// isLockMethodName reports whether m participates in lock state.
+func isLockMethodName(m string) bool {
+	switch m {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return true
+	}
+	return false
+}
+
+// deferredUnlocks extracts the lock keys a defer releases: `defer
+// mu.Unlock()` directly, or any unlock calls inside a deferred
+// closure's body.
+func deferredUnlocks(info *types.Info, d *ast.DeferStmt) []string {
+	var keys []string
+	record := func(call *ast.CallExpr) {
+		if recv, tn, m, ok := syncMethod(info, call); ok &&
+			(tn == "Mutex" || tn == "RWMutex") && (m == "Unlock" || m == "RUnlock") {
+			keys = append(keys, types.ExprString(ast.Unparen(recv)))
+		}
+	}
+	record(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				record(call)
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// checkMutexCopies reports assignments and calls that copy a mutex (or
+// a value whose type embeds one) by value.
+func checkMutexCopies(p *Pass, f *File) {
+	info := p.Pkg.Info
+	describe := func(t types.Type) string {
+		if isMutexValue(t) {
+			return "a " + t.String() + " value"
+		}
+		return t.String() + " (which embeds a mutex by value)"
+	}
+	checkExpr := func(e ast.Expr, context string) {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			// A fresh literal or a call result is a new value, not a
+			// copy of live lock state.
+			return
+		}
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil || tv.IsType() {
+			return
+		}
+		if isMutexValue(tv.Type) || containsMutex(tv.Type) {
+			p.Reportf(e.Pos(), "%s copies %s: the copy shares no lock state with the original; use a pointer",
+				context, describe(tv.Type))
+		}
+	}
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// Assigning to the blank identifier discards the
+				// value; no copy escapes.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				checkExpr(rhs, "assignment")
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range n.Args {
+				checkExpr(arg, "call argument")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if sl, isSlice := tv.Type.Underlying().(*types.Slice); isSlice && containsMutex(sl.Elem()) && n.Value != nil {
+					p.Reportf(n.Value.Pos(), "range copies %s per iteration: the copy shares no lock state with the original; range over indices instead",
+						describe(sl.Elem()))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"infoflow/internal/lint/cfg"
+)
+
+// maporderCheck is the flow-sensitive strengthening of the determinism
+// check for packages outside the protected core (where map ranging is
+// banned outright). Go randomizes map iteration order on purpose, so a
+// map-range loop is only safe when nothing downstream observes the
+// order. Two patterns do observe it:
+//
+//   - accumulating floats across iterations (`sum += m[k]`): float
+//     addition is not associative, so the same map yields different
+//     sums on different runs — bit-level nondeterminism that poisons
+//     golden tests and cross-run comparisons;
+//
+//   - appending to a slice that is then used unsorted: the slice's
+//     element order is the iteration order. The check builds the
+//     function's CFG and walks forward from the loop's exit block — if
+//     every path sorts the slice (a sort.* or slices.Sort* call taking
+//     it) before any other use, the order is laundered and the loop is
+//     clean; a path that uses the slice first is reported.
+//
+// Integer accumulation, per-key writes into another map, and slices
+// that are sorted on every path are all order-independent and pass.
+var maporderCheck = &Check{
+	Name: "maporder",
+	Desc: "map iteration order must not leak into float sums or unsorted output",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	if isProtectedPkg(p.Pkg.Path) {
+		// The determinism check bans map ranging outright there.
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			checkMapRanges(p, fb)
+		}
+	}
+}
+
+func checkMapRanges(p *Pass, fb funcBody) {
+	// Find this body's own map-range loops first; the CFG is only
+	// built when one appends to an outer slice.
+	var ranges []*ast.RangeStmt
+	inspectShallow(fb.body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if t := p.Pkg.Info.TypeOf(r.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, r)
+				}
+			}
+		}
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+
+	var g *cfg.Graph
+	for _, r := range ranges {
+		checkFloatAccum(p, fb, r)
+		appends := appendTargets(p, fb, r)
+		if len(appends) == 0 {
+			continue
+		}
+		if g == nil {
+			g = cfg.New(fb.body)
+		}
+		loop := g.LoopOf(r)
+		if loop == nil {
+			continue // range inside a nested literal; analyzed there
+		}
+		for _, tgt := range appends {
+			if use := firstUnsortedUse(p, g, loop, tgt.obj); use.IsValid() {
+				p.Reportf(tgt.pos, "%s: appending to %s while ranging over a map, and %s is used unsorted afterwards (line %d): element order is the randomized iteration order; sort it first",
+					fb.name, tgt.obj.Name(), tgt.obj.Name(), p.Pkg.Fset.Position(use).Line)
+			}
+		}
+	}
+}
+
+// checkFloatAccum reports float += / -= accumulation into a variable
+// declared outside the loop body.
+func checkFloatAccum(p *Pass, fb funcBody, r *ast.RangeStmt) {
+	info := p.Pkg.Info
+	inspectShallow(r.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := ast.Unparen(as.Lhs[0])
+		t := info.TypeOf(lhs)
+		if t == nil || !isFloatKind(t) {
+			return true
+		}
+		switch lhs := lhs.(type) {
+		case *ast.IndexExpr:
+			// Per-key accumulation into another container: each key's
+			// sum sees its own additions in program order.
+			return true
+		case *ast.Ident:
+			obj := info.Uses[lhs]
+			if obj == nil {
+				obj = info.Defs[lhs]
+			}
+			if obj != nil && r.Body.Pos() <= obj.Pos() && obj.Pos() < r.Body.End() {
+				return true // loop-local accumulator dies each iteration
+			}
+		}
+		p.Reportf(as.Pos(), "%s: float accumulation across a map range: iteration order is randomized and float addition is not associative, so the sum differs run to run; collect and sort the keys first",
+			fb.name)
+		return true
+	})
+}
+
+func isFloatKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// appendTarget is one `s = append(s, ...)` inside a map-range body
+// whose target s is declared outside the loop.
+type appendTarget struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func appendTargets(p *Pass, fb funcBody, r *ast.RangeStmt) []appendTarget {
+	info := p.Pkg.Info
+	var out []appendTarget
+	inspectShallow(r.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return true
+		}
+		if obj := info.Uses[fn]; obj == nil || obj.Pkg() != nil {
+			return true // shadowed append
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil || (r.Body.Pos() <= obj.Pos() && obj.Pos() < r.Body.End()) {
+			return true // loop-local slice; its order dies with the iteration
+		}
+		out = append(out, appendTarget{obj: obj, pos: as.Pos()})
+		return true
+	})
+	return out
+}
+
+// firstUnsortedUse walks the CFG forward from the loop's exit and
+// returns the position of the first use of obj on a path where no sort
+// call laundered the order first, or NoPos when every path sorts
+// before use (or never uses it).
+func firstUnsortedUse(p *Pass, g *cfg.Graph, loop *cfg.Loop, obj types.Object) token.Pos {
+	visited := make(map[*cfg.Block]bool)
+	var bad token.Pos
+	var walk func(b *cfg.Block)
+	walk = func(b *cfg.Block) {
+		if visited[b] || bad.IsValid() {
+			return
+		}
+		visited[b] = true
+		for _, n := range b.Nodes {
+			if nodeSortsObj(p, n, obj) {
+				return // order laundered; this path is clean
+			}
+			if pos := nodeUsesObj(p, n, obj); pos.IsValid() {
+				bad = pos
+				return
+			}
+		}
+		if b.Kind == cfg.KindSelect || b.Kind == cfg.KindForHead || b.Kind == cfg.KindRangeHead {
+			// Head nodes were scanned above; comm/iteration details
+			// live in successor blocks.
+		}
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(loop.Exit)
+	return bad
+}
+
+// nodeSortsObj reports whether n contains a sort.*/slices.Sort* call
+// taking obj as an argument.
+func nodeSortsObj(p *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeObj(p.Pkg.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		path := callee.Pkg().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if identUses(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// nodeUsesObj returns the position of the first identifier in n that
+// resolves to obj, or NoPos.
+func nodeUsesObj(p *Pass, n ast.Node, obj types.Object) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(n, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+			pos = id.Pos()
+		}
+		return !pos.IsValid()
+	})
+	return pos
+}
+
+// identUses reports whether expr (possibly a larger expression)
+// references obj anywhere.
+func identUses(p *Pass, e ast.Expr, obj types.Object) bool {
+	return nodeUsesObj(p, e, obj).IsValid()
+}

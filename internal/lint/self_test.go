@@ -1,0 +1,39 @@
+package lint
+
+import "testing"
+
+// TestSelfApplication runs the full check registry over this module's
+// own source tree. The analyzer must hold itself (and everything else
+// in the repo) to the invariants it enforces: any finding here means
+// either a real defect slipped in or a check regressed into a false
+// positive — both are failures.
+func TestSelfApplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod.Pkgs, Checks())
+	for _, d := range diags {
+		t.Errorf("self-application finding: %s", d)
+	}
+}
+
+// BenchmarkLintModule pins the cost of a full analyzer run (all checks,
+// every package, parallel across GOMAXPROCS). Loading and typechecking
+// happen once outside the timed region: the benchmark isolates Run.
+func BenchmarkLintModule(b *testing.B) {
+	mod, err := LoadModule("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	checks := Checks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(mod.Pkgs, checks); len(diags) != 0 {
+			b.Fatalf("module is not lint-clean: %s", diags[0])
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package am exercises the atomicmix mixed-access check.
+package am
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+	plain int64
+}
+
+// Inc updates hits atomically.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read bypasses the atomics Inc relies on.
+func (c *counter) Read() int64 {
+	return c.hits // want `accessed atomically elsewhere .* but plainly here`
+}
+
+// Bump and Load agree on atomic access for total.
+func (c *counter) Bump() {
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Load reads total atomically; consistent, so clean.
+func (c *counter) Load() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+// PlainOnly never uses atomics for plain, so there is no mix.
+func (c *counter) PlainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+// Snapshot reads total plainly but under a documented quiescence
+// guarantee.
+func (c *counter) Snapshot() int64 {
+	//flowlint:ignore atomicmix -- called after all writers have joined; no concurrent access
+	return c.total
+}

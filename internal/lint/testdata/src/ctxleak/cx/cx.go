@@ -1,0 +1,71 @@
+// Package cx exercises the ctxleak context-discipline check.
+package cx
+
+import (
+	"context"
+	"time"
+)
+
+type task struct {
+	ctx  context.Context // want `context\.Context stored in a struct field`
+	name string
+}
+
+type queued struct {
+	//flowlint:ignore ctxleak -- carries the enqueuing caller's cancellation into the worker pool
+	ctx  context.Context
+	name string
+}
+
+// Spin blocks on the channel forever with no way to cancel.
+func Spin(ctx context.Context, ch chan int) {
+	for { // want `loop blocks without consulting its context`
+		<-ch
+	}
+}
+
+// Pump consults ctx on every iteration and is clean.
+func Pump(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Poll sleeps in a loop that never checks ctx.
+func Poll(ctx context.Context, probe func() bool) {
+	for !probe() { // want `loop blocks without consulting its context`
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Tick checks ctx.Err between sleeps and is clean.
+func Tick(ctx context.Context, probe func() bool) {
+	for !probe() {
+		if ctx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Drain ranges a channel that closes at shutdown; documented.
+func Drain(ctx context.Context, ch chan int) {
+	//flowlint:ignore ctxleak -- shutdown drain: producers close ch, the range ends on close
+	for v := range ch {
+		_ = v
+	}
+}
+
+// Busy loops without blocking; nothing for cancellation to interrupt,
+// so the loop rule does not apply.
+func Busy(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

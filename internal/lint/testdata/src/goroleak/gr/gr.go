@@ -1,0 +1,58 @@
+// Package gr exercises the goroleak goroutine-lifecycle check.
+package gr
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire spawns with no lifecycle at all.
+func Fire(job func()) {
+	go job() // want `goroutine has no visible lifecycle`
+}
+
+// Tracked registers with the WaitGroup before spawning.
+func Tracked(wg *sync.WaitGroup, job func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		job()
+	}()
+}
+
+// AddInside registers from inside the goroutine, racing Wait.
+func AddInside(wg *sync.WaitGroup, job func()) {
+	go func() {
+		wg.Add(1) // want `WaitGroup\.Add inside the goroutine races its own Wait`
+		defer wg.Done()
+		job()
+	}()
+}
+
+// CtxArg hands the goroutine a cancellation handle.
+func CtxArg(ctx context.Context, worker func(context.Context)) {
+	go worker(ctx)
+}
+
+// ChanBody reports completion on a channel.
+func ChanBody(job func() error) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- job() }()
+	return errc
+}
+
+// CloseBody signals by closing a done channel.
+func CloseBody(job func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		job()
+		close(done)
+	}()
+	return done
+}
+
+// Detach is a documented fire-and-forget.
+func Detach(job func()) {
+	//flowlint:ignore goroleak -- best-effort metrics flush; process exit reaps it
+	go job()
+}

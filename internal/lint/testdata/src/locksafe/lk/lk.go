@@ -1,0 +1,95 @@
+// Package lk exercises the locksafe lock-discipline analysis.
+package lk
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+	done chan struct{}
+}
+
+// Lookup leaks the lock on the not-found return path.
+func (s *store) Lookup(k string) (int, bool) {
+	s.mu.Lock() // want `locked here but not unlocked on the return path`
+	v, ok := s.vals[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// Get releases via defer on every path and is clean.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+// Relock acquires a lock already held on the same path.
+func (s *store) Relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `already held on this path .* self-deadlocks`
+	s.mu.Unlock()
+}
+
+// Flush sends on a channel while holding the lock.
+func (s *store) Flush() {
+	s.mu.Lock()
+	s.done <- struct{}{} // want `channel send may block while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// Nap sleeps under the lock; the deferred unlock keeps the exit clean
+// but not the blocking call.
+func (s *store) Nap() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep may block while s\.mu is held`
+}
+
+// Count releases the read lock on only one branch.
+func (s *store) Count(flag bool) int {
+	s.rw.RLock() // want `locked here but not unlocked on the return path`
+	n := len(s.vals)
+	if flag {
+		s.rw.RUnlock()
+	}
+	return n
+}
+
+// Snapshot copies the whole store, mutex included.
+func Snapshot(s *store) {
+	cp := *s // want `copies .* mutex`
+	_ = cp
+}
+
+// BeginScan intentionally returns holding the lock; the protocol is
+// documented on the acquisition.
+func (s *store) BeginScan() {
+	//flowlint:ignore locksafe -- scan protocol: caller must call EndScan to release
+	s.mu.Lock()
+}
+
+// EndScan is BeginScan's counterpart; it only releases, so the
+// analysis has nothing to track.
+func (s *store) EndScan() {
+	s.mu.Unlock()
+}
+
+// Balanced unlocks explicitly on both branches and is clean.
+func (s *store) Balanced(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		n := len(s.vals)
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	return 0
+}

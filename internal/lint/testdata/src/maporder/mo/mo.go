@@ -1,0 +1,59 @@
+// Package mo exercises the maporder flow-sensitive determinism check.
+package mo
+
+import "sort"
+
+// Sum leaks iteration order through non-associative float addition.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation across a map range`
+	}
+	return total
+}
+
+// Keys sorts before any other use, laundering the order.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Unsorted returns elements in randomized iteration order.
+func Unsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want `used unsorted afterwards`
+	}
+	return out
+}
+
+// PerKey accumulates into a per-key slot; each key sees its own
+// additions in program order, so order cannot leak.
+func PerKey(m map[string]float64, by map[string]float64) {
+	for k, v := range m {
+		by[k] += v
+	}
+}
+
+// IntSum is associative and order-independent.
+func IntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Checksum tolerates the wobble and says why.
+func Checksum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//flowlint:ignore maporder -- diagnostic-only rough magnitude; exact bits never compared
+		total += v
+	}
+	return total
+}

@@ -63,7 +63,8 @@ type flowResult struct {
 // 1-buffered channel the batch delivers on (the single send never
 // blocks, even if the requester has already given up).
 type member struct {
-	lane     int
+	lane int
+	//flowlint:ignore ctxleak -- queued request carries its caller's cancellation into the batch that serves it
 	ctx      context.Context
 	cacheKey string
 	done     chan flowResult
