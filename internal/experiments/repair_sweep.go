@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+)
+
+// RepairSweepConfig parameterises the condensation-repair sweep: the
+// SAME fixed set of flow queries answered at each thinning interval,
+// once with incremental repair enabled (the default engine) and once
+// with it disabled (the replay-or-rebuild baseline). Thinning is the
+// lever that matters: at Thin=1 almost every sweep sees a one-flip
+// delta the repair path absorbs locally, while at Thin=100 the changed
+// region approaches the whole graph and both modes converge on the
+// shared push-pass floor. The table reports where each disposition
+// (replay / repair / rebuild) lands and what repair buys end to end.
+type RepairSweepConfig struct {
+	Seed    uint64
+	Nodes   int   // graph size (paper's §IV-C timing scale: 6000)
+	Edges   int   // paper: 14000
+	Queries int   // fixed flow queries, one 64-lane chunk per 64
+	Thins   []int // thinning intervals to sweep
+	Samples int   // thinned samples per run
+	// Clock supplies the timestamps bracketing each measurement; nil
+	// uses time.Now (the fig6/lanes idiom).
+	Clock func() time.Time
+}
+
+// RepairSweepPaper returns the §IV-C-scale configuration.
+func RepairSweepPaper() RepairSweepConfig {
+	return RepairSweepConfig{
+		Seed: 83, Nodes: 6000, Edges: 14000, Queries: 64,
+		Thins: []int{1, 10, 100}, Samples: 200,
+	}
+}
+
+// RepairSweepSmall returns a fast configuration for tests.
+func RepairSweepSmall() RepairSweepConfig {
+	return RepairSweepConfig{
+		Seed: 83, Nodes: 300, Edges: 800, Queries: 64,
+		Thins: []int{1, 10}, Samples: 60,
+	}
+}
+
+// RepairSweepRow is one thinning interval's paired measurement.
+type RepairSweepRow struct {
+	Thin        int
+	Repair      time.Duration // whole batched run, repair enabled
+	Baseline    time.Duration // same run, repair disabled
+	PerSample   time.Duration // Repair / Samples
+	Speedup     float64       // Baseline / Repair
+	Replays     int64
+	Repairs     int64
+	Rebuilds    int64
+	ReplayRate  float64
+	RepairRate  float64
+	RebuildRate float64
+	Overflows   int64 // flip-log windows that overflowed (wants 0)
+	Identical   bool  // repair and baseline estimates bit-identical
+}
+
+// RepairSweepResult reports the thinning table.
+type RepairSweepResult struct {
+	Queries int
+	Samples int
+	Rows    []RepairSweepRow
+}
+
+// String renders the thinning table.
+func (r *RepairSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Condensation-repair sweep: %d flow queries, %d samples per run, repair vs replay-or-rebuild baseline\n", r.Queries, r.Samples)
+	fmt.Fprintf(&b, "%6s %12s %12s %12s %8s %8s %8s %8s %10s\n",
+		"thin", "repair", "baseline", "per-sample", "speedup", "replay%", "repair%", "rebuild%", "identical")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %12v %12v %12v %7.2fx %7.1f%% %7.1f%% %7.1f%% %10v\n",
+			row.Thin, row.Repair, row.Baseline, row.PerSample, row.Speedup,
+			100*row.ReplayRate, 100*row.RepairRate, 100*row.RebuildRate, row.Identical)
+	}
+	return b.String()
+}
+
+// repairSweepRun executes one batched run and returns its duration and
+// the sampler (for the engine counters). Repair is enabled or disabled
+// before any engine exists, so the whole run uses one mode.
+func repairSweepRun(m *core.ICM, pairs []mh.FlowPair, opts mh.Options, seed uint64, repair bool, now func() time.Time) (time.Duration, *mh.Sampler, []float64, error) {
+	s, err := mh.NewSampler(m, nil, rng.New(seed))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if !repair {
+		s.SetLaneRepairLimit(0)
+	}
+	start := now()
+	est, err := mh.FlowProbBatchOn(s, pairs, opts)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return now().Sub(start), s, est, nil
+}
+
+// RunRepairSweep measures the table.
+func RunRepairSweep(cfg RepairSweepConfig) (*RepairSweepResult, error) {
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	r := rng.New(cfg.Seed)
+	g := graph.Random(r, cfg.Nodes, cfg.Edges)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = r.Float64()
+	}
+	m, err := core.NewICM(g, p)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]mh.FlowPair, cfg.Queries)
+	for i := range pairs {
+		u := graph.NodeID(r.Intn(cfg.Nodes))
+		v := graph.NodeID(r.Intn(cfg.Nodes))
+		for v == u {
+			v = graph.NodeID(r.Intn(cfg.Nodes))
+		}
+		pairs[i] = mh.FlowPair{Source: u, Sink: v}
+	}
+	res := &RepairSweepResult{Queries: cfg.Queries, Samples: cfg.Samples}
+	for _, thin := range cfg.Thins {
+		opts := mh.Options{BurnIn: 4 * thin, Thin: thin, Samples: cfg.Samples}
+		repairDur, s, est, err := repairSweepRun(m, pairs, opts, cfg.Seed+1, true, now)
+		if err != nil {
+			return nil, fmt.Errorf("repair: thin %d: %w", thin, err)
+		}
+		baseDur, _, ref, err := repairSweepRun(m, pairs, opts, cfg.Seed+1, false, now)
+		if err != nil {
+			return nil, fmt.Errorf("repair: thin %d baseline: %w", thin, err)
+		}
+		row := RepairSweepRow{
+			Thin:      thin,
+			Repair:    repairDur,
+			Baseline:  baseDur,
+			PerSample: repairDur / time.Duration(cfg.Samples),
+			Overflows: s.FlipLogOverflows(),
+			Identical: true,
+		}
+		if repairDur > 0 {
+			row.Speedup = float64(baseDur) / float64(repairDur)
+		}
+		st := s.LaneStats()
+		row.Replays, row.Repairs, row.Rebuilds = st.Replays, st.Repairs, st.Rebuilds
+		if total := st.Replays + st.Repairs + st.Rebuilds; total > 0 {
+			row.ReplayRate = float64(st.Replays) / float64(total)
+			row.RepairRate = float64(st.Repairs) / float64(total)
+			row.RebuildRate = float64(st.Rebuilds) / float64(total)
+		}
+		for i := range est {
+			//flowlint:ignore floatcmp -- the repair contract is exact: repaired condensations are bit-identical to rebuilt ones, so the hit counts (and the k/Samples quotients) must match bit for bit
+			if est[i] != ref[i] {
+				row.Identical = false
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRepairSweepSaneAndIdentical(t *testing.T) {
+	res, err := RunRepairSweep(RepairSweepSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Repair <= 0 || row.Baseline <= 0 || row.PerSample <= 0 {
+			t.Errorf("thin=%d: non-positive durations %+v", row.Thin, row)
+		}
+		total := row.Replays + row.Repairs + row.Rebuilds
+		if total == 0 {
+			t.Errorf("thin=%d: no sweeps recorded", row.Thin)
+		}
+		if sum := row.ReplayRate + row.RepairRate + row.RebuildRate; sum < 0.999 || sum > 1.001 {
+			t.Errorf("thin=%d: disposition rates sum to %v, want 1", row.Thin, sum)
+		}
+		if row.Overflows != 0 {
+			t.Errorf("thin=%d: %d flip-log overflows under the derived default cap, want 0", row.Thin, row.Overflows)
+		}
+		// The repair contract is exact, not statistical: repaired
+		// condensations are bit-identical to rebuilt ones, so both
+		// modes see the same reach sets on the same chain.
+		if !row.Identical {
+			t.Errorf("thin=%d: repair and baseline estimates differ", row.Thin)
+		}
+	}
+	// At Thin=1 the one-flip delta keeps the repair path busy: the
+	// engine must be doing something other than rebuilding every sweep.
+	if r := res.Rows[0]; r.ReplayRate+r.RepairRate == 0 {
+		t.Errorf("thin=1: every sweep rebuilt (replay %v, repair %v)", r.ReplayRate, r.RepairRate)
+	}
+	out := res.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "rebuild%") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+}
+
+func TestRepairSweepInjectedClock(t *testing.T) {
+	cfg := RepairSweepSmall()
+	const step = time.Millisecond
+	var ticks int
+	cfg.Clock = func() time.Time {
+		ticks++
+		return time.Unix(0, int64(ticks)*int64(step))
+	}
+	res, err := RunRepairSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each thinning interval brackets two runs with two reads apiece.
+	for _, row := range res.Rows {
+		if row.Repair != step || row.Baseline != step {
+			t.Errorf("thin=%d: durations = %v/%v, want %v each", row.Thin, row.Repair, row.Baseline, step)
+		}
+	}
+	if want := 4 * len(cfg.Thins); ticks != want {
+		t.Errorf("clock read %d times, want %d", ticks, want)
+	}
+}

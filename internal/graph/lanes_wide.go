@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"math/bits"
-
 	"infoflow/internal/bitset"
 )
 
@@ -172,14 +170,46 @@ func (g *DiGraph) pushLanesWide(seeds []NodeID, seedBits *bitset.LaneMatrix, act
 //flowlint:hotpath
 func growCompWide(buf []uint64, words int) []uint64 {
 	if cap(buf) < words {
+		// Geometric headroom: the component count creeps upward between
+		// flush rebuilds, and an exact-fit allocation here would turn
+		// every new high-water mark into a fresh allocation.
+		c := 2 * cap(buf)
+		if c < words {
+			c = words
+		}
 		//flowlint:ignore hotpath -- grows to the SCC-count high-water mark, then reused for good
-		return make([]uint64, words)
+		return make([]uint64, words, c)
 	}
 	buf = buf[:words]
 	for i := range buf {
 		buf[i] = 0
 	}
 	return buf
+}
+
+// growPrevWide returns buf grown to hold at least words uint64s,
+// preserving existing contents — validity of each component's stored
+// mask is tracked separately (LaneEngine.prevAt), so stale words are
+// harmless.
+//
+//flowlint:hotpath
+func growPrevWide(buf []uint64, words int) []uint64 {
+	if len(buf) >= words {
+		return buf
+	}
+	if cap(buf) >= words {
+		// The region past the old length is still zero from the original
+		// allocation; validity is tracked per component regardless.
+		return buf[:cap(buf)]
+	}
+	c := 2 * cap(buf)
+	if c < words {
+		c = words
+	}
+	//flowlint:ignore hotpath -- grows to the SCC-count high-water mark, then reused for good
+	nb := make([]uint64, c)
+	copy(nb, buf)
+	return nb
 }
 
 // ReachLanesWideInto is the W-word generalisation of ReachLanesInto:
@@ -212,172 +242,4 @@ func (g *DiGraph) ReachLanesWideInto(seeds []NodeID, seedBits *bitset.LaneMatrix
 	sc.sccNodes = nodes[:0]
 	sc.sccStart = starts[:0]
 	sc.compWide = compWide[:0]
-}
-
-// LaneEngine caches the SCC condensation of (active mask, seed set)
-// across wide-lane sweeps and replays it when the mask changes it saw
-// cannot have altered the condensation. It exists for the thinned
-// Metropolis-Hastings sampling loop, where consecutive sweeps differ by
-// a handful of accepted single-edge flips: a replayed sweep skips the
-// Tarjan pass entirely and pays only the topological push — O(active
-// edges in the condensed region) instead of O(Tarjan + push).
-//
-// A recorded flip of edge (u, v) is structure-preserving iff:
-//
-//   - turned ON with u outside the condensed region: nothing reaches u,
-//     so the edge is never traversed;
-//   - turned ON with comp[u] == comp[v]: an intra-SCC edge adds no
-//     reachability and no cycle;
-//   - turned ON with both endpoints in the region and comp[u] emitted
-//     after comp[v] (comp ids are Tarjan emission order, descendants
-//     first): the edge agrees with the cached topological order, so it
-//     cannot merge SCCs — any new cycle would need some edge pointing
-//     the other way — and it cannot grow the region, v being reachable
-//     already. The push pass reads the live mask, so the lanes it now
-//     carries propagate correctly;
-//   - turned OFF with u outside the region: the edge was never
-//     traversed, so removing it changes nothing.
-//
-// Every other flip (removal inside the region, insertion reaching an
-// unreached node or pointing against the cached order) forces a full
-// recompute, as does any change of seed set. As a guard against
-// unreported mutation, the engine keeps a position-mixed XOR signature
-// of the active mask, updated incrementally per recorded flip; a replay
-// whose expected signature disagrees with the live mask's falls back to
-// a full recompute. This is the differential invariant backing the
-// reuse path: tracked flips and the live mask must tell the same story,
-// or the cache is not trusted.
-//
-// The reach matrix handed to Sweep must be the same buffer sweep over
-// sweep: replays rewrite only rows inside the condensed region and rely
-// on rows outside it still being zero from the last full recompute. A
-// LaneEngine is not safe for concurrent use.
-type LaneEngine struct {
-	g *DiGraph
-
-	valid  bool
-	seeds  []NodeID // seed set of the cached condensation
-	comp   []int32
-	nodes  []NodeID
-	starts []int32
-	sig    uint64 // expected maskSig of the active mask
-
-	compWide []uint64
-
-	rebuilds int64
-	replays  int64
-}
-
-// NewLaneEngine returns an engine for g with an empty cache.
-func NewLaneEngine(g *DiGraph) *LaneEngine { return &LaneEngine{g: g} }
-
-// Invalidate drops the cached condensation; the next Sweep recomputes
-// it. Call it when the active mask may have changed in ways not
-// reported to Sweep (the signature guard would catch the drift anyway,
-// but an explicit invalidation documents the boundary and skips the
-// doomed safety scan).
-func (e *LaneEngine) Invalidate() { e.valid = false }
-
-// Rebuilds returns the number of sweeps that recomputed the
-// condensation; Replays the number that reused it.
-func (e *LaneEngine) Rebuilds() int64 { return e.rebuilds }
-
-// Replays returns the number of sweeps that reused the cached
-// condensation.
-func (e *LaneEngine) Replays() int64 { return e.replays }
-
-// maskSig folds the active mask into a position-mixed XOR signature:
-// flipping bit b of word i toggles exactly flipSig's contribution for
-// that edge, so the signature updates incrementally per flip.
-//
-//flowlint:hotpath
-func maskSig(active bitset.Set) uint64 {
-	var h uint64
-	for i, w := range active {
-		h ^= bits.RotateLeft64(w, i&63)
-	}
-	return h
-}
-
-// flipSig is the signature contribution of edge id's bit.
-//
-//flowlint:hotpath
-func flipSig(id EdgeID) uint64 {
-	return bits.RotateLeft64(1<<(uint(id)&63), (int(id)>>6)&63)
-}
-
-// Sweep computes the same result as ReachLanesWideInto for the current
-// active mask, reusing the cached condensation when possible. flips
-// lists the edges whose activity bit was toggled since the previous
-// Sweep, in any order, with repeated entries cancelling (a double flip
-// is a net no-op but may still conservatively force a recompute);
-// flipsComplete reports whether that list is exhaustive — pass false
-// whenever tracking was interrupted or overflowed, which forces a full
-// recompute. reach must be the same buffer across sweeps (see the type
-// comment). If sc is nil a temporary Scratch is allocated.
-//
-//flowlint:hotpath
-func (e *LaneEngine) Sweep(seeds []NodeID, seedBits *bitset.LaneMatrix, active bitset.Set, flips []EdgeID, flipsComplete bool, sc *Scratch, reach *bitset.LaneMatrix) {
-	g := e.g
-	n := g.NumNodes()
-	if sc == nil {
-		sc = tempScratch(n)
-	}
-	W := seedBits.W
-	resized := reach.Rows != n || reach.W != W
-	if resized {
-		//flowlint:ignore hotpath -- documented cold fallback on first use or shape change; steady-state callers keep the shape
-		reach.Resize(n, W)
-	}
-	replay := e.valid && flipsComplete && sameSeeds(e.seeds, seeds)
-	if replay {
-		for _, id := range flips {
-			e.sig ^= flipSig(id)
-			ed := g.edges[id]
-			cu, cv := e.comp[ed.From], e.comp[ed.To]
-			if active.Test(int(id)) {
-				if cu != -1 && (cv == -1 || cu < cv) {
-					replay = false
-					break
-				}
-			} else if cu != -1 {
-				replay = false
-				break
-			}
-		}
-		if replay && e.sig != maskSig(active) {
-			replay = false
-		}
-	}
-	if replay {
-		e.replays++
-	} else {
-		e.rebuilds++
-		if !resized {
-			reach.Reset()
-		}
-		e.comp, e.nodes, e.starts = g.condenseInto(seeds, active, sc, e.comp, e.nodes[:0], e.starts[:0])
-		e.seeds = append(e.seeds[:0], seeds...)
-		e.sig = maskSig(active)
-		e.valid = true
-	}
-	e.compWide = growCompWide(e.compWide, (len(e.starts)-1)*W)
-	g.pushLanesWide(seeds, seedBits, active, e.comp, e.nodes, e.starts, e.compWide, reach, replay)
-}
-
-// sameSeeds reports whether the cached seed slice matches the sweep's,
-// element for element. The condensation depends on the seed set, so a
-// changed seed list cannot reuse it.
-//
-//flowlint:hotpath
-func sameSeeds(a, b []NodeID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i, v := range a {
-		if v != b[i] {
-			return false
-		}
-	}
-	return true
 }

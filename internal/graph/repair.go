@@ -1,0 +1,1948 @@
+package graph
+
+import (
+	"infoflow/internal/bitset"
+)
+
+// This file is the incremental tier of the wide-lane engine: instead of
+// the replay-or-rebuild dichotomy (any flip that touches the condensed
+// region forces a full Tarjan pass), the LaneEngine repairs its cached
+// condensation locally. The repair machinery rests on one property of
+// the push pass: the reach matrix it produces depends only on which
+// nodes are mutually strongly connected and on the order being
+// topological, not on which valid topological order, nor on component
+// ids, nor on whether the structure carries stale components that no
+// longer receive any lane mask (their rows are reset, not read). Any
+// sequence of structure edits that keeps the condensation an SCC
+// partition of the live region (or a superset of it) with a valid
+// topological order therefore yields reach matrices bit-identical to a
+// fresh rebuild.
+//
+// Per-sweep repair runs four passes over the net flip set:
+//
+//  0. cancel   — per-edge parity over the flip log; an edge flipped an
+//                even number of times (flip-then-flip-back, common in
+//                MH) is dropped before any structural work.
+//  1. split    — a net removal inside one component first looks for a
+//                bidirectional replacement-path certificate between the
+//                removed edge's endpoints under the final mask; a hit
+//                proves the component still strongly connected (with
+//                every removal certified, substituting the certified
+//                detours into any old cycle closes it again) and skips
+//                all structural work. Otherwise a bounded Tarjan over
+//                the component's members re-partitions it and splices
+//                the fragments into the component's old slot in the
+//                order (fragment-relative order from Tarjan emission).
+//  2. grow     — a net insertion (u, v) with v outside the structure
+//                runs a bounded Tarjan over the unreached cone from v
+//                and splices the new components right after comp(u);
+//                their out-edges are scanned for order violations,
+//                which queue as pending back-edges.
+//  3. insert   — net insertions against the cached order (and the
+//                pending edges from pass 2) run two-sided Pearce-Kelly
+//                maintenance each: a forward search over components
+//                from comp(v) and a backward search from comp(u), both
+//                pruned to the affected key interval and interleaved
+//                by work spent, so an insertion costs about twice the
+//                SMALLER of the two sides — a short back-edge into the
+//                giant component's interval resolves from its cheap
+//                side instead of scanning the giant. If the finished
+//                side met the opposite endpoint the edge closes a
+//                cycle and a Tarjan restricted to that side merges the
+//                components on it; otherwise that side's block slides
+//                across the interval. Processing is sequential, so each
+//                step restores the topological invariant with respect
+//                to every edge except the still-pending ones. An
+//                insertion whose forward search exceeds its own small
+//                budget (a long-range back-edge whose affected interval
+//                spans much of the order) is not repaired structurally:
+//                it is deferred into a persistent violation set instead
+//                (see below), which keeps pass 3 bounded by the truly
+//                local edits.
+//
+// Deferred violations relax the invariant from "the order is
+// topological" to "the order is topological for every active edge
+// outside the violation set". The push tolerates the violated edges by
+// a monotone fixpoint: after the ordered pass (which skips them), each
+// violated edge's source-component mask is checked against its
+// target's; a missing bit is OR'd across and the growth is propagated
+// breadth-first through all active out-edges until stable, then the
+// grown components rewrite their member rows. Reachability is a least
+// fixpoint of monotone OR-propagation, so the result is exact for any
+// processing order — the SCC/topological machinery is only a
+// single-pass-convergence device, and a violated edge usually costs one
+// W-word subset test per sweep (its transfer happened the sweep it was
+// deferred). Components mutually reachable only through a violated edge
+// stay unmerged; their masks still equalise through the fixpoint. The
+// violation set self-cleans during the push scan (edges that turned
+// off, became intra-component after a merge, or became forward after
+// reordering are dropped) and is cleared by any rebuild; when it grows
+// past a cap, the next repairing sweep flushes the debt with one full
+// rebuild.
+//
+// Everything else is free: removals with u outside the structure or
+// between two components (an inter-component edge lies on no cycle and
+// removals cannot invalidate a topological order), insertions with u
+// unreached, intra-component, or agreeing with the order. Unreached
+// targets of a "free" insertion are still found when a later grow
+// reaches u, because grows traverse the live mask.
+//
+// The fallback lattice: an incomplete flip log, a changed seed set, a
+// mask-signature mismatch, a violation set over its cap, or the
+// per-sweep repair budget running out abandons the repair (possibly
+// mid-edit — the structure may be left inconsistent) and falls back to
+// a full rebuild, which re-derives every cached field from the live
+// mask, clears the violation set, and is therefore always safe.
+
+// orderKeyGap is the spacing between adjacent topological-order keys
+// after a rebuild or renumbering. Midpoint insertion halves a gap per
+// insert, so a fresh gap absorbs ~40 inserts between two fixed
+// neighbours before a renumber; renumbering is O(components) and
+// amortises away.
+const orderKeyGap = 1 << 40
+
+// flushEvery is the scheduled-rebuild cadence, counted in repair
+// (structure-editing) sweeps. Repair is conservative about garbage: a
+// region that becomes unreachable stays in the structure with zero
+// lanes, recycled component ids scatter along the order, and the
+// violation backlog only drains by drip. All three inflate the push
+// scan, the Pearce-Kelly search space, and compWide's cache footprint.
+// A scheduled full rebuild flushes the accumulated debt and resets the
+// structure to the minimal reachable region with ids laid out
+// sequentially along the order. Counting repairs (not sweeps) keeps
+// replay-heavy workloads at small thinning intervals nearly flush-free
+// while bounding the rebuild rate at 1/flushEvery under sustained
+// churn, inside the 10% budget the serving path gates on.
+const flushEvery = 16
+
+// edgeSkip bits. The hot scans (Pearce-Kelly searches, the merge
+// Tarjans, the ordered push) all skip the same three edge classes:
+// inactive edges, order-violating edges parked in the violation set,
+// and pass-3 edges not yet inserted. Folding the three into one byte
+// per edge turns three scattered loads per edge slot into one.
+const (
+	skipInactive = 1 << 0 // mirrors the shadow mask, flipped in flipShadow
+	skipVio      = 1 << 1 // mirrors membership in e.vio
+	skipPending  = 1 << 2 // pass-3 not-yet-inserted edges
+)
+
+// pkSearchBudget bounds each side of one Pearce-Kelly insertion's
+// search (in work units: nodes plus edge slots examined). An insertion
+// whose cheaper side exceeds it is abandoned — the search is read-only, so abandonment is free — and
+// the edge is deferred into the violation set instead of repaired
+// structurally. Local edits (a fragment re-merging with the giant
+// component it split from, short back-edges) complete far below this;
+// the budget exists for the rare monster whose affected interval
+// spans a large slice of the order with a huge component interior to
+// it, where the search must scan that component's members. Deferral is
+// latency smoothing, not a resting state: a persistently violated
+// bridge edge makes the push fixpoint re-propagate its whole
+// downstream cone every sweep, so the drip pass re-attempts the splice
+// with the sweep's leftover budget until the backlog drains.
+const pkSearchBudget = 4096
+
+// pkChunk is the work-unit granularity of the interleaved two-sided
+// search: a side runs one chunk, then yields to the side with less
+// work spent. Big components' member scans pause at chunk boundaries
+// (a resumable cursor), so a search rooted next to the giant component
+// cannot burn its whole per-side cap before the cheap opposite side —
+// often a few hundred units for a fragment re-merge — gets to finish.
+const pkChunk = 128
+
+// vioBackoff is how many sweeps a deferred edge waits in the violation
+// set before the drip pass re-attempts its splice. A monster back-edge
+// probe costs up to ~2x the per-insertion cap even to give up on, so
+// re-probing one every sweep would dominate the repair budget; backing
+// off amortises the probe while MH flip-backs usually retire the edge
+// in the meantime. The edge stays exactly covered by the push fixpoint
+// throughout.
+const vioBackoff = 16
+
+// vioCapDefault bounds the violation set. Each deferred edge costs one
+// W-word subset test per sweep, so the scan stays in the microseconds
+// at this size; past the cap the next repairing sweep flushes the
+// accumulated debt with one full rebuild, which restores an exact
+// topological order. At typical deferral rates this makes rebuilds a
+// small percentage of sweeps rather than the common case.
+const vioCapDefault = 512
+
+// LaneEngine caches the SCC condensation of (active mask, seed set)
+// across wide-lane sweeps, repairing it in place when the recorded
+// flips permit and rebuilding it otherwise. It exists for the thinned
+// Metropolis-Hastings sampling loop, where consecutive sweeps differ by
+// the accepted flips of one thinning interval: a replayed or repaired
+// sweep skips the full Tarjan pass and pays only the push plus
+// O(changed region) repair work.
+//
+// As a guard against unreported mutation, the engine keeps a shadow
+// copy of the active mask and a position-mixed XOR signature over it,
+// both updated per net flip; a sweep whose expected signature disagrees
+// with the live mask's falls back to a full rebuild. This is the
+// differential invariant backing the reuse path: tracked flips and the
+// live mask must tell the same story, or the cache is not trusted.
+//
+// The reach matrix handed to Sweep must be the same buffer sweep over
+// sweep: reused structure rewrites only rows inside the condensed
+// region and relies on rows outside it still being zero from the last
+// full rebuild. A LaneEngine is not safe for concurrent use.
+type LaneEngine struct {
+	g *DiGraph
+
+	valid  bool
+	seeds  []NodeID   // seed set of the cached condensation
+	shadow bitset.Set // engine's view of the active mask
+	sig    uint64     // maskSig(shadow), maintained per net flip
+
+	// The repairable condensation. Component ids are slots in the
+	// per-component arrays, recycled through freeComps; nodes outside
+	// the structure carry comp == -1 and never re-enter it except
+	// through a grow or a rebuild.
+	comp       []int32  // per node: component id, -1 outside the structure
+	memberHead []NodeID // per comp: first member, -1 when unused
+	memberTail []NodeID // per comp: last member
+	memberNext []NodeID // per node: next member of the same component
+	orderNext  []int32  // per comp: topological order list, ancestors first
+	orderPrev  []int32
+	orderKey   []uint64 // per comp: strictly increasing along the order list
+	compSize   []int32  // per comp: member count (merge-survivor selection)
+	clean      []bool   // per comp: member reach rows known to be zero
+	orderHead  int32
+	orderTail  int32
+	maxComp    int32   // component ids live in [0, maxComp)
+	freeComps  []int32 // recycled ids
+	orderSeq   []int32 // derived per sweep: component ids in order
+
+	compWide []uint64 // per comp: W-word lane mask (push scratch)
+
+	// Rebuild scratch handed to condenseInto.
+	rbNodes  []NodeID
+	rbStarts []int32
+
+	// Repair scratch — retained across sweeps, epoch-stamped where a
+	// per-op reset would otherwise cost O(n) or O(components).
+	flipParity []uint8  // per edge: net-flip parity of the current log
+	touched    []EdgeID // edges seen in the current log (parity reset list)
+	netOn      []EdgeID
+	netOff     []EdgeID
+	pending    []EdgeID // order-violating insertions awaiting pass 3
+	dirty      []int32  // components with a net internal removal
+	compEpoch  uint32
+	compMark   []uint32 // per comp: dirty / forward-set membership stamp
+	bMark      []uint32 // per comp: backward-set membership stamp
+	compIdxAt  []uint32 // per comp: fixpoint ever-grown stamp
+	compIdx    []int32  // per comp: dense index in fQueue (under compMark)
+	compLow    []int32  // per comp: dense index in bQueue (under bMark)
+	nodeEpoch  uint32
+	nodeSeen   []uint32 // per node: Tarjan discovery stamp
+	nodeIdx    []int32
+	nodeLow    []int32
+	nodeOnStk  []bool
+	tnStack    []NodeID // node-Tarjan DFS stack
+	teStack    []int32  // ... per-frame edge cursor
+	tsStack    []NodeID // ... SCC stack
+	emitNodes  []NodeID // node-Tarjan emission buffer
+	emitStarts []int32
+	emitComps  []int32 // merge-Tarjan emission buffer (real comp ids)
+	emitCStart []int32
+	fQueue     []int32 // Pearce-Kelly forward-search queue (and result set)
+	bQueue     []int32 // Pearce-Kelly backward-search queue (and result set)
+	fEdgeS     []int32 // dense component edges recorded by the forward search
+	fEdgeT     []int32
+	bEdgeS     []int32 // ... and by the backward search (real direction)
+	bEdgeT     []int32
+	dnStart    []int32  // dense merge-Tarjan scratch: CSR offsets,
+	dnEdge     []int32  // ... targets,
+	dnPos      []int32  // ... per-node edge cursor,
+	dnIdx      []int32  // ... discovery index (0 = unvisited),
+	dnLow      []int32  // ... lowlink,
+	dnStk      []int32  // ... DFS stack,
+	dnScc      []int32  // ... SCC stack,
+	dnOnStk    []bool   // ... on-SCC-stack flags
+	certF      []NodeID // split-certificate forward BFS queue
+	certB      []NodeID // split-certificate backward BFS queue
+	memScratch []NodeID // member collection / Tarjan roots
+
+	// Deferred order violations: active back-edges whose structural
+	// repair was over the per-insertion search budget. The push
+	// tolerates them by fixpoint iteration (see the file comment).
+	vio          []EdgeID
+	edgeSkip     []uint8 // per edge: skip bits for the hot scans
+	vioUntil     []int64 // per edge: sweep before which the drip skips it
+	sweepSeq     int64   // repair-attempt counter (drip backoff clock)
+	vioCap       int     // violation-set size that forces a rebuild
+	pkCap        int     // per-insertion Pearce-Kelly search budget
+	segOrder     []int32 // pkInsert: merged-segment representatives, in order
+	sinceRebuild int     // repair sweeps since the last full rebuild
+	grownQ       []int32 // push fixpoint worklist
+	grown        []int32 // components whose mask grew during the fixpoint
+
+	work int // repair work spent this sweep (nodes + edge slots)
+	// prevWide holds the previous sweep's per-component lane masks and
+	// prevAt stamps the components whose member rows are known to hold
+	// exactly that mask (same reach buffer, membership untouched since).
+	// push skips the member-row copy for a component whose recomputed
+	// mask matches its stamped previous mask — on the repair path the
+	// matrix persists across sweeps, so unchanged regions cost only the
+	// out-edge ORs. Any membership edit (linkMembers, mergeComps) or row
+	// reset clears the stamp; a reach reshape bumps prevEpoch, voiding
+	// every stamp at once.
+	prevWide  []uint64
+	prevAt    []uint32
+	prevEpoch uint32
+
+	repairLimit int // budget per sweep; <= 0 disables repair entirely
+	mutated     bool
+
+	rebuilds         int64
+	replays          int64
+	repairs          int64
+	overflowRebuilds int64
+	budgetBails      int64
+	vioRebuilds      int64
+	flushRebuilds    int64
+	splits           int64
+	merges           int64
+	grows            int64
+	deferrals        int64
+	cancelled        int64
+}
+
+// LaneEngineStats is a snapshot of the engine's sweep-outcome and
+// repair-operation counters. Replays + Repairs + Rebuilds equals the
+// number of Sweep calls; the remaining fields subdivide causes.
+type LaneEngineStats struct {
+	Replays  int64 // sweeps that reused the cached structure unchanged
+	Repairs  int64 // sweeps that repaired the structure locally
+	Rebuilds int64 // sweeps that ran a full Tarjan rebuild
+
+	OverflowRebuilds  int64 // rebuilds forced by an incomplete flip log
+	BudgetBails       int64 // repairs abandoned over the work budget
+	ViolationRebuilds int64 // rebuilds flushing a full violation set
+	FlushRebuilds     int64 // scheduled rebuilds flushing dead components
+
+	Splits         int64 // components split by an internal removal
+	Merges         int64 // component groups merged by a back-edge cycle
+	Grows          int64 // insertions that extended the structure
+	Deferrals      int64 // back-edges deferred into the violation set
+	CancelledFlips int64 // flip-log entries eliminated by parity dedup
+}
+
+// NewLaneEngine returns an engine for g with an empty cache and the
+// default repair budget (proportional to a full rebuild's work, so a
+// pathological repair can never cost more than the rebuild it avoids).
+func NewLaneEngine(g *DiGraph) *LaneEngine {
+	limit := 4 * (g.NumNodes() + g.NumEdges())
+	if limit < 4*pkSearchBudget {
+		// Floor for small graphs, where the proportional budget would
+		// not cover even one legitimate split or merge.
+		limit = 4 * pkSearchBudget
+	}
+	return &LaneEngine{g: g, repairLimit: limit, pkCap: limit / 2, vioCap: vioCapDefault, prevEpoch: 1}
+}
+
+// SetRepairLimit sets the per-sweep repair work budget (measured in
+// nodes plus edge slots examined). A repair that exceeds it is
+// abandoned for a full rebuild; limit <= 0 disables repair entirely,
+// restoring the replay-or-rebuild behaviour (useful as a baseline).
+func (e *LaneEngine) SetRepairLimit(limit int) { e.repairLimit = limit }
+
+// Invalidate drops the cached condensation; the next Sweep recomputes
+// it. Call it when the active mask may have changed in ways not
+// reported to Sweep (the signature guard would catch the drift anyway,
+// but an explicit invalidation documents the boundary and skips the
+// doomed repair attempt).
+func (e *LaneEngine) Invalidate() { e.valid = false }
+
+// Stats returns the engine's counters.
+func (e *LaneEngine) Stats() LaneEngineStats {
+	return LaneEngineStats{
+		Replays:           e.replays,
+		Repairs:           e.repairs,
+		Rebuilds:          e.rebuilds,
+		OverflowRebuilds:  e.overflowRebuilds,
+		BudgetBails:       e.budgetBails,
+		ViolationRebuilds: e.vioRebuilds,
+		FlushRebuilds:     e.flushRebuilds,
+		Splits:            e.splits,
+		Merges:            e.merges,
+		Grows:             e.grows,
+		Deferrals:         e.deferrals,
+		CancelledFlips:    e.cancelled,
+	}
+}
+
+// Rebuilds returns the number of sweeps that recomputed the
+// condensation from scratch.
+func (e *LaneEngine) Rebuilds() int64 { return e.rebuilds }
+
+// Replays returns the number of sweeps that reused the cached
+// condensation without modifying it.
+func (e *LaneEngine) Replays() int64 { return e.replays }
+
+// Repairs returns the number of sweeps that repaired the cached
+// condensation in place.
+func (e *LaneEngine) Repairs() int64 { return e.repairs }
+
+// wordSig is the signature contribution of mask word i holding value w:
+// a splitmix-style avalanche of the word value offset by a word-index
+// multiplier, so equal words at different positions contribute
+// unrelated values (the old rotl-by-index fold had period 64 in the
+// word index and collided sparse masks 64 words apart).
+//
+//flowlint:hotpath
+func wordSig(w uint64, i int) uint64 {
+	x := w + (uint64(i)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// maskSig folds the active mask into a position-mixed XOR signature.
+// Flipping one bit of word i toggles exactly the before/after wordSig
+// contributions of that word, which is how flipShadow maintains it
+// incrementally.
+//
+//flowlint:hotpath
+func maskSig(active bitset.Set) uint64 {
+	var h uint64
+	for i, w := range active {
+		h ^= wordSig(w, i)
+	}
+	return h
+}
+
+// flipShadow toggles edge id's bit in the shadow mask and updates the
+// incremental signature to match.
+//
+//flowlint:hotpath
+func (e *LaneEngine) flipShadow(id EdgeID) {
+	i := int(id) >> 6
+	e.sig ^= wordSig(e.shadow[i], i)
+	e.shadow[i] ^= 1 << (uint(id) & 63)
+	e.sig ^= wordSig(e.shadow[i], i)
+	e.edgeSkip[id] ^= skipInactive
+}
+
+// Sweep outcomes (internal).
+const (
+	outcomeRebuild = iota
+	outcomeReplay
+	outcomeRepair
+)
+
+// Sweep computes the same result as ReachLanesWideInto for the current
+// active mask, reusing the cached condensation when possible. flips
+// lists the edges whose activity bit was toggled since the previous
+// Sweep, in any order, with repeated entries cancelling (a double flip
+// is a net no-op and is eliminated before repair); flipsComplete
+// reports whether that list is exhaustive — pass false whenever
+// tracking was interrupted or overflowed, which forces a full rebuild.
+// reach must be the same buffer across sweeps (see the type comment).
+// If sc is nil a temporary Scratch is allocated.
+//
+//flowlint:hotpath
+func (e *LaneEngine) Sweep(seeds []NodeID, seedBits *bitset.LaneMatrix, active bitset.Set, flips []EdgeID, flipsComplete bool, sc *Scratch, reach *bitset.LaneMatrix) {
+	g := e.g
+	n := g.NumNodes()
+	if sc == nil {
+		sc = tempScratch(n)
+	}
+	W := seedBits.W
+	resized := reach.Rows != n || reach.W != W
+	if resized {
+		//flowlint:ignore hotpath -- documented cold fallback on first use or shape change; steady-state callers keep the shape
+		reach.Resize(n, W)
+		e.prevEpoch++
+		if e.prevEpoch == 0 {
+			e.prevEpoch = 1
+		}
+	}
+	outcome := outcomeRebuild
+	switch {
+	case !e.valid || !sameSeeds(e.seeds, seeds) || len(e.shadow) != len(active):
+	case !flipsComplete:
+		e.overflowRebuilds++
+	case e.repairLimit > 0 && e.sinceRebuild >= flushEvery:
+		// Scheduled flush: see flushEvery.
+		e.flushRebuilds++
+	default:
+		outcome = e.repair(active, flips)
+	}
+	switch outcome {
+	case outcomeReplay:
+		e.replays++
+	case outcomeRepair:
+		e.repairs++
+		e.sinceRebuild++
+	default:
+		e.rebuilds++
+		e.sinceRebuild = 0
+		if !resized {
+			reach.Reset()
+		}
+		e.rebuild(seeds, active, sc)
+	}
+	e.orderSeq = e.orderSeq[:0]
+	for c := e.orderHead; c != -1; c = e.orderNext[c] {
+		e.orderSeq = append(e.orderSeq, c)
+	}
+	e.compWide = growCompWide(e.compWide, int(e.maxComp)*W)
+	e.prevWide = growPrevWide(e.prevWide, int(e.maxComp)*W)
+	e.push(seeds, seedBits, active, reach)
+}
+
+// rebuild recomputes every cached field from the live mask via one full
+// condenseInto pass. It is the universal fallback: repair may abandon
+// the structure mid-edit, and rebuild reads none of it.
+//
+//flowlint:hotpath
+func (e *LaneEngine) rebuild(seeds []NodeID, active bitset.Set, sc *Scratch) {
+	g := e.g
+	e.comp, e.rbNodes, e.rbStarts = g.condenseInto(seeds, active, sc, e.comp, e.rbNodes[:0], e.rbStarts[:0])
+	nComp := len(e.rbStarts) - 1
+	e.ensureCompCap(nComp)
+	e.ensureNodeCap(g.NumNodes(), g.NumEdges())
+	e.maxComp = int32(nComp)
+	e.freeComps = e.freeComps[:0]
+	// Tarjan emits descendants first, so the topological order list is
+	// the component ids in reverse: head = nComp-1, tail = 0.
+	for c := 0; c < nComp; c++ {
+		e.linkMembers(int32(c), e.rbNodes[e.rbStarts[c]:e.rbStarts[c+1]])
+		e.clean[c] = true
+		e.orderNext[c] = int32(c) - 1
+		e.orderPrev[c] = int32(c) + 1
+		e.orderKey[c] = uint64(nComp-c) * orderKeyGap
+	}
+	if nComp == 0 {
+		e.orderHead, e.orderTail = -1, -1
+	} else {
+		e.orderHead, e.orderTail = int32(nComp-1), 0
+		e.orderPrev[nComp-1] = -1
+	}
+	for id := range e.edgeSkip {
+		b := uint8(0)
+		if !active.Test(id) {
+			b = skipInactive
+		}
+		e.edgeSkip[id] = b
+	}
+	e.vio = e.vio[:0]
+	e.seeds = append(e.seeds[:0], seeds...)
+	e.shadow = append(e.shadow[:0], active...)
+	e.sig = maskSig(active)
+	e.valid = true
+}
+
+// repair applies one thinning interval's net flips to the cached
+// condensation. It returns outcomeReplay when the net flips were all
+// structure-preserving, outcomeRepair when the structure was edited,
+// and outcomeRebuild when the signature disagreed or the work budget
+// ran out (in which case the structure may be inconsistent and the
+// caller must rebuild).
+//
+//flowlint:hotpath
+func (e *LaneEngine) repair(active bitset.Set, flips []EdgeID) int {
+	g := e.g
+	e.sweepSeq++
+	// Pass 0: parity dedup. The live mask already reflects the flips,
+	// so an odd-parity edge's final state is active.Test.
+	e.touched = e.touched[:0]
+	for _, id := range flips {
+		if e.flipParity[id] == 0 {
+			e.touched = append(e.touched, id)
+		}
+		e.flipParity[id] ^= 1
+	}
+	e.netOn, e.netOff = e.netOn[:0], e.netOff[:0]
+	for _, id := range e.touched {
+		p := e.flipParity[id]
+		e.flipParity[id] = 0
+		if p == 0 {
+			continue
+		}
+		e.flipShadow(id)
+		if active.Test(int(id)) {
+			e.netOn = append(e.netOn, id)
+		} else {
+			e.netOff = append(e.netOff, id)
+		}
+	}
+	net := len(e.netOn) + len(e.netOff)
+	e.cancelled += int64(len(flips) - net)
+	if e.sig != maskSig(active) {
+		// Unreported mutation: the flip log and the live mask disagree.
+		return outcomeRebuild
+	}
+	if net == 0 {
+		return outcomeReplay
+	}
+	if len(e.vio) >= e.vioCap {
+		// The violation set is full: flush the accumulated debt with
+		// one rebuild, which restores an exact topological order.
+		e.vioRebuilds++
+		return outcomeRebuild
+	}
+	if e.repairLimit <= 0 {
+		// Repair disabled: the historical replay-or-rebuild scan. Any
+		// net flip that would need structural work forces a rebuild.
+		for _, id := range e.netOff {
+			if e.comp[g.edges[id].From] != -1 {
+				return outcomeRebuild
+			}
+		}
+		for _, id := range e.netOn {
+			ed := g.edges[id]
+			cu, cv := e.comp[ed.From], e.comp[ed.To]
+			if cu != -1 && (cv == -1 || e.orderKey[cu] > e.orderKey[cv]) {
+				return outcomeRebuild
+			}
+		}
+		return outcomeReplay
+	}
+	e.work = 0
+	e.mutated = false
+
+	// Pass 1: splits. A net removal strictly inside one component may
+	// break it apart; removals between components or outside the
+	// structure are free (an inter-component edge lies on no cycle, and
+	// removals never invalidate a topological order).
+	e.compEpoch++
+	e.dirty = e.dirty[:0]
+	for _, id := range e.netOff {
+		ed := g.edges[id]
+		cu := e.comp[ed.From]
+		if cu == -1 || cu != e.comp[ed.To] {
+			continue
+		}
+		if e.compMark[cu] == e.compEpoch {
+			continue // already scheduled for a split pass
+		}
+		if e.certifyIntraRemoval(ed.From, ed.To, cu, active) {
+			continue
+		}
+		e.compMark[cu] = e.compEpoch
+		e.dirty = append(e.dirty, cu)
+	}
+	for _, c := range e.dirty {
+		if !e.splitComp(c, active) {
+			e.budgetBails++
+			return outcomeRebuild
+		}
+	}
+
+	// Pass 2: grows and back-edge collection. Components are resolved
+	// live, so earlier grows and splits are visible to later flips.
+	e.pending = e.pending[:0]
+	for _, id := range e.netOn {
+		ed := g.edges[id]
+		cu, cv := e.comp[ed.From], e.comp[ed.To]
+		switch {
+		case cu == -1:
+			// u unreached: the push never traverses the edge. If a later
+			// grow reaches u it traverses the live mask and finds it then.
+		case cv == -1:
+			if !e.growFrom(cu, ed.To, active) {
+				e.budgetBails++
+				return outcomeRebuild
+			}
+		case cu == cv:
+			// Intra-component: no new reachability, no new cycle.
+		case e.orderKey[cu] > e.orderKey[cv]:
+			e.pending = append(e.pending, id)
+		}
+	}
+
+	// Pass 3 budgets: one insertion may spend pkCap on its search, but
+	// the pass as a whole aims at half the sweep budget so a burst of
+	// long-range back-edges smears across sweeps (the fixpoint covers
+	// the deferred tail exactly in the meantime) instead of spiking one
+	// sweep's latency.
+	softLimit := e.repairLimit / 2
+
+	// Pass 3: sequential Pearce-Kelly insertion of the order-violating
+	// edges. Each step restores the topological invariant with respect
+	// to every edge inserted so far, so a cycle missed at one edge's
+	// turn is found at a later edge's turn. Critically, the searches
+	// must not traverse the still-pending edges: every edge they do see
+	// is forward, which confines the searched set to the (key(cv),
+	// key(cu)] interval instead of letting it escape downward through a
+	// future back-edge into an unrelated region.
+	for _, id := range e.pending {
+		e.edgeSkip[id] |= skipPending
+	}
+	for _, id := range e.pending {
+		e.edgeSkip[id] &^= skipPending // this edge is now being inserted
+		res := pkDefer
+		if e.work <= softLimit {
+			res = e.pkInsert(id, active)
+		}
+		switch res {
+		case pkDone:
+		case pkDefer:
+			if e.edgeSkip[id]&skipVio == 0 {
+				e.edgeSkip[id] |= skipVio
+				e.vio = append(e.vio, id)
+			}
+			e.vioUntil[id] = e.sweepSeq + vioBackoff
+			e.deferrals++
+			e.mutated = true
+		default: // pkBudget
+			e.budgetBails++
+			return outcomeRebuild
+		}
+	}
+
+	// Pass 4: drip-splice the violation backlog with the budget pass 3
+	// left over. An entry that resolved on its own (its endpoints
+	// merged, or a reorder made it forward) just drops; one whose
+	// search is still over its cap goes back on backoff, so a stuck
+	// monster is re-probed every vioBackoff sweeps instead of every
+	// sweep, and never starves the entries behind it.
+	if len(e.vio) > 0 && e.work < softLimit {
+		kept := e.vio[:0]
+		for i, id := range e.vio {
+			if e.work >= softLimit {
+				kept = append(kept, e.vio[i:]...)
+				break
+			}
+			if !active.Test(int(id)) {
+				// Netted off earlier this sweep; the push scan would
+				// drop it anyway, and splicing an inactive edge could
+				// merge components no live cycle joins.
+				e.edgeSkip[id] &^= skipVio
+				continue
+			}
+			if e.vioUntil[id] > e.sweepSeq {
+				kept = append(kept, id)
+				continue
+			}
+			res := e.pkInsert(id, active)
+			if res == pkBudget {
+				e.budgetBails++
+				return outcomeRebuild
+			}
+			if res == pkDefer {
+				e.vioUntil[id] = e.sweepSeq + vioBackoff
+				kept = append(kept, id)
+				continue
+			}
+			e.edgeSkip[id] &^= skipVio
+		}
+		e.vio = kept
+	}
+	if !e.mutated {
+		return outcomeReplay
+	}
+	return outcomeRepair
+}
+
+// splitComp re-partitions one component under the final mask after a
+// net internal removal: a bounded Tarjan over its members, splicing the
+// fragments into the component's old order slot (fragment-relative
+// order from Tarjan emission, which also accounts for net insertions
+// between members). Returns false when the work budget ran out.
+//
+//flowlint:hotpath
+func (e *LaneEngine) splitComp(c int32, active bitset.Set) bool {
+	e.memScratch = e.memScratch[:0]
+	for v := e.memberHead[c]; v != -1; v = e.memberNext[v] {
+		e.memScratch = append(e.memScratch, v)
+	}
+	e.work += len(e.memScratch)
+	if e.work > e.repairLimit {
+		return false
+	}
+	if !e.tarjanNodes(e.memScratch, c, active) {
+		return false
+	}
+	segs := len(e.emitStarts) - 1
+	if segs == 1 {
+		// Still one SCC: the removal left a cycle through every member.
+		return true
+	}
+	prev := e.orderPrev[c]
+	wasClean := e.clean[c]
+	e.orderRemove(c)
+	e.freeComp(c)
+	// Reverse emission order = ancestors first; chain the fragments in
+	// after the old slot's predecessor.
+	after := prev
+	for s := segs - 1; s >= 0; s-- {
+		id := e.allocComp()
+		e.linkMembers(id, e.emitNodes[e.emitStarts[s]:e.emitStarts[s+1]])
+		e.clean[id] = wasClean
+		e.orderInsertAfter(after, id)
+		after = id
+	}
+	e.splits++
+	e.mutated = true
+	return true
+}
+
+// growFrom extends the structure along a net insertion (u, v) with v
+// outside it: a bounded Tarjan over the unreached cone from v under the
+// live mask, splicing the new components right after comp(u) = cu.
+// Old active edges cannot enter the cone (their sources were reached at
+// rebuild time, so their targets were too), so the only in-edges are
+// the triggering insertion (satisfied by placement) and other net
+// insertions (checked at their own pass-2 turn); out-edges into older
+// components are scanned here and queued as pending back-edges when
+// they violate the order.
+//
+//flowlint:hotpath
+func (e *LaneEngine) growFrom(cu int32, v NodeID, active bitset.Set) bool {
+	g := e.g
+	e.memScratch = append(e.memScratch[:0], v)
+	if !e.tarjanNodes(e.memScratch, -1, active) {
+		return false
+	}
+	segs := len(e.emitStarts) - 1
+	after := cu
+	for s := segs - 1; s >= 0; s-- {
+		id := e.allocComp()
+		e.linkMembers(id, e.emitNodes[e.emitStarts[s]:e.emitStarts[s+1]])
+		// Nodes outside the structure kept zero rows since the last
+		// rebuild, so new components start clean.
+		e.clean[id] = true
+		e.orderInsertAfter(after, id)
+		after = id
+	}
+	// Back-target scan: any active edge out of the cone lands in the
+	// structure (otherwise the Tarjan would have explored through it).
+	for _, x := range e.emitNodes {
+		cx := e.comp[x]
+		for _, id := range g.out[x] {
+			e.work++
+			if !active.Test(int(id)) {
+				continue
+			}
+			t := e.comp[g.edges[id].To]
+			if t != cx && e.orderKey[t] < e.orderKey[cx] {
+				e.pending = append(e.pending, id)
+			}
+		}
+	}
+	if e.work > e.repairLimit {
+		return false
+	}
+	e.grows++
+	e.mutated = true
+	return true
+}
+
+// Pearce-Kelly insertion results.
+const (
+	pkDone   = iota // topological invariant restored
+	pkDefer         // search over its budget; defer to the violation set
+	pkBudget        // per-sweep work budget ran out; rebuild
+)
+
+// Two-sided search side states (internal to pkInsert).
+const (
+	sideRunning = iota
+	sideOver    // this side exceeded the per-insertion cap
+	sideClear   // queue drained without reaching the opposite endpoint
+	sideFound   // queue drained; the opposite endpoint was reached
+)
+
+// certBudget bounds one split certificate's bidirectional search (in
+// work units). Replacement paths inside a strongly connected component
+// are short — two balls of ~sqrt(edges) meet — so a certificate either
+// succeeds quickly or the component probably really did split and the
+// Tarjan pass was needed anyway.
+const certBudget = 512
+
+// certifyIntraRemoval reports whether u still reaches v inside
+// component c under the final mask after the net removal of edge
+// (u, v): a bidirectional BFS restricted to c's members — forward ball
+// from u, backward ball from v over the reverse adjacency — expanding
+// the smaller frontier until the balls meet (certified), one side is
+// exhausted (definitely split), or the budget runs out (inconclusive).
+// Only a meet certifies; the other two outcomes fall through to the
+// full split Tarjan. Certificates for multiple removals in the same
+// component compose: each certified path lies in the final mask, so it
+// avoids every removed edge, and substituting the detours into any old
+// intra-component cycle closes it under the final mask.
+//
+//flowlint:hotpath
+func (e *LaneEngine) certifyIntraRemoval(u, v NodeID, c int32, active bitset.Set) bool {
+	g := e.g
+	e.nodeEpoch += 2
+	fe, be := e.nodeEpoch-1, e.nodeEpoch
+	e.certF = append(e.certF[:0], u)
+	e.certB = append(e.certB[:0], v)
+	e.nodeSeen[u] = fe
+	e.nodeSeen[v] = be
+	cfi, cbi := 0, 0
+	spent := 0
+	for cfi < len(e.certF) && cbi < len(e.certB) {
+		if spent > certBudget {
+			return false
+		}
+		if len(e.certF)-cfi <= len(e.certB)-cbi {
+			x := e.certF[cfi]
+			cfi++
+			for _, id := range g.out[x] {
+				spent++
+				e.work++
+				if !active.Test(int(id)) {
+					continue
+				}
+				w := g.edges[id].To
+				if e.comp[w] != c || e.nodeSeen[w] == fe {
+					continue
+				}
+				if e.nodeSeen[w] == be {
+					return true
+				}
+				e.nodeSeen[w] = fe
+				e.certF = append(e.certF, w)
+			}
+		} else {
+			x := e.certB[cbi]
+			cbi++
+			for _, id := range g.in[x] {
+				spent++
+				e.work++
+				if !active.Test(int(id)) {
+					continue
+				}
+				w := g.edges[id].From
+				if e.comp[w] != c || e.nodeSeen[w] == be {
+					continue
+				}
+				if e.nodeSeen[w] == fe {
+					return true
+				}
+				e.nodeSeen[w] = be
+				e.certB = append(e.certB, w)
+			}
+		}
+	}
+	return false
+}
+
+// pkInsert restores the topological invariant for one order-violating
+// insertion (u, v) with two interleaved component searches: forward
+// from cv = comp(v) over out-edges pruned to keys <= key(cu), and
+// backward from cu = comp(u) over in-edges pruned to keys >= key(cv).
+// Whichever side drains its queue first decides the outcome — the
+// searches are exact within the interval (every non-excluded active
+// edge is forward, so neither can escape it), so "forward side done
+// without reaching cu" and "backward side done without reaching cv"
+// are equivalent no-cycle verdicts, and the mutation that follows
+// moves or merges the completed side only. Sides run in pkChunk-sized
+// slices, always resuming the one with less work spent — member scans
+// pause mid-component — which bounds an insertion at about twice its
+// SMALLER side even when the larger side is rooted next to the giant
+// component. Neither endpoint's own members are ever scanned: every
+// non-excluded edge out of cu is forward (key > key(cu)) and every one
+// into cv is from key < key(cv), so neither can extend its search —
+// which is what keeps a fragment-vs-giant insertion proportional to
+// the fragment.
+//
+// No cycle: the completed side's block slides across the interval (the
+// forward set moves just after cu, or the backward set — which pruning
+// confines to keys strictly above key(cv), except cu's own key — moves
+// just before cv), preserving internal relative order. Cycle: a Tarjan
+// restricted to the completed side merges the components on it; the
+// backward variant runs on the reverse adjacency and therefore emits
+// groups directly in forward topological order. A search whose cheaper
+// side exceeds the per-insertion cap returns pkDefer before mutating
+// anything — the search phase is read-only, so the caller can hand the
+// edge to the violation set and move on.
+//
+//flowlint:hotpath
+func (e *LaneEngine) pkInsert(id EdgeID, active bitset.Set) int {
+	g := e.g
+	ed := g.edges[id]
+	cu, cv := e.comp[ed.From], e.comp[ed.To]
+	if cu == cv || e.orderKey[cu] < e.orderKey[cv] {
+		// An earlier repair already satisfied the edge.
+		return pkDone
+	}
+	low, high := e.orderKey[cv], e.orderKey[cu]
+	e.compEpoch++
+	epoch := e.compEpoch
+	e.fQueue = append(e.fQueue[:0], cv)
+	e.compMark[cv] = epoch
+	e.compIdx[cv] = 0
+	e.bQueue = append(e.bQueue[:0], cu)
+	e.bMark[cu] = epoch
+	e.compLow[cu] = 0
+	e.fEdgeS, e.fEdgeT = e.fEdgeS[:0], e.fEdgeT[:0]
+	e.bEdgeS, e.bEdgeT = e.bEdgeS[:0], e.bEdgeT[:0]
+	fqi, bqi := 0, 0
+	fWork, bWork := 0, 0
+	fState, bState := sideRunning, sideRunning
+	fFound, bFound := false, false
+	// Resumable scan cursors: the component a side is mid-scan in (-1
+	// when between components), its dense index in that side's queue,
+	// and the next member to visit.
+	fCur, bCur := int32(-1), int32(-1)
+	fCurIdx, bCurIdx := int32(-1), int32(-1)
+	var fMem, bMem NodeID
+	for {
+		if e.work > e.repairLimit {
+			return pkBudget
+		}
+		if fState == sideRunning && fCur == -1 && fqi == len(e.fQueue) {
+			fState = sideClear
+			if fFound {
+				fState = sideFound
+			}
+		}
+		if bState == sideRunning && bCur == -1 && bqi == len(e.bQueue) {
+			bState = sideClear
+			if bFound {
+				bState = sideFound
+			}
+		}
+		if fState >= sideClear || bState >= sideClear {
+			break
+		}
+		if fState == sideOver && bState == sideOver {
+			// Long-range back-edge: both sides of the affected interval
+			// are too wide to splice cheaply. Nothing has been mutated;
+			// defer it.
+			return pkDefer
+		}
+		if fState == sideRunning && (bState != sideRunning || fWork <= bWork) {
+			budget := fWork + pkChunk
+			for fWork < budget {
+				if fCur == -1 {
+					if fqi == len(e.fQueue) {
+						break
+					}
+					c := e.fQueue[fqi]
+					fqi++
+					if c == cu {
+						// cu needs no member scan: every non-excluded
+						// edge out of it is forward (key > key(cu)), so
+						// none can extend the search.
+						fFound = true
+						continue
+					}
+					fCur, fMem = c, e.memberHead[c]
+					fCurIdx = int32(fqi - 1)
+				}
+				for fMem != -1 && fWork < budget {
+					x := fMem
+					fMem = e.memberNext[x]
+					e.work++
+					fWork++
+					for _, eid := range g.out[x] {
+						e.work++
+						fWork++
+						if e.edgeSkip[eid] != 0 {
+							continue
+						}
+						t := e.comp[g.edges[eid].To]
+						if t == fCur || t == -1 {
+							continue
+						}
+						if e.compMark[t] == epoch {
+							// Already-searched target: record the
+							// component edge for the merge Tarjan
+							// (dense ids are queue positions).
+							e.fEdgeS = append(e.fEdgeS, fCurIdx)
+							e.fEdgeT = append(e.fEdgeT, e.compIdx[t])
+							continue
+						}
+						if e.orderKey[t] > high {
+							continue
+						}
+						e.compMark[t] = epoch
+						e.compIdx[t] = int32(len(e.fQueue))
+						e.fEdgeS = append(e.fEdgeS, fCurIdx)
+						e.fEdgeT = append(e.fEdgeT, e.compIdx[t])
+						e.fQueue = append(e.fQueue, t)
+					}
+				}
+				if fMem == -1 {
+					fCur = -1
+				}
+			}
+			if fWork > e.pkCap {
+				fState = sideOver
+			}
+		} else {
+			budget := bWork + pkChunk
+			for bWork < budget {
+				if bCur == -1 {
+					if bqi == len(e.bQueue) {
+						break
+					}
+					c := e.bQueue[bqi]
+					bqi++
+					if c == cv {
+						// Mirror: every non-excluded edge into cv comes
+						// from a key < key(cv), pruned — except the
+						// inserted edge itself, from the root cu.
+						bFound = true
+						continue
+					}
+					bCur, bMem = c, e.memberHead[c]
+					bCurIdx = int32(bqi - 1)
+				}
+				for bMem != -1 && bWork < budget {
+					x := bMem
+					bMem = e.memberNext[x]
+					e.work++
+					bWork++
+					for _, eid := range g.in[x] {
+						e.work++
+						bWork++
+						if e.edgeSkip[eid] != 0 {
+							continue
+						}
+						t := e.comp[g.edges[eid].From]
+						if t == bCur || t == -1 {
+							continue
+						}
+						if e.bMark[t] == epoch {
+							// Mirror: the recorded pair keeps the real
+							// edge direction, t into the scanned comp.
+							e.bEdgeS = append(e.bEdgeS, e.compLow[t])
+							e.bEdgeT = append(e.bEdgeT, bCurIdx)
+							continue
+						}
+						if e.orderKey[t] < low {
+							continue
+						}
+						e.bMark[t] = epoch
+						e.compLow[t] = int32(len(e.bQueue))
+						e.bEdgeS = append(e.bEdgeS, int32(len(e.bQueue)))
+						e.bEdgeT = append(e.bEdgeT, bCurIdx)
+						e.bQueue = append(e.bQueue, t)
+					}
+				}
+				if bMem == -1 {
+					bCur = -1
+				}
+			}
+			if bWork > e.pkCap {
+				bState = sideOver
+			}
+		}
+	}
+	// Exactly one side completed (the loop breaks immediately), except
+	// when both drain on the same check — then both verdicts agree
+	// (both exact), and either is applied. Clear before Found is an
+	// arbitrary preference between equivalent completions.
+	switch {
+	case fState == sideClear:
+		// Pure reorder: slide the forward block after cu, in its
+		// current relative order. Every edge out of the block goes to a
+		// key > key(cu) (a smaller-keyed target would have been
+		// searched), and no component sits between cu and its order
+		// successor, so the move creates no new violations.
+		e.sortByKey(e.fQueue)
+		for _, c := range e.fQueue {
+			e.orderRemove(c)
+		}
+		e.orderInsertBlockAfter(cu, e.fQueue)
+		e.mutated = true
+		return pkDone
+	case bState == sideClear:
+		// Mirror reorder: slide the backward block (everything in the
+		// interval that reaches cu, cu included) just before cv. Every
+		// edge into the block comes from a key < key(cv) or from inside
+		// it (a key in the interval reaching the block would itself be
+		// in the block), and the block lands after every such source,
+		// so the move creates no new violations.
+		e.sortByKey(e.bQueue)
+		for _, c := range e.bQueue {
+			e.orderRemove(c)
+		}
+		e.orderInsertBlockAfter(e.orderPrev[cv], e.bQueue)
+		e.mutated = true
+		return pkDone
+	case fState == sideFound:
+		// Cycle: the interleaved search already visited every edge of
+		// the affected subgraph and recorded it as dense index pairs;
+		// close the cycle with the inserted edge itself (cu -> cv) and
+		// condense the recorded graph directly — no re-walk of member
+		// lists or adjacency.
+		e.fEdgeS = append(e.fEdgeS, e.compIdx[cu])
+		e.fEdgeT = append(e.fEdgeT, 0)
+		if !e.pkMergeSegs(e.fQueue, e.fEdgeS, e.fEdgeT) {
+			return pkBudget
+		}
+		// Components strictly between cu's nearest non-searched
+		// predecessor and cu are all in the searched set, so the whole
+		// set reinserts there without disturbing anything outside it.
+		insertAfter := e.orderPrev[cu]
+		for insertAfter != -1 && e.compMark[insertAfter] == epoch {
+			e.work++
+			insertAfter = e.orderPrev[insertAfter]
+		}
+		for _, c := range e.fQueue {
+			e.orderRemove(c)
+		}
+		e.spliceSegs(insertAfter)
+		e.mutated = true
+		return pkDone
+	default: // bState == sideFound
+		// Mirror cycle from the source side. The backward set sits
+		// entirely at keys above key(cv) (pruning), so cv's order
+		// predecessor is outside it and the set reinserts right at
+		// cv's old slot.
+		e.bEdgeS = append(e.bEdgeS, 0)
+		e.bEdgeT = append(e.bEdgeT, e.compLow[cv])
+		if !e.pkMergeSegs(e.bQueue, e.bEdgeS, e.bEdgeT) {
+			return pkBudget
+		}
+		insertAfter := e.orderPrev[cv]
+		for _, c := range e.bQueue {
+			e.orderRemove(c)
+		}
+		e.spliceSegs(insertAfter)
+		e.mutated = true
+		return pkDone
+	}
+}
+
+// mergeComps fuses one Tarjan-emitted group of components (a new cycle
+// through the inserted edge) into its largest member component,
+// relinking only the smaller components' member lists — merging a
+// fragment back into the giant costs O(fragment), not O(giant).
+//
+//flowlint:hotpath
+func (e *LaneEngine) mergeComps(group []int32) int32 {
+	nc := group[0]
+	for _, c := range group[1:] {
+		if e.compSize[c] > e.compSize[nc] {
+			nc = c
+		}
+	}
+	e.prevAt[nc] = 0
+	cl := e.clean[nc]
+	for _, c := range group {
+		if c == nc {
+			continue
+		}
+		cl = cl && e.clean[c]
+		for v := e.memberHead[c]; v != -1; v = e.memberNext[v] {
+			e.work++
+			e.comp[v] = nc
+		}
+		e.memberNext[e.memberTail[nc]] = e.memberHead[c]
+		e.memberTail[nc] = e.memberTail[c]
+		e.compSize[nc] += e.compSize[c]
+		e.freeComp(c)
+	}
+	e.clean[nc] = cl
+	e.merges++
+	return nc
+}
+
+// tarjanNodes runs a bounded iterative Tarjan over the nodes filtered
+// by `within` (a component id to re-partition, or -1 for the unreached
+// cone of a grow), starting from roots, over active edges. Emitted
+// SCCs (descendants first) land in emitNodes/emitStarts. Returns false
+// when the work budget runs out; the epoch-stamped discovery arrays
+// make abandonment free, and the explicit on-stack bits are unwound so
+// the next run starts consistent.
+//
+//flowlint:hotpath
+func (e *LaneEngine) tarjanNodes(roots []NodeID, within int32, active bitset.Set) bool {
+	g := e.g
+	e.nodeEpoch++
+	epoch := e.nodeEpoch
+	e.emitNodes, e.emitStarts = e.emitNodes[:0], e.emitStarts[:0]
+	tstack := e.tsStack[:0]
+	dfsN := e.tnStack[:0]
+	dfsE := e.teStack[:0]
+	var next int32
+	for _, root := range roots {
+		if e.nodeSeen[root] == epoch {
+			continue
+		}
+		e.nodeSeen[root] = epoch
+		e.nodeIdx[root], e.nodeLow[root] = next, next
+		next++
+		e.nodeOnStk[root] = true
+		tstack = append(tstack, root)
+		dfsN = append(dfsN, root)
+		dfsE = append(dfsE, 0)
+		for len(dfsN) > 0 {
+			if e.work > e.repairLimit {
+				for _, w := range tstack {
+					e.nodeOnStk[w] = false
+				}
+				e.tsStack, e.tnStack, e.teStack = tstack[:0], dfsN[:0], dfsE[:0]
+				return false
+			}
+			f := len(dfsN) - 1
+			v := dfsN[f]
+			out := g.out[v]
+			descended := false
+			for ei := dfsE[f]; int(ei) < len(out); ei++ {
+				id := out[ei]
+				e.work++
+				if !active.Test(int(id)) {
+					continue
+				}
+				w := g.edges[id].To
+				if e.nodeSeen[w] == epoch {
+					if e.nodeOnStk[w] && e.nodeIdx[w] < e.nodeLow[v] {
+						e.nodeLow[v] = e.nodeIdx[w]
+					}
+					continue
+				}
+				if e.comp[w] != within {
+					continue
+				}
+				dfsE[f] = ei + 1
+				e.nodeSeen[w] = epoch
+				e.nodeIdx[w], e.nodeLow[w] = next, next
+				next++
+				e.nodeOnStk[w] = true
+				tstack = append(tstack, w)
+				dfsN = append(dfsN, w)
+				dfsE = append(dfsE, 0)
+				descended = true
+				break
+			}
+			if descended {
+				continue
+			}
+			dfsN = dfsN[:f]
+			dfsE = dfsE[:f]
+			if f > 0 {
+				p := dfsN[f-1]
+				if e.nodeLow[v] < e.nodeLow[p] {
+					e.nodeLow[p] = e.nodeLow[v]
+				}
+			}
+			if e.nodeLow[v] == e.nodeIdx[v] {
+				e.emitStarts = append(e.emitStarts, int32(len(e.emitNodes)))
+				for {
+					w := tstack[len(tstack)-1]
+					tstack = tstack[:len(tstack)-1]
+					e.nodeOnStk[w] = false
+					e.emitNodes = append(e.emitNodes, w)
+					e.work++
+					if w == v {
+						break
+					}
+				}
+			}
+		}
+	}
+	e.emitStarts = append(e.emitStarts, int32(len(e.emitNodes)))
+	e.tsStack, e.tnStack, e.teStack = tstack[:0], dfsN[:0], dfsE[:0]
+	return true
+}
+
+// pkMergeSegs condenses the component subgraph recorded by the
+// Pearce-Kelly search: queue lists the searched components (dense id =
+// queue position) and es/et the in-interval component edges among them
+// in real direction, including the closing pair for the inserted edge.
+// A flat iterative Tarjan over that compact graph finds the merged
+// groups without re-walking member lists or node adjacency — the
+// search already paid for every pointer chase, so the merge runs on
+// arrays it can stream. Groups land in emitComps/emitCStart as real
+// component ids, in reverse topological order of the condensed
+// subgraph (Tarjan emits an SCC only after everything it reaches).
+//
+// Every group except the new cycle is necessarily a singleton — any
+// multi-component SCC among searched components would have been a
+// cycle in the order before this insertion — but the Tarjan does not
+// rely on that; it simply emits whatever the recorded graph contains.
+//
+//flowlint:hotpath
+func (e *LaneEngine) pkMergeSegs(queue []int32, es, et []int32) bool {
+	nq := len(queue)
+	e.work += nq + len(es)
+	if e.work > e.repairLimit {
+		return false
+	}
+	e.dnStart = growDense(e.dnStart, nq+1)
+	e.dnIdx = growDense(e.dnIdx, nq)
+	e.dnLow = growDense(e.dnLow, nq)
+	e.dnPos = growDense(e.dnPos, nq)
+	e.dnOnStk = growDenseBool(e.dnOnStk, nq)
+	e.dnEdge = growDense(e.dnEdge, len(es))
+	start, pos := e.dnStart, e.dnPos
+	for i := 0; i <= nq; i++ {
+		start[i] = 0
+	}
+	for _, s := range es {
+		start[s+1]++
+	}
+	for i := 1; i <= nq; i++ {
+		start[i] += start[i-1]
+	}
+	copy(pos, start[:nq])
+	for k, s := range es {
+		e.dnEdge[pos[s]] = et[k]
+		pos[s]++
+	}
+	idx, low := e.dnIdx, e.dnLow
+	for i := range idx {
+		idx[i] = 0
+	}
+	e.emitComps, e.emitCStart = e.emitComps[:0], e.emitCStart[:0]
+	var next int32
+	stk := e.dnStk[:0]
+	scc := e.dnScc[:0]
+	for r := 0; r < nq; r++ {
+		if idx[r] != 0 {
+			continue
+		}
+		stk = append(stk, int32(r))
+		for len(stk) > 0 {
+			v := stk[len(stk)-1]
+			if idx[v] == 0 {
+				next++
+				idx[v], low[v] = next, next
+				pos[v] = start[v]
+				scc = append(scc, v)
+				e.dnOnStk[v] = true
+			}
+			descended := false
+			for p := pos[v]; p < start[v+1]; p++ {
+				w := e.dnEdge[p]
+				if idx[w] == 0 {
+					// Resume here after the child completes; the
+					// re-examination then updates low via the
+					// on-stack branch, and the pop below folds the
+					// child's final lowlink in regardless.
+					pos[v] = p
+					stk = append(stk, w)
+					descended = true
+					break
+				}
+				if e.dnOnStk[w] && idx[w] < low[v] {
+					low[v] = idx[w]
+				}
+			}
+			if descended {
+				continue
+			}
+			pos[v] = start[v+1]
+			stk = stk[:len(stk)-1]
+			if len(stk) > 0 {
+				p := stk[len(stk)-1]
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == idx[v] {
+				e.emitCStart = append(e.emitCStart, int32(len(e.emitComps)))
+				for {
+					t := scc[len(scc)-1]
+					scc = scc[:len(scc)-1]
+					e.dnOnStk[t] = false
+					e.emitComps = append(e.emitComps, queue[t])
+					if t == v {
+						break
+					}
+				}
+			}
+		}
+	}
+	e.emitCStart = append(e.emitCStart, int32(len(e.emitComps)))
+	e.dnStk, e.dnScc = stk[:0], scc[:0]
+	return true
+}
+
+// spliceSegs merges each emitted group and chains the results after
+// insertAfter in forward topological order (emission order is reverse
+// topological, so segments splice back to front).
+//
+//flowlint:hotpath
+func (e *LaneEngine) spliceSegs(insertAfter int32) {
+	segs := len(e.emitCStart) - 1
+	e.segOrder = e.segOrder[:0]
+	for s := segs - 1; s >= 0; s-- {
+		seg := e.emitComps[e.emitCStart[s]:e.emitCStart[s+1]]
+		c := seg[0]
+		if len(seg) > 1 {
+			c = e.mergeComps(seg)
+		}
+		e.segOrder = append(e.segOrder, c)
+	}
+	e.orderInsertBlockAfter(insertAfter, e.segOrder)
+}
+
+// push is the engine-side topological lane push: seed rows OR into
+// their components' W-word masks, components propagate along the
+// derived order (ancestors first), members copy their component's mask
+// into their reach rows. A component whose mask is zero this sweep
+// resets its members' rows unless they are known clean already — that
+// lazily erases regions the mask changes carved off, keeping the
+// matrix bit-identical to a fresh rebuild without a full Reset.
+//
+// Edges in the violation set are skipped by the ordered pass (they
+// point backward, so their OR would land after the target was already
+// emitted) and resolved afterwards by fixpointViolations; components
+// whose masks grow there rewrite their member rows in a final patch
+// pass. The composition is exact because reachability is the least
+// fixpoint of monotone OR-propagation over active edges, independent of
+// processing order — the ordered pass is merely the single-pass
+// convergence fast path for the non-violated subgraph.
+//
+//flowlint:hotpath
+func (e *LaneEngine) push(seeds []NodeID, seedBits *bitset.LaneMatrix, active bitset.Set, reach *bitset.LaneMatrix) {
+	g := e.g
+	W := seedBits.W
+	compWide := e.compWide
+	for k, v := range seeds {
+		dst := compWide[int(e.comp[v])*W:]
+		for j, w := range seedBits.Row(k) {
+			dst[j] |= w
+		}
+	}
+	for _, c := range e.orderSeq {
+		base := int(c) * W
+		row := compWide[base : base+W : base+W]
+		var lanes uint64
+		for _, w := range row {
+			lanes |= w
+		}
+		if lanes == 0 {
+			if !e.clean[c] {
+				for v := e.memberHead[c]; v != -1; v = e.memberNext[v] {
+					reach.ResetRow(int(v))
+				}
+				e.clean[c] = true
+				e.prevAt[c] = 0
+			}
+			continue
+		}
+		same := !e.clean[c] && e.prevAt[c] == e.prevEpoch
+		if same {
+			for j, w := range row {
+				if e.prevWide[base+j] != w {
+					same = false
+					break
+				}
+			}
+		}
+		e.clean[c] = false
+		if same {
+			// Members' rows already hold this exact mask from the previous
+			// sweep; only the downstream ORs are needed.
+			for v := e.memberHead[c]; v != -1; v = e.memberNext[v] {
+				for _, id := range g.out[v] {
+					if e.edgeSkip[id] != 0 {
+						continue
+					}
+					dst := compWide[int(e.comp[g.edges[id].To])*W:]
+					for j, w := range row {
+						dst[j] |= w
+					}
+				}
+			}
+			continue
+		}
+		copy(e.prevWide[base:base+W], row)
+		e.prevAt[c] = e.prevEpoch
+		for v := e.memberHead[c]; v != -1; v = e.memberNext[v] {
+			copy(reach.Row(int(v)), row)
+			for _, id := range g.out[v] {
+				if e.edgeSkip[id] != 0 {
+					continue
+				}
+				dst := compWide[int(e.comp[g.edges[id].To])*W:]
+				for j, w := range row {
+					dst[j] |= w
+				}
+			}
+		}
+	}
+	if len(e.vio) > 0 {
+		e.fixpointViolations(active, W, reach)
+	}
+}
+
+// fixpointViolations resolves the deferred order violations after the
+// ordered pass: each violated edge's source-component mask is OR'd into
+// its target's when bits are missing, growths propagate breadth-first
+// through all active out-edges until stable, and every component that
+// grew rewrites its member rows. The scan also compacts the set,
+// dropping edges that turned off, became intra-component (a merge
+// absorbed both endpoints), or became forward (a reorder repaired them
+// as a side effect) — forward edges are dropped only after their
+// one-off transfer, since the ordered pass skipped them this sweep.
+//
+//flowlint:hotpath
+func (e *LaneEngine) fixpointViolations(active bitset.Set, W int, reach *bitset.LaneMatrix) {
+	g := e.g
+	compWide := e.compWide
+	e.compEpoch++
+	epoch := e.compEpoch
+	e.grownQ = e.grownQ[:0]
+	e.grown = e.grown[:0]
+	kept := e.vio[:0]
+	for _, id := range e.vio {
+		ed := g.edges[id]
+		cu, cv := e.comp[ed.From], e.comp[ed.To]
+		if !active.Test(int(id)) || cu == cv {
+			e.edgeSkip[id] &^= skipVio
+			continue
+		}
+		src := compWide[int(cu)*W : int(cu)*W+W]
+		dst := compWide[int(cv)*W : int(cv)*W+W]
+		var missing uint64
+		for j, w := range src {
+			missing |= w &^ dst[j]
+		}
+		if missing != 0 {
+			for j, w := range src {
+				dst[j] |= w
+			}
+			if e.compMark[cv] != epoch {
+				e.compMark[cv] = epoch
+				e.grownQ = append(e.grownQ, cv)
+			}
+			if e.compIdxAt[cv] != epoch {
+				e.compIdxAt[cv] = epoch
+				e.grown = append(e.grown, cv)
+			}
+		}
+		if e.orderKey[cu] < e.orderKey[cv] {
+			e.edgeSkip[id] &^= skipVio
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.vio = kept
+	// Breadth-first closure over the components whose masks grew. The
+	// worklist dedups with compMark while a component is queued and
+	// clears the mark on dequeue, so a later regrowth re-enqueues it;
+	// compIdxAt separately stamps ever-grown components exactly once for
+	// the row patch pass.
+	for qi := 0; qi < len(e.grownQ); qi++ {
+		c := e.grownQ[qi]
+		e.compMark[c] = 0
+		base := int(c) * W
+		row := compWide[base : base+W : base+W]
+		for v := e.memberHead[c]; v != -1; v = e.memberNext[v] {
+			for _, id := range g.out[v] {
+				if !active.Test(int(id)) {
+					continue
+				}
+				t := e.comp[g.edges[id].To]
+				if t == c {
+					continue
+				}
+				dst := compWide[int(t)*W:]
+				var missing uint64
+				for j, w := range row {
+					missing |= w &^ dst[j]
+				}
+				if missing == 0 {
+					continue
+				}
+				for j, w := range row {
+					dst[j] |= w
+				}
+				if e.compMark[t] != epoch {
+					e.compMark[t] = epoch
+					e.grownQ = append(e.grownQ, t)
+				}
+				if e.compIdxAt[t] != epoch {
+					e.compIdxAt[t] = epoch
+					e.grown = append(e.grown, t)
+				}
+			}
+		}
+	}
+	for _, c := range e.grown {
+		base := int(c) * W
+		row := compWide[base : base+W : base+W]
+		// A grown mask is nonzero by construction (it absorbed missing
+		// bits), so its members' rows are rewritten, not reset. The stamp
+		// is refreshed with the grown mask: the rewrite leaves every
+		// member row holding exactly this value.
+		e.clean[c] = false
+		copy(e.prevWide[base:base+W], row)
+		e.prevAt[c] = e.prevEpoch
+		for v := e.memberHead[c]; v != -1; v = e.memberNext[v] {
+			copy(reach.Row(int(v)), row)
+		}
+	}
+}
+
+// linkMembers builds component c's member list from nodes and assigns
+// their component ids.
+//
+//flowlint:hotpath
+func (e *LaneEngine) linkMembers(c int32, members []NodeID) {
+	prev := NodeID(-1)
+	for _, v := range members {
+		e.comp[v] = c
+		if prev == -1 {
+			e.memberHead[c] = v
+		} else {
+			e.memberNext[prev] = v
+		}
+		prev = v
+	}
+	e.memberNext[prev] = -1
+	e.memberTail[c] = prev
+	e.compSize[c] = int32(len(members))
+	e.prevAt[c] = 0
+}
+
+// allocComp returns a fresh component id (recycled when possible) with
+// an empty member list.
+//
+//flowlint:hotpath
+func (e *LaneEngine) allocComp() int32 {
+	var c int32
+	if k := len(e.freeComps); k > 0 {
+		c = e.freeComps[k-1]
+		e.freeComps = e.freeComps[:k-1]
+	} else {
+		c = e.maxComp
+		e.maxComp++
+		e.ensureCompCap(int(e.maxComp))
+	}
+	e.memberHead[c] = -1
+	e.memberTail[c] = -1
+	e.clean[c] = false
+	return c
+}
+
+// freeComp recycles a component id. The slot's stale fields are fully
+// reinitialised on reuse.
+//
+//flowlint:hotpath
+func (e *LaneEngine) freeComp(c int32) {
+	e.freeComps = append(e.freeComps, c)
+}
+
+// orderRemove unlinks component c from the topological order list.
+func (e *LaneEngine) orderRemove(c int32) {
+	p, nx := e.orderPrev[c], e.orderNext[c]
+	if p == -1 {
+		e.orderHead = nx
+	} else {
+		e.orderNext[p] = nx
+	}
+	if nx == -1 {
+		e.orderTail = p
+	} else {
+		e.orderPrev[nx] = p
+	}
+}
+
+// orderInsertAfter links component c into the order right after
+// `after` (-1 inserts at the head) and assigns it a key strictly
+// between its new neighbours', renumbering the whole list in the rare
+// case the midpoint gap is exhausted.
+//
+//flowlint:hotpath
+func (e *LaneEngine) orderInsertAfter(after, c int32) {
+	var nx int32
+	if after == -1 {
+		nx = e.orderHead
+		e.orderHead = c
+	} else {
+		nx = e.orderNext[after]
+		e.orderNext[after] = c
+	}
+	e.orderPrev[c] = after
+	e.orderNext[c] = nx
+	if nx == -1 {
+		e.orderTail = c
+	} else {
+		e.orderPrev[nx] = c
+	}
+	var lo uint64
+	if after != -1 {
+		lo = e.orderKey[after]
+	}
+	hi := lo + 2*orderKeyGap
+	if nx != -1 {
+		hi = e.orderKey[nx]
+	}
+	if hi-lo < 2 {
+		e.renumberKeys()
+		return
+	}
+	e.orderKey[c] = lo + (hi-lo)/2
+}
+
+// renumberKeys reassigns evenly spaced keys along the order list.
+//
+// orderInsertBlockAfter splices comps, in sequence, into the order
+// right after `after`, spreading their keys evenly across the gap to
+// the old successor. One-at-a-time midpoint insertion halves the gap
+// per comp, so a block reinsertion at a single point — which is what
+// every Pearce-Kelly move and merge does — would hit an O(components)
+// renumber every ~40 comps; the bulk splice pays at most one.
+//
+//flowlint:hotpath
+//flowlint:hotpath
+func (e *LaneEngine) orderInsertBlockAfter(after int32, comps []int32) {
+	if len(comps) == 0 {
+		return
+	}
+	var nx int32
+	if after == -1 {
+		nx = e.orderHead
+	} else {
+		nx = e.orderNext[after]
+	}
+	prev := after
+	for _, c := range comps {
+		if prev == -1 {
+			e.orderHead = c
+		} else {
+			e.orderNext[prev] = c
+		}
+		e.orderPrev[c] = prev
+		prev = c
+	}
+	last := comps[len(comps)-1]
+	e.orderNext[last] = nx
+	if nx == -1 {
+		e.orderTail = last
+	} else {
+		e.orderPrev[nx] = last
+	}
+	var lo uint64
+	if after != -1 {
+		lo = e.orderKey[after]
+	}
+	hi := lo + 2*orderKeyGap*uint64(len(comps))
+	if nx != -1 {
+		hi = e.orderKey[nx]
+	}
+	step := (hi - lo) / uint64(len(comps)+1)
+	if step == 0 {
+		e.renumberKeys()
+		return
+	}
+	k := lo
+	for _, c := range comps {
+		k += step
+		e.orderKey[c] = k
+	}
+}
+
+func (e *LaneEngine) renumberKeys() {
+	var i uint64 = 1
+	for c := e.orderHead; c != -1; c = e.orderNext[c] {
+		e.orderKey[c] = i * orderKeyGap
+		i++
+		e.work++
+	}
+}
+
+// sortByKey shell-sorts component ids in place by their order keys
+// (allocation-free; the sorted block is typically small).
+//
+//flowlint:hotpath
+func (e *LaneEngine) sortByKey(a []int32) {
+	key := e.orderKey
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			c := a[i]
+			j := i
+			for ; j >= gap && key[a[j-gap]] > key[c]; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = c
+		}
+	}
+}
+
+// ensureCompCap grows the per-component arrays to hold at least n ids.
+func (e *LaneEngine) ensureCompCap(n int) {
+	if n <= len(e.memberHead) {
+		return
+	}
+	if n < 2*len(e.memberHead) {
+		n = 2 * len(e.memberHead)
+	}
+	grow := func(old []int32) []int32 {
+		s := make([]int32, n)
+		copy(s, old)
+		return s
+	}
+	e.memberHead = append(make([]NodeID, 0, n), e.memberHead...)[:n]
+	e.memberTail = append(make([]NodeID, 0, n), e.memberTail...)[:n]
+	e.orderNext = grow(e.orderNext)
+	e.orderPrev = grow(e.orderPrev)
+	e.compIdx = grow(e.compIdx)
+	e.compLow = grow(e.compLow)
+	e.compSize = grow(e.compSize)
+	e.orderKey = append(make([]uint64, 0, n), e.orderKey...)[:n]
+	e.clean = append(make([]bool, 0, n), e.clean...)[:n]
+	e.compMark = append(make([]uint32, 0, n), e.compMark...)[:n]
+	e.bMark = append(make([]uint32, 0, n), e.bMark...)[:n]
+	e.compIdxAt = append(make([]uint32, 0, n), e.compIdxAt...)[:n]
+	e.prevAt = append(make([]uint32, 0, n), e.prevAt...)[:n]
+}
+
+// growDense returns buf resliced to n entries, reallocating when the
+// capacity falls short. Contents are unspecified — pkMergeSegs
+// overwrites every entry it reads.
+func growDense(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	c := 2 * cap(buf)
+	if c < n {
+		c = n
+	}
+	return make([]int32, n, c)
+}
+
+// growDenseBool is growDense for the on-stack flags, which rely on the
+// all-false resting state: fresh allocations start false and the
+// Tarjan pops every flag it sets.
+func growDenseBool(buf []bool, n int) []bool {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	c := 2 * cap(buf)
+	if c < n {
+		c = n
+	}
+	return make([]bool, n, c)
+}
+
+// ensureNodeCap grows the per-node and per-edge arrays.
+func (e *LaneEngine) ensureNodeCap(n, m int) {
+	if n > len(e.memberNext) {
+		e.memberNext = make([]NodeID, n)
+		e.nodeIdx = make([]int32, n)
+		e.nodeLow = make([]int32, n)
+		e.nodeSeen = make([]uint32, n)
+		e.nodeOnStk = make([]bool, n)
+		e.nodeEpoch = 0
+	}
+	if m > len(e.flipParity) {
+		e.flipParity = make([]uint8, m)
+		e.edgeSkip = make([]uint8, m)
+		e.vioUntil = make([]int64, m)
+	}
+}
+
+// sameSeeds reports whether the cached seed slice matches the sweep's,
+// element for element. The condensation depends on the seed set, so a
+// changed seed list cannot reuse it.
+//
+//flowlint:hotpath
+func sameSeeds(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -69,7 +69,11 @@ func (s *Sampler) prepareLanes(k, words int, source func(int) graph.NodeID) int 
 	lanesPer := words * LaneWidth
 	nChunks := (k + lanesPer - 1) / lanesPer
 	for len(bs.engines) < nChunks {
-		bs.engines = append(bs.engines, graph.NewLaneEngine(s.m.G))
+		e := graph.NewLaneEngine(s.m.G)
+		if s.laneRepairSet {
+			e.SetRepairLimit(s.laneRepairLimit)
+		}
+		bs.engines = append(bs.engines, e)
 		bs.seedBits = append(bs.seedBits, &bitset.LaneMatrix{})
 		bs.reach = append(bs.reach, &bitset.LaneMatrix{})
 		bs.seeds = append(bs.seeds, nil)

@@ -1,0 +1,97 @@
+package mh
+
+import (
+	"testing"
+
+	"infoflow/internal/rng"
+)
+
+// TestFlipLogCapOverflow pins the bounded-window semantics of the flip
+// log: an undersized cap makes TakeFlips report an incomplete (empty)
+// window, each overflowed window counts exactly once in
+// FlipLogOverflows, and draining the window arms the counter again.
+func TestFlipLogCapOverflow(t *testing.T) {
+	m := batchTestModel(21, 60, 240)
+	s, err := NewSampler(m, nil, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TrackFlips(true)
+	defer s.TrackFlips(false)
+	s.SetFlipLogCap(1)
+
+	stepUntilOverflow := func(want int64) {
+		for i := 0; i < 10000; i++ {
+			s.Step()
+			if s.FlipLogOverflows() == want {
+				return
+			}
+		}
+		t.Fatalf("no overflow after 10000 steps at cap 1 (overflows=%d, want %d)",
+			s.FlipLogOverflows(), want)
+	}
+
+	stepUntilOverflow(1)
+	// More accepted flips in the same window must not re-count it.
+	for i := 0; i < 500; i++ {
+		s.Step()
+	}
+	if got := s.FlipLogOverflows(); got != 1 {
+		t.Fatalf("overflows = %d after extra steps in one window, want 1", got)
+	}
+	flips, complete := s.TakeFlips()
+	if complete || flips != nil {
+		t.Fatalf("TakeFlips after overflow = (%v, %v), want (nil, false)", flips, complete)
+	}
+	// TakeFlips opened a fresh window: the next overflow counts anew.
+	stepUntilOverflow(2)
+}
+
+// TestFlipLogCapOptions covers the Run-side plumbing of
+// Options.FlipLogCap: negative is rejected, the Thin-derived default
+// never overflows (a window holds at most Thin accepted flips), and an
+// explicitly undersized cap degrades gracefully — the lane engines fall
+// back to overflow rebuilds while the estimates stay bit-identical,
+// because the log never touches the RNG.
+func TestFlipLogCapOptions(t *testing.T) {
+	m := batchTestModel(22, 80, 320)
+	pairs := randomPairs(rng.New(5), m.NumNodes(), 10)
+
+	if _, err := FlowProbBatch(m, pairs, nil, Options{BurnIn: 10, Thin: 5, Samples: 10, FlipLogCap: -1}, rng.New(7)); err == nil {
+		t.Error("negative FlipLogCap accepted, want validation error")
+	}
+
+	run := func(cap int) (*Sampler, []float64) {
+		s, err := NewSampler(m, nil, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs, err := FlowProbBatchOn(s, pairs, Options{BurnIn: 40, Thin: 8, Samples: 60, FlipLogCap: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, probs
+	}
+
+	sDef, probsDef := run(0)
+	if got := sDef.FlipLogOverflows(); got != 0 {
+		t.Errorf("default Thin-derived cap overflowed %d windows, want 0", got)
+	}
+	if st := sDef.LaneStats(); st.OverflowRebuilds != 0 {
+		t.Errorf("default cap forced %d overflow rebuilds, want 0", st.OverflowRebuilds)
+	}
+
+	sTiny, probsTiny := run(1)
+	if got := sTiny.FlipLogOverflows(); got == 0 {
+		t.Error("cap 1 over Thin=8 windows never overflowed, want overflows")
+	}
+	if st := sTiny.LaneStats(); st.OverflowRebuilds == 0 {
+		t.Error("overflowed windows forced no overflow rebuilds, want some")
+	}
+	for i := range probsDef {
+		if probsDef[i] != probsTiny[i] {
+			t.Fatalf("pair %d: estimate changed under undersized cap (%v vs %v); the flip log must not affect the sample stream",
+				i, probsDef[i], probsTiny[i])
+		}
+	}
+}

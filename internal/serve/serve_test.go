@@ -321,7 +321,9 @@ func TestServerMetricsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"batch_occupancy", "cache_hit_rate", "queue_depth", "acceptance_rate", "lane_budget", "lane_utilization"} {
+	for _, k := range []string{"batch_occupancy", "cache_hit_rate", "queue_depth", "acceptance_rate", "lane_budget", "lane_utilization",
+		"lane_replays", "lane_repairs", "lane_rebuilds", "lane_overflow_rebuilds", "lane_flush_rebuilds",
+		"lane_replay_rate", "lane_repair_rate", "lane_rebuild_rate"} {
 		if _, ok := snap[k]; !ok {
 			t.Errorf("flowserve expvar missing %q", k)
 		}
