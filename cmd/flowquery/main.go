@@ -8,6 +8,8 @@
 //	flowquery -data corpus.json -source 3 -impact
 //	flowquery -data corpus.json -impact -sources 3,7,12
 //	flowquery -data corpus.json -source 3 -sink 42 -nested 50
+//	flowquery -data corpus.json -maximize -k 5
+//	flowquery -data corpus.json -maximize -k 3 -sources 1,4,9
 //
 // Conditions are comma-separated "u>v=1" (flow known present) or
 // "u>v=0" (known absent).
@@ -16,6 +18,11 @@
 // exact analytic law (internal/sizedist) when the model admits one and
 // the query is unconditioned, otherwise the sampled MH estimate — the
 // header labels which estimator answered.
+//
+// -maximize selects the -k seed users whose cascades cover the most of
+// the network (or of the -sources community, when given) by RIS-sketch
+// lazy-greedy maximum coverage — the deterministic sketch backend the
+// flowserve /maximize endpoint serves.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"infoflow/internal/core"
 	"infoflow/internal/dist"
 	"infoflow/internal/graph"
+	"infoflow/internal/influence"
 	"infoflow/internal/mh"
 	"infoflow/internal/rng"
 	"infoflow/internal/serve"
@@ -58,7 +66,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	community := fs.Bool("community", false, "report source-to-community flow")
 	top := fs.Int("top", 10, "community nodes to print")
 	impact := fs.Bool("impact", false, "report the impact (cascade-size) distribution")
-	sourcesArg := fs.String("sources", "", "comma-separated source set for -impact (overrides -source)")
+	maximize := fs.Bool("maximize", false, "select the k most influential seed users (RIS sketch)")
+	budget := fs.Int("k", 5, "seed budget for -maximize")
+	sourcesArg := fs.String("sources", "", "comma-separated source set for -impact, or community targets for -maximize (overrides -source)")
 	nested := fs.Int("nested", 0, "if > 0, sample this many models for an uncertainty estimate")
 	samples := fs.Int("samples", 2000, "MH output samples")
 	censored := fs.Bool("censored", true, "use censored attributed training (recommended for chain-recovered evidence)")
@@ -66,9 +76,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if *data == "" || (*source < 0 && !(*impact && *sourcesArg != "")) {
+	if *data == "" || (*source < 0 && !(*impact && *sourcesArg != "") && !*maximize) {
 		fs.Usage()
-		return fmt.Errorf("-data and -source (or -impact -sources) are required")
+		return fmt.Errorf("-data and -source (or -impact -sources, or -maximize) are required")
 	}
 	f, err := os.Open(*data)
 	if err != nil {
@@ -106,6 +116,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	switch {
+	case *maximize:
+		var targets []graph.NodeID
+		if *sourcesArg != "" {
+			if targets, err = serve.ParseSources(*sourcesArg); err != nil {
+				return err
+			}
+			for _, v := range targets {
+				if int(v) >= real.NumNodes() {
+					return fmt.Errorf("target %d out of range", v)
+				}
+			}
+		}
+		return printMaximize(stdout, m, *budget, targets, conds, r)
 	case *impact:
 		set := []graph.NodeID{src}
 		if *sourcesArg != "" {
@@ -171,6 +194,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "] = %.4f\n", p)
 	}
+	return nil
+}
+
+// printMaximize reports the k-seed RIS-sketch selection: seeds in
+// selection order with their marginal spread gains over the target
+// universe (the whole network, or the community given via -sources).
+func printMaximize(stdout io.Writer, m *core.ICM, k int, targets []graph.NodeID, conds []core.FlowCondition, r *rng.RNG) error {
+	if k <= 0 || k > m.NumNodes() {
+		return fmt.Errorf("-k %d out of range [1, %d]", k, m.NumNodes())
+	}
+	opts := influence.DefaultSketchOptions(m.NumEdges())
+	res, pool, err := influence.Maximize(m, k, targets, conds, opts, r)
+	if err != nil {
+		return err
+	}
+	scope := "network"
+	if len(targets) > 0 {
+		scope = fmt.Sprintf("community of %d users", pool.Universe)
+	}
+	fmt.Fprintf(stdout, "top-%d influence seeds over the %s (RIS sketch, %d RR sets):\n",
+		len(res.Seeds), scope, pool.NumSets)
+	for i, v := range res.Seeds {
+		fmt.Fprintf(stdout, "  %2d. user %6d  marginal gain %8.2f\n", i+1, v, res.MarginalGains[i])
+	}
+	fmt.Fprintf(stdout, "estimated spread of the set: %.2f users\n", res.SpreadEstimate)
 	return nil
 }
 

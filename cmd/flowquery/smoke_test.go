@@ -60,6 +60,35 @@ func TestRunMissingArgs(t *testing.T) {
 	}
 }
 
+var maximizeHeader = regexp.MustCompile(`top-2 influence seeds over the network \(RIS sketch, \d+ RR sets\):`)
+
+// TestRunMaximizeQuery: -maximize -k prints the selected seeds with
+// their marginal gains and the set's estimated spread, deterministically
+// for a fixed -seed.
+func TestRunMaximizeQuery(t *testing.T) {
+	corpus := tinyCorpus(t)
+	var a, b, stderr bytes.Buffer
+	if err := run([]string{"-data", corpus, "-maximize", "-k", "2", "-seed", "7"}, &a, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !maximizeHeader.MatchString(a.String()) {
+		t.Errorf("output missing seed header:\n%s", a.String())
+	}
+	if !regexp.MustCompile(`estimated spread of the set: \d+\.\d{2} users`).MatchString(a.String()) {
+		t.Errorf("output missing spread estimate:\n%s", a.String())
+	}
+	if err := run([]string{"-data", corpus, "-maximize", "-k", "2", "-seed", "7"}, &b, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("repeated -maximize run diverged:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var bad bytes.Buffer
+	if err := run([]string{"-data", corpus, "-maximize", "-k", "0"}, &bad, &stderr); err == nil {
+		t.Error("-k 0 accepted")
+	}
+}
+
 var impactHeader = regexp.MustCompile(`impact distribution for users 0,1 \((analytic: [a-z-]+, exact; mean \d+\.\d{4}|sampled: mh, over 100 samples)\):`)
 
 // TestRunImpactQuery: -impact with a multi-node -sources set prints a

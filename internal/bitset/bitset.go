@@ -90,6 +90,21 @@ func (s Set) OrInto(dst Set) {
 	}
 }
 
+// AndNotCount returns the popcount of s &^ other — the number of bits
+// set in s but not in other — without materialising the difference.
+// This is the hot read of the CELF max-coverage selector: a candidate's
+// marginal gain over a covered mask is one AndNotCount. The sets must
+// have the same length; mismatched lengths are a caller bug.
+//
+//flowlint:hotpath
+func (s Set) AndNotCount(other Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w &^ other[i])
+	}
+	return n
+}
+
 // Grow returns s if it can hold n bits, else a fresh zeroed set that
 // can. Unlike append-style growth the old contents are discarded: Grow
 // is a sizing primitive for scratch state, not a resize.

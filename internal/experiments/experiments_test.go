@@ -324,7 +324,8 @@ func TestRegistryComplete(t *testing.T) {
 		names[r.Name] = true
 	}
 	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3", "ablation"} {
+		"fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3",
+		"ablation", "influence"} {
 		if !names[want] {
 			t.Errorf("missing runner %s", want)
 		}

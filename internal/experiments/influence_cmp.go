@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/influence"
+	"infoflow/internal/mh"
+	"infoflow/internal/rng"
+)
+
+// InfluenceConfig parameterises the influence-maximization comparison:
+// the RIS-sketch pipeline (reverse-reachability pool + lazy-greedy
+// maximum coverage) against the classic Monte-Carlo CELF baseline, both
+// selecting K seeds from the same top-degree candidate restriction on
+// the same model. Both seed sets are then scored with one independent
+// Monte-Carlo evaluator so the quality column compares like with like.
+type InfluenceConfig struct {
+	Seed       uint64
+	Nodes      int     // graph size (paper's §IV-C timing scale: 6000)
+	Edges      int     // paper: 14000
+	PMin, PMax float64 // activation probabilities drawn uniformly from [PMin, PMax)
+	K          int     // seed budget
+	Candidates int     // top-out-degree candidate restriction; <= 0 means all nodes
+	MCSamples  int     // cascades per MC-greedy spread evaluation
+	Eval       int     // cascades per final independent quality evaluation
+	Chain      mh.Options
+	Roots      int // RR roots per thinned chain sample
+	// Clock supplies the timestamps bracketing each measurement; nil
+	// uses time.Now. Injectable so the timing columns are testable and
+	// wall-clock reads stay explicit (the fig6 idiom).
+	Clock func() time.Time
+}
+
+// InfluencePaper returns the §IV-C-scale configuration the speedup gate
+// also runs: near-critical activation probabilities (cascades large
+// enough that seed choice matters), 256 thinned states × 256 roots.
+func InfluencePaper() InfluenceConfig {
+	const edges = 14000
+	return InfluenceConfig{
+		Seed: 67, Nodes: 6000, Edges: edges, PMin: 0.2, PMax: 0.6,
+		K: 10, Candidates: 128, MCSamples: 200, Eval: 2000,
+		Chain: mh.Options{BurnIn: 2 * edges, Thin: edges / 8, Samples: 256},
+		Roots: 256,
+	}
+}
+
+// InfluenceSmall returns a fast configuration for tests.
+func InfluenceSmall() InfluenceConfig {
+	return InfluenceConfig{
+		Seed: 67, Nodes: 200, Edges: 500, PMin: 0.2, PMax: 0.6,
+		K: 3, Candidates: 24, MCSamples: 40, Eval: 300,
+		Chain: mh.Options{BurnIn: 400, Thin: 100, Samples: 32},
+		Roots: 64,
+	}
+}
+
+// InfluenceResult reports both selections, their independently evaluated
+// spreads, and the wall-clock comparison.
+type InfluenceResult struct {
+	K            int
+	RRSets       int
+	SketchSeeds  []graph.NodeID
+	MCSeeds      []graph.NodeID
+	SketchSpread float64 // independent MC evaluation of the sketch set
+	MCSpread     float64 // same evaluator on the MC-greedy set
+	SketchTime   time.Duration
+	MCTime       time.Duration
+	Evaluations  int // spread estimations the MC-greedy CELF performed
+}
+
+// Speedup is the wall-clock ratio MC-greedy / sketch.
+func (r *InfluenceResult) Speedup() float64 {
+	if r.SketchTime <= 0 {
+		return 0
+	}
+	return float64(r.MCTime) / float64(r.SketchTime)
+}
+
+// String renders the comparison table.
+func (r *InfluenceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Influence maximization, k=%d: RIS sketch (%d RR sets) vs MC-greedy CELF (%d evaluations)\n",
+		r.K, r.RRSets, r.Evaluations)
+	fmt.Fprintf(&b, "%10s %14s %12s  seeds\n", "backend", "wall-clock", "eval spread")
+	fmt.Fprintf(&b, "%10s %14v %12.1f  %v\n", "sketch", r.SketchTime, r.SketchSpread, r.SketchSeeds)
+	fmt.Fprintf(&b, "%10s %14v %12.1f  %v\n", "mc-greedy", r.MCTime, r.MCSpread, r.MCSeeds)
+	fmt.Fprintf(&b, "speedup: %.1fx\n", r.Speedup())
+	return b.String()
+}
+
+// RunInfluence measures the comparison.
+func RunInfluence(cfg InfluenceConfig) (*InfluenceResult, error) {
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	r := rng.New(cfg.Seed)
+	g := graph.Random(r, cfg.Nodes, cfg.Edges)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = cfg.PMin + (cfg.PMax-cfg.PMin)*r.Float64()
+	}
+	m, err := core.NewICM(g, p)
+	if err != nil {
+		return nil, err
+	}
+	var candidates []graph.NodeID
+	if cfg.Candidates > 0 && cfg.Candidates < cfg.Nodes {
+		candidates = topOutDegree(m, cfg.Candidates)
+	}
+	res := &InfluenceResult{K: cfg.K}
+
+	start := now()
+	sk, pool, err := influence.Maximize(m, cfg.K, nil, nil, influence.SketchOptions{
+		Chain: cfg.Chain, RootsPerSample: cfg.Roots, Candidates: candidates,
+	}, rng.New(cfg.Seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("influence: sketch backend: %w", err)
+	}
+	res.SketchTime = now().Sub(start)
+	res.SketchSeeds, res.RRSets = sk.Seeds, pool.NumSets
+
+	start = now()
+	mc, err := influence.Greedy(m, cfg.K, influence.Options{Samples: cfg.MCSamples, Candidates: candidates}, rng.New(cfg.Seed+2))
+	if err != nil {
+		return nil, fmt.Errorf("influence: mc-greedy backend: %w", err)
+	}
+	res.MCTime = now().Sub(start)
+	res.MCSeeds, res.Evaluations = mc.Seeds, mc.Evaluations
+
+	res.SketchSpread = influence.Spread(m, sk.Seeds, cfg.Eval, rng.New(cfg.Seed+3))
+	res.MCSpread = influence.Spread(m, mc.Seeds, cfg.Eval, rng.New(cfg.Seed+4))
+	return res, nil
+}
+
+// topOutDegree returns the k nodes with the largest out-degree, ties
+// broken by node ID.
+func topOutDegree(m *core.ICM, k int) []graph.NodeID {
+	nodes := make([]graph.NodeID, m.NumNodes())
+	for v := range nodes {
+		nodes[v] = graph.NodeID(v)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := len(m.G.OutEdges(nodes[i])), len(m.G.OutEdges(nodes[j]))
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes[:k]
+}

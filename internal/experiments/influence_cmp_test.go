@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInfluenceComparisonSane(t *testing.T) {
+	res, err := RunInfluence(InfluenceSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SketchSeeds) != res.K || len(res.MCSeeds) != res.K {
+		t.Fatalf("seed counts %d/%d, want %d", len(res.SketchSeeds), len(res.MCSeeds), res.K)
+	}
+	if res.RRSets != 32*64 {
+		t.Errorf("rr sets = %d, want 2048", res.RRSets)
+	}
+	if res.SketchSpread < float64(res.K) || res.MCSpread < float64(res.K) {
+		t.Errorf("evaluated spreads %v/%v below the seed count %d", res.SketchSpread, res.MCSpread, res.K)
+	}
+	if res.Evaluations < 24 {
+		t.Errorf("mc-greedy evaluations = %d, want at least one per candidate", res.Evaluations)
+	}
+	out := res.String()
+	for _, want := range []string{"sketch", "mc-greedy", "speedup", "RR sets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfluenceComparisonDeterministic(t *testing.T) {
+	a, err := RunInfluence(InfluenceSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunInfluence(InfluenceSmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.SketchSeeds {
+		if a.SketchSeeds[i] != b.SketchSeeds[i] {
+			t.Fatalf("sketch seeds diverged across runs: %v vs %v", a.SketchSeeds, b.SketchSeeds)
+		}
+	}
+	for i := range a.MCSeeds {
+		if a.MCSeeds[i] != b.MCSeeds[i] {
+			t.Fatalf("mc seeds diverged across runs: %v vs %v", a.MCSeeds, b.MCSeeds)
+		}
+	}
+	if a.SketchSpread != b.SketchSpread || a.MCSpread != b.MCSpread {
+		t.Fatalf("evaluated spreads diverged: %v/%v vs %v/%v", a.SketchSpread, a.MCSpread, b.SketchSpread, b.MCSpread)
+	}
+}
+
+func TestInfluenceComparisonInjectedClock(t *testing.T) {
+	cfg := InfluenceSmall()
+	const step = time.Millisecond
+	var ticks int
+	cfg.Clock = func() time.Time {
+		ticks++
+		return time.Unix(0, int64(ticks)*int64(step))
+	}
+	res, err := RunInfluence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each backend brackets its run with exactly two reads.
+	if res.SketchTime != step || res.MCTime != step {
+		t.Errorf("durations %v/%v, want %v each", res.SketchTime, res.MCTime, step)
+	}
+	if ticks != 4 {
+		t.Errorf("clock read %d times, want 4", ticks)
+	}
+	if res.Speedup() != 1 {
+		t.Errorf("speedup = %v, want 1 under the stepped clock", res.Speedup())
+	}
+}

@@ -109,6 +109,13 @@ func Registry() []Runner {
 			},
 		},
 		{
+			Name:        "influence",
+			Description: "influence maximization: RIS-sketch selection vs MC-greedy CELF, seed quality and wall-clock (timing)",
+			Run: func(small bool) (fmt.Stringer, error) {
+				return RunInfluence(pick(small, InfluenceSmall, InfluencePaper))
+			},
+		},
+		{
 			Name:        "lanes",
 			Description: "lane-width sweep: fixed query set at mask widths W=1..8, per-query cost (timing)",
 			Run: func(small bool) (fmt.Stringer, error) {

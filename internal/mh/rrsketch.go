@@ -1,0 +1,171 @@
+package mh
+
+import (
+	"fmt"
+
+	"infoflow/internal/bitset"
+	"infoflow/internal/core"
+	"infoflow/internal/graph"
+	"infoflow/internal/rng"
+)
+
+// DefaultRootsPerSample is the number of RR roots drawn per thinned
+// chain sample when the caller does not say otherwise: four 64-lane
+// words, enough that the sweep cost dominates the per-root bookkeeping
+// while one chain sample still contributes many near-independent
+// sketch sets.
+const DefaultRootsPerSample = 256
+
+// RRPool is a pool of reverse-reachability (RR) sketch sets over one
+// model: set b was built by drawing root_b uniformly from the target
+// universe and a pseudo-state x_b from the MH chain, and contains every
+// node that reaches root_b across the active edges of x_b. Cover is the
+// node-major transpose the CELF selector wants: bit b of Cover.Row(u)
+// is set iff u belongs to set b, so a seed set's estimated spread is
+//
+//	spread(S) = (Universe / NumSets) × |⋃_{u∈S} Cover.Row(u)|
+//
+// — the standard RIS estimator: each covered set is one (root, state)
+// draw in which some seed would have activated the root. Spread here
+// counts activated targets INCLUDING seeds that are themselves targets
+// (a root always belongs to its own RR set), matching influence.Spread.
+type RRPool struct {
+	// Cover is the node-major cover matrix: NumNodes rows of
+	// NumSets/64 words.
+	Cover *bitset.LaneMatrix
+	// Roots[b] is the target node RR set b was grown from.
+	Roots []graph.NodeID
+	// NumSets is the number of RR sets in the pool (Samples ×
+	// RootsPerSample; always a multiple of 64).
+	NumSets int
+	// Universe is the size of the target universe roots were drawn
+	// from: the number of distinct targets, or NumNodes when the pool
+	// targets the whole graph.
+	Universe int
+	// Targets holds the distinct target nodes, nil when the pool
+	// targets the whole graph.
+	Targets []graph.NodeID
+}
+
+// SpreadScale converts a covered-set count into an expected-spread
+// estimate: spread(S) = SpreadScale() × |sets covered by S|.
+func (p *RRPool) SpreadScale() float64 {
+	return float64(p.Universe) / float64(p.NumSets)
+}
+
+// BuildRRPool draws a fresh MH chain over model m under conds and
+// builds an RR pool of opts.Samples × rootsPerSample sketch sets
+// targeting targets (nil or empty = every node). rootsPerSample must be
+// a positive multiple of 64 (<= 0 selects DefaultRootsPerSample);
+// words is the reverse-sweep lane width in 64-lane words (<= 0
+// auto-sizes, explicit values must lie in [1, MaxLaneWords]).
+//
+// Determinism contract: the root stream is forked from r BEFORE the
+// chain consumes anything, so the sampled (root, state) pairs — and
+// therefore the pool, bit for bit — depend only on r's state, the
+// model, conds, targets, rootsPerSample and opts. The sweep width
+// changes only how roots chunk onto sweeps, never which bit of Cover a
+// root occupies, so the pool is bit-identical across words 1..16.
+func BuildRRPool(m *core.ICM, targets []graph.NodeID, conds []core.FlowCondition, rootsPerSample, words int, opts Options, r *rng.RNG) (*RRPool, error) {
+	rootR := r.Fork()
+	s, err := NewSampler(m, conds, r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildRRPoolOn(s, targets, rootsPerSample, words, opts, rootR)
+}
+
+// BuildRRPoolOn is BuildRRPool running on a caller-constructed sampler
+// with an explicit root stream; the serving layer uses it to keep the
+// chain in hand for diagnostics. rootR must be independent of the
+// chain's RNG (fork it before NewSampler) or the determinism contract
+// above does not hold. opts.Interrupt cancellation is honoured between
+// thinned samples.
+func BuildRRPoolOn(s *Sampler, targets []graph.NodeID, rootsPerSample, words int, opts Options, rootR *rng.RNG) (*RRPool, error) {
+	n := s.m.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("mh: BuildRRPool on an empty graph")
+	}
+	if rootsPerSample <= 0 {
+		rootsPerSample = DefaultRootsPerSample
+	}
+	if rootsPerSample%LaneWidth != 0 {
+		return nil, fmt.Errorf("mh: rootsPerSample %d is not a multiple of %d", rootsPerSample, LaneWidth)
+	}
+	words, err := laneWords(words, rootsPerSample)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	var universe []graph.NodeID
+	universeSize := n
+	if len(targets) > 0 {
+		for _, v := range targets {
+			if int(v) < 0 || int(v) >= n {
+				return nil, fmt.Errorf("mh: BuildRRPool target %d out of range [0, %d)", v, n)
+			}
+		}
+		universe, _ = core.DedupSources(n, targets)
+		universeSize = len(universe)
+	}
+
+	// Pre-draw every root from the root stream: the chain never touches
+	// rootR and the sweeps consume no randomness, so the chain's sample
+	// stream is exactly what any other estimator sees under the same
+	// Options.
+	numSets := opts.Samples * rootsPerSample
+	roots := make([]graph.NodeID, numSets)
+	for i := range roots {
+		if universe == nil {
+			roots[i] = graph.NodeID(rootR.Intn(n))
+		} else {
+			roots[i] = universe[rootR.Intn(len(universe))]
+		}
+	}
+
+	pool := &RRPool{
+		Cover:    bitset.NewLaneMatrix(n, numSets/LaneWidth),
+		Roots:    roots,
+		NumSets:  numSets,
+		Universe: universeSize,
+		Targets:  universe,
+	}
+	lanesPer := words * LaneWidth
+	// One identity lane assignment serves every chunk: chunk lane l is
+	// root chunk[l], and a ragged final chunk simply leaves the top
+	// lanes unseeded (extra rootBits rows are never read).
+	rootBits := bitset.NewLaneMatrix(lanesPer, words)
+	for l := 0; l < lanesPer; l++ {
+		rootBits.SetBit(l, l)
+	}
+	reach := &bitset.LaneMatrix{}
+	sample := 0
+	err = s.Run(opts, func(core.PseudoState) {
+		base := sample * rootsPerSample
+		for lo := 0; lo < rootsPerSample; lo += lanesPer {
+			hi := min(lo+lanesPer, rootsPerSample)
+			chunk := roots[base+lo : base+hi]
+			s.m.G.ReachLanesWideReverseInto(chunk, rootBits, s.xbits, s.scratch, reach)
+			// Chunk boundaries are multiples of 64, so the chunk's lanes
+			// land word-aligned at global set index base+lo: an OR-copy
+			// of whole words places every RR bit at a position
+			// independent of the sweep width.
+			wordOff := (base + lo) / LaneWidth
+			chunkWords := (hi - lo) / LaneWidth
+			for v := 0; v < n; v++ {
+				row := reach.Row(v)
+				dst := pool.Cover.Row(v)[wordOff:]
+				for j := 0; j < chunkWords; j++ {
+					dst[j] |= row[j]
+				}
+			}
+		}
+		sample++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pool, nil
+}

@@ -39,15 +39,22 @@ func New(seed uint64) *RNG {
 // Distinct streams yield statistically independent sequences even for the
 // same seed.
 func NewStream(seed, stream uint64) *RNG {
-	r := &RNG{
-		incHi: splitmix(&stream),
-		incLo: splitmix(&stream) | 1,
-	}
-	s := seed
-	r.hi = splitmix(&s)
-	r.lo = splitmix(&s)
-	r.step()
+	r := &RNG{}
+	r.Reseed(seed, stream)
 	return r
+}
+
+// Reseed re-initialises r in place to the exact state NewStream(seed,
+// stream) constructs, allocating nothing. Selection loops that need one
+// independent stream per evaluated item (the stream-per-candidate
+// determinism idiom) reuse a single generator this way instead of
+// constructing one per evaluation.
+func (r *RNG) Reseed(seed, stream uint64) {
+	r.incHi = splitmix(&stream)
+	r.incLo = splitmix(&stream) | 1
+	r.hi = splitmix(&seed)
+	r.lo = splitmix(&seed)
+	r.step()
 }
 
 // splitmix advances a splitmix64 state and returns the next value. It is

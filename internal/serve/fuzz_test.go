@@ -6,6 +6,85 @@ import (
 	"testing"
 )
 
+// FuzzParseMaximizeQuery hammers the /maximize query parser: for
+// arbitrary k/community/cond/samples/roots/seed strings,
+// parseMaximizeQuery must either reject with a 4xx *httpError or return
+// a canonical query — budget in range, community strictly sorted,
+// distinct, in range, with a targetsKey ParseSources round-trips, pool
+// size within the sketch budget — and must never panic.
+func FuzzParseMaximizeQuery(f *testing.F) {
+	s, err := NewServer(Config{Models: []Model{{Name: "m", ICM: serveDAG(5, 12, 25)}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Drain()
+	f.Add("1", "", "", "", "", "")
+	f.Add("3", "2,0,2", "1>2=1", "64", "256", "9")
+	f.Add(" 5 ", " 1 , 4 ", "", "", "64", "")
+	f.Add("12", "0,1,2,3", "0>1=0,2>3=1", "256", "256", "18446744073709551615")
+	f.Add("-1", "-3", "x", "-5", "100", "boom")
+	f.Add("9999999999999999999999", "", "", "1000000", "1024", "")
+	f.Fuzz(func(t *testing.T, k, community, cond, samples, roots, seed string) {
+		vals := url.Values{}
+		vals.Set("k", k)
+		if community != "" {
+			vals.Set("community", community)
+		}
+		if cond != "" {
+			vals.Set("cond", cond)
+		}
+		if samples != "" {
+			vals.Set("samples", samples)
+		}
+		if roots != "" {
+			vals.Set("roots", roots)
+		}
+		if seed != "" {
+			vals.Set("seed", seed)
+		}
+		req := httptest.NewRequest("GET", "/maximize?"+vals.Encode(), nil)
+		q, herr := s.parseMaximizeQuery(req)
+		if herr != nil {
+			if herr.status < 400 || herr.status > 499 {
+				t.Fatalf("parse error with non-4xx status %d: %s", herr.status, herr.msg)
+			}
+			return
+		}
+		n := q.model.ICM.NumNodes()
+		if q.k <= 0 || q.k > n {
+			t.Fatalf("accepted k %d outside [1, %d]", q.k, n)
+		}
+		for i, v := range q.targets {
+			if int(v) < 0 || int(v) >= n {
+				t.Fatalf("accepted target %d out of range [0, %d)", v, n)
+			}
+			if i > 0 && q.targets[i-1] >= v {
+				t.Fatalf("targets not strictly sorted: %v", q.targets)
+			}
+		}
+		if (q.targetsKey == "") != (q.targets == nil) {
+			t.Fatalf("targetsKey %q inconsistent with targets %v", q.targetsKey, q.targets)
+		}
+		if q.targetsKey != "" {
+			round, err := ParseSources(q.targetsKey)
+			if err != nil || len(round) != len(q.targets) {
+				t.Fatalf("targetsKey %q does not round-trip (%v, %v)", q.targetsKey, round, err)
+			}
+			for i := range round {
+				if round[i] != q.targets[i] {
+					t.Fatalf("targetsKey %q round-trips to %v, want %v", q.targetsKey, round, q.targets)
+				}
+			}
+		}
+		if q.roots <= 0 || q.roots%64 != 0 {
+			t.Fatalf("accepted roots %d (want a positive multiple of 64)", q.roots)
+		}
+		if q.chain.Samples <= 0 || q.chain.Samples*q.roots > s.cfg.MaxSketchSets {
+			t.Fatalf("accepted pool %d x %d past the %d-set budget", q.chain.Samples, q.roots, s.cfg.MaxSketchSets)
+		}
+	})
+}
+
 // FuzzParseImpactQuery hammers the /impact query parser: for arbitrary
 // sources/mode/cond/samples/seed strings, parseQuery must either reject
 // with an *httpError or return a canonical query — sources strictly

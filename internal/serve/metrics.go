@@ -25,6 +25,14 @@ type Metrics struct {
 	ImpactAnalytic atomic.Int64
 	ImpactSampled  atomic.Int64
 
+	// /maximize traffic: requests admitted (cache hits included), seeds
+	// selected by computed (non-cached) selections, and RR sketch sets
+	// built for them. MaximizeSketchSets / computed selections is the
+	// mean pool size actually served.
+	MaximizeRequests   atomic.Int64
+	MaximizeSeeds      atomic.Int64
+	MaximizeSketchSets atomic.Int64
+
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
 
@@ -168,6 +176,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		"impact_requests":    m.ImpactRequests.Load(),
 		"impact_analytic":    m.ImpactAnalytic.Load(),
 		"impact_sampled":     m.ImpactSampled.Load(),
+		"maximize_requests":  m.MaximizeRequests.Load(),
+		"maximize_seeds":     m.MaximizeSeeds.Load(),
+		"maximize_rr_sets":   m.MaximizeSketchSets.Load(),
 		"cache_hits":         m.CacheHits.Load(),
 		"cache_misses":       m.CacheMisses.Load(),
 		"cache_hit_rate":     m.CacheHitRate(),

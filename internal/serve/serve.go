@@ -77,6 +77,15 @@ type Config struct {
 	// (defaults 2000 / 50000).
 	DefaultSamples int
 	MaxSamples     int
+	// DefaultSketchSamples is the thinned chain sample count /maximize
+	// draws RR roots from when ?samples= is absent (default 64; RR roots
+	// average over states, so far fewer chain samples are needed than a
+	// point estimate wants).
+	DefaultSketchSamples int
+	// MaxSketchSets bounds the /maximize pool size: ?samples= times
+	// ?roots= may not exceed it (default 65536; the pool holds one bit
+	// per (node, set) pair).
+	MaxSketchSets int
 	// DefaultSeed is the chain seed when ?seed= is absent (default 1).
 	DefaultSeed uint64
 	// DefaultTimeout is the per-request deadline when ?timeout= is
@@ -113,6 +122,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxSamples <= 0 {
 		c.MaxSamples = 50000
+	}
+	if c.DefaultSketchSamples <= 0 {
+		c.DefaultSketchSamples = 64
+	}
+	if c.MaxSketchSets <= 0 {
+		c.MaxSketchSets = 65536
 	}
 	if c.DefaultSeed == 0 {
 		c.DefaultSeed = 1
@@ -172,6 +187,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /flow", s.handleFlow)
 	mux.HandleFunc("GET /community", s.handleCommunity)
 	mux.HandleFunc("GET /impact", s.handleImpact)
+	mux.HandleFunc("GET /maximize", s.handleMaximize)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
